@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered output is also written to ``results/`` so EXPERIMENTS.md can
+be cross-checked against a real run.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+# Workload scale for benchmarks; override with REPRO_BENCH_SCALE.
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+def save_result(results_dir, name: str, text: str) -> None:
+    (results_dir / (name + ".txt")).write_text(text + "\n")
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,56 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+partitioning architecture, checkpoint interval, trace compression, and
+the BP-quality/simulator-speed coupling."""
+
+from conftest import once, save_result
+
+from repro.experiments import ablations
+
+
+def test_partitioning_ablation(benchmark, results_dir, bench_scale):
+    rows = once(benchmark, ablations.partitioning_ablation,
+                scale=bench_scale)
+    by_name = {r.architecture: r.mips for r in rows}
+
+    # The crossover story: naive hardware offload LOSES, speculative
+    # decoupling WINS.
+    assert by_name["FPGA L1 cache hybrid"] < by_name["monolithic software"]
+    assert by_name["timing-directed FPGA split"] < 2.2
+    assert by_name["FAST (prototype)"] > by_name["timing-directed FPGA split"]
+    assert by_name["FAST (prototype)"] > 2 * by_name["monolithic software"]
+    assert by_name["FAST (mispredict-only)"] >= by_name["FAST (prototype)"]
+
+
+def test_checkpoint_interval_tradeoff(benchmark, bench_scale):
+    rows = once(benchmark, ablations.checkpoint_interval_sweep,
+                intervals=(8, 64, 256), scale=bench_scale)
+    # Target cycles are invariant (host-side choice only).
+    assert len({r.cycles for r in rows}) == 1
+    # Longer intervals -> fewer checkpoints but costlier rollbacks.
+    replays = [r.replays_per_rollback for r in rows]
+    checkpoints = [r.checkpoints_taken for r in rows]
+    assert replays == sorted(replays)
+    assert checkpoints == sorted(checkpoints, reverse=True)
+
+
+def test_trace_compression(benchmark, bench_scale):
+    rows = once(benchmark, ablations.trace_compression_ablation,
+                scale=bench_scale)
+    by_mode = {r.compression: r for r in rows}
+    # Paper: ~4 words/instruction uncompressed; BB mirroring cuts it.
+    assert 3.0 < by_mode["full"].words_per_instruction < 6.0
+    assert (
+        by_mode["bb"].words_per_instruction
+        < 0.7 * by_mode["full"].words_per_instruction
+    )
+
+
+def test_bp_quality_drives_simulator_speed(benchmark, results_dir,
+                                           bench_scale):
+    rows = once(benchmark, ablations.bp_quality_sweep, scale=bench_scale)
+    save_result(results_dir, "ablations", ablations.main())
+    mips = [r.mips for r in rows]
+    replays = [r.rollback_replays for r in rows]
+    # Monotone: better prediction -> faster simulator, fewer rollbacks.
+    assert mips == sorted(mips)
+    assert replays == sorted(replays, reverse=True)

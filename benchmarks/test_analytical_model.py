@@ -1,0 +1,46 @@
+"""Section 3.1 analytical model: the paper's worked examples, digit for
+digit (1.8 / 2.1 / 8.7 / 6.8 MIPS), plus monotonicity shape checks."""
+
+import pytest
+from conftest import once, save_result
+
+from repro.analytical import PartitionedSimulatorModel, scenarios
+
+
+def _all_scenarios():
+    return {
+        "naive_fpga_icache": scenarios.naive_fpga_icache_mips(),
+        "infinite_sw_cap": scenarios.naive_fpga_icache_infinite_sw_mips(),
+        "fast_partitioning": scenarios.fast_partitioning_mips(),
+        "fast_with_rollback": scenarios.fast_with_rollback_mips(),
+        "prototype_arithmetic": scenarios.prototype_bottleneck_mips(),
+        "coherent_projection": scenarios.coherent_projection_mips(),
+    }
+
+
+def test_analytical_examples(benchmark, results_dir):
+    values = once(benchmark, _all_scenarios)
+    lines = ["Section 3.1 analytical examples (MIPS):"]
+    for name, value in values.items():
+        lines.append("  %-22s %.2f" % (name, value))
+    save_result(results_dir, "analytical", "\n".join(lines))
+
+    assert values["naive_fpga_icache"] == pytest.approx(1.8, abs=0.05)
+    assert values["infinite_sw_cap"] == pytest.approx(2.1, abs=0.05)
+    assert values["fast_partitioning"] == pytest.approx(8.7, abs=0.05)
+    assert values["fast_with_rollback"] == pytest.approx(6.8, abs=0.05)
+    assert values["prototype_arithmetic"] == pytest.approx(4.7, abs=0.1)
+    assert values["coherent_projection"] == pytest.approx(5.9, abs=0.3)
+
+    # Shape: FAST's tiny F beats per-instruction round trips even with
+    # rollback overhead included.
+    assert values["fast_with_rollback"] > values["infinite_sw_cap"]
+
+    # Monotonicity: performance degrades smoothly with F.
+    last = float("inf")
+    for f in (0.0, 0.05, 0.2, 1.0):
+        mips = PartitionedSimulatorModel(
+            t_a=100e-9, t_b=0, f=f, l_rt=469e-9
+        ).mips()
+        assert mips <= last
+        last = mips

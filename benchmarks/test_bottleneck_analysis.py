@@ -1,0 +1,38 @@
+"""Section 4.5 bottleneck analysis: the QEMU configuration ladder and
+the live per-basic-block-pair arithmetic."""
+
+from conftest import once, save_result
+
+from repro.experiments import bottleneck
+
+
+def test_bottleneck_ladder(benchmark, results_dir):
+    rows = once(benchmark, bottleneck.compute)
+    save_result(results_dir, "bottleneck", bottleneck.main())
+
+    by_name = {r.configuration: r for r in rows}
+
+    # Every modeled rung within 20% of the paper's measurement.
+    for name, paper in bottleneck.PAPER_LADDER.items():
+        modeled = by_name[name].modeled_mips
+        assert abs(modeled - paper) / paper < 0.20, name
+
+    # The ladder's monotone structure: each de-optimization/addition
+    # costs performance.
+    assert (
+        by_name["qemu-unmodified"].modeled_mips
+        > by_name["qemu-deoptimized"].modeled_mips
+        > by_name["tracing+checkpointing"].modeled_mips
+        > by_name["sw-bp-97"].modeled_mips
+        > by_name["sw-bp-95"].modeled_mips
+    )
+
+
+def test_live_fm_measurement(benchmark, results_dir):
+    live = once(benchmark, bottleneck.live_fm_measurement,
+                max_instructions=120_000)
+    # Paper: ~5-instruction basic blocks, ~4 words/instruction,
+    # 2139 ns per 10 instructions -> 4.7 MIPS (4.6 measured).
+    assert 3.0 < live["mean_basic_block"] < 8.0
+    assert 3.0 < live["trace_words_per_instr"] < 6.0
+    assert 3.0 < live["modeled_mips"] < 7.0

@@ -1,0 +1,58 @@
+"""Figure 4: simulator performance (MIPS) per workload for three branch
+predictor configurations (gshare / 97 % / perfect).
+
+Shape checks from the paper:
+
+* better prediction -> faster simulator (per-workload monotonicity,
+  modulo the eon/perlbmk caveats below),
+* the arithmetic mean sits in the paper's ~1 MIPS band on the
+  unoptimized-prototype host model,
+* perlbmk underperforms its BP accuracy: sleep()/HALT starves the
+  timing model of instructions,
+* eon overperforms its BP accuracy: untranslated FP microcode (NOPs)
+  means FP dependencies are not enforced, raising target IPC.
+"""
+
+from conftest import once, save_result
+
+from repro.experiments import fig4
+from repro.experiments.fig4 import PREDICTORS
+from repro.experiments.fig4 import FIGURE_ORDER
+
+
+def test_fig4_performance(benchmark, results_dir, bench_scale):
+    cells = once(benchmark, fig4.measure, scale=bench_scale)
+    save_result(results_dir, "fig4", fig4.main(scale=bench_scale))
+
+    series = fig4.as_series(cells)
+    assert set(series) == set(PREDICTORS)
+
+    gshare = series["gshare"]
+    fixed97 = series["fixed:0.97"]
+    perfect = series["perfect"]
+
+    # Better prediction helps, workload by workload (small tolerance for
+    # host-model noise on short runs).
+    for name in FIGURE_ORDER:
+        assert perfect[name] >= 0.9 * gshare[name], name
+    assert perfect["amean"] > gshare["amean"]
+    assert fixed97["amean"] >= gshare["amean"] * 0.95
+
+    # Paper band: gshare amean ~1.2 MIPS on the prototype, everything in
+    # roughly 0.3-4 MIPS.
+    assert 0.3 < gshare["amean"] < 4.0
+    for name in FIGURE_ORDER:
+        assert 0.05 < gshare[name] < 6.0, name
+
+    # perlbmk: below-average MIPS despite decent prediction (HALT).
+    by_cell = {(c.workload, c.predictor): c for c in cells}
+    perl = by_cell[("253.perlbmk", "gshare")]
+    assert perl.halted_fraction > 0.1
+    assert gshare["253.perlbmk"] < gshare["amean"]
+
+    # eon: near/above average MIPS despite below-average BP accuracy.
+    eon = by_cell[("252.eon", "gshare")]
+    mean_acc = sum(
+        by_cell[(n, "gshare")].bp_accuracy for n in FIGURE_ORDER
+    ) / len(FIGURE_ORDER)
+    assert gshare["252.eon"] > 0.75 * gshare["amean"]

@@ -1,0 +1,31 @@
+"""Figure 5: gshare branch prediction accuracy per workload.
+
+Shape: accuracies land in the paper's 75-97 % band ("fairly low"), with
+the data-dependent-control workloads (parser, mcf) below the regular
+loop kernels (crafty, gzip).
+"""
+
+from conftest import once, save_result
+
+from repro.experiments import fig5
+from repro.experiments.fig4 import FIGURE_ORDER
+
+
+def test_fig5_bp_accuracy(benchmark, results_dir, bench_scale):
+    rows = once(benchmark, fig5.measure, scale=bench_scale)
+    save_result(results_dir, "fig5", fig5.main(scale=bench_scale))
+
+    by_name = {r.workload: r for r in rows}
+    assert set(by_name) == set(FIGURE_ORDER)
+
+    for row in rows:
+        assert 0.60 < row.accuracy <= 1.0, row.workload
+        assert row.branches > 100, row.workload
+
+    # amean in the paper's band.
+    mean = fig5.amean(rows)
+    assert 0.75 < mean < 0.98
+
+    # Irregular-control workloads predict worse than regular loops.
+    assert by_name["197.parser"].user_accuracy < by_name["186.crafty"].user_accuracy
+    assert by_name["181.mcf"].user_accuracy < by_name["186.crafty"].user_accuracy

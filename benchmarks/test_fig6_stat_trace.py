@@ -1,0 +1,38 @@
+"""Figure 6: the statistic trace of a Linux boot.
+
+Shape: the one-shot BIOS phase shows depressed branch prediction with
+bounded pipe drains; the kernel-decompression phase is flat with high
+BP accuracy and I-cache hit rate; statistics windows cover the run.
+"""
+
+from conftest import once, save_result
+
+from repro.experiments import fig6
+
+
+def test_fig6_stat_trace(benchmark, results_dir):
+    result = once(benchmark, fig6.measure, interval=250)
+    save_result(results_dir, "fig6", fig6.main(interval=250))
+
+    samples = result.samples
+    assert len(samples) >= 15
+
+    # All metrics well-formed per window.
+    for s in samples:
+        assert 0.0 <= s.bp_accuracy <= 1.0
+        assert 0.0 <= s.icache_hit_rate <= 1.0
+        assert 0.0 <= s.pipe_drain_fraction <= 1.0
+
+    # The BIOS one-shot-branch phase must depress BP accuracy hard.
+    worst = min(s.bp_accuracy for s in samples)
+    assert worst < 0.75
+
+    # A flat, well-predicted decompression phase must exist.
+    bios, decompress, kernel = fig6.phases(samples)
+    assert len(decompress) >= 3
+    flat_mean = sum(s.bp_accuracy for s in decompress) / len(decompress)
+    assert flat_mean > 0.9
+
+    # Pipe drains spike in the poorly-predicted region, stay bounded.
+    worst_drain = max(s.pipe_drain_fraction for s in samples)
+    assert 0.02 < worst_drain < 0.8

@@ -1,0 +1,23 @@
+"""Extension bench: hand-patching the FP microcode (the paper's stated
+but deferred work).  Coverage goes to 100 % and the FP-heavy targets
+slow down, because FP dependencies/latencies become real."""
+
+from conftest import once, save_result
+
+from repro.experiments import fp_extension
+
+
+def test_fp_extension(benchmark, results_dir, bench_scale):
+    rows = once(benchmark, fp_extension.compute, scale=bench_scale)
+    save_result(results_dir, "fp_extension", fp_extension.main(scale=bench_scale))
+
+    for row in rows:
+        assert row.coverage_after > 0.99, row.workload
+        assert row.coverage_after >= row.coverage_before
+
+    by_name = {r.workload: r for r in rows}
+    # The FP-heavy targets get slower once FP is enforced.
+    for name in ("252.eon", "sweep3d"):
+        row = by_name[name]
+        assert row.cycles_after > row.cycles_before * 1.05, name
+        assert row.ipc_after < row.ipc_before, name

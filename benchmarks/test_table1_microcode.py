@@ -1,0 +1,43 @@
+"""Table 1: µops/instruction and microcode coverage per workload.
+
+Shape checks against the paper:
+
+* the FP-heavy rows (eon, sweep3d) have by far the lowest coverage,
+* sweep3d is the minimum, near the paper's 44 %,
+* integer benchmarks are close to fully translated,
+* µops/instruction sits in the low-1.x band, with the string/call-heavy
+  rows (mysql, perlbmk, vortex) above the plain ALU rows.
+"""
+
+from conftest import once, save_result
+
+from repro.experiments import table1
+from repro.workloads.suite import SUITE_ORDER
+
+
+def test_table1_microcode(benchmark, results_dir, bench_scale):
+    rows = once(benchmark, table1.compute, scale=bench_scale)
+    save_result(results_dir, "table1", table1.main(scale=bench_scale))
+
+    by_name = {r.workload: r for r in rows}
+    assert set(by_name) == set(SUITE_ORDER)
+
+    # FP-heavy rows at the bottom, like the paper.
+    coverages = {n: r.fraction_translated for n, r in by_name.items()}
+    lowest_two = sorted(coverages, key=coverages.get)[:2]
+    assert set(lowest_two) == {"sweep3d", "252.eon"}
+    assert coverages["sweep3d"] < 0.55  # paper: 44.05%
+    assert coverages["252.eon"] < 0.65  # paper: 52.32%
+    assert 0.75 < coverages["175.vpr"] < 0.95  # paper: 84.62%
+
+    # Integer rows essentially fully translated.
+    for name in ("164.gzip", "176.gcc", "181.mcf", "254.gap", "256.bzip2"):
+        assert coverages[name] > 0.97, name
+
+    # uops/instruction band and ordering.
+    for row in rows:
+        assert 0.95 <= row.uops_per_instruction < 2.6, row.workload
+    assert (
+        by_name["mysql"].uops_per_instruction
+        > by_name["186.crafty"].uops_per_instruction
+    )

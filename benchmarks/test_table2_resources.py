@@ -1,0 +1,28 @@
+"""Table 2: FPGA resources vs issue width.
+
+Shape: usage is nearly flat across widths 1-8 (the multi-host-cycle
+methodology), around one third of the LX200's logic and half its BRAMs.
+"""
+
+from conftest import once, save_result
+
+from repro.experiments import table2
+
+
+def test_table2_resources(benchmark, results_dir):
+    rows = once(benchmark, table2.compute)
+    save_result(results_dir, "table2", table2.main())
+
+    logic = {r.issue_width: r.user_logic_pct for r in rows}
+    bram = {r.issue_width: r.bram_pct for r in rows}
+
+    assert set(logic) == {1, 2, 4, 8}
+    # Flatness: widest target costs < 10% more than the narrowest.
+    assert max(logic.values()) / min(logic.values()) < 1.10
+    # Absolute band (paper: 32.76-32.87 % logic, 50.0-51.2 % BRAM).
+    for width, pct in logic.items():
+        assert 28.0 < pct < 38.0, width
+    for width, pct in bram.items():
+        assert 45.0 < pct < 56.0, width
+    # Everything fits in one FPGA -- the headline claim.
+    assert max(logic.values()) < 100 and max(bram.values()) < 100

@@ -1,0 +1,82 @@
+"""Design-space exploration: the paper's Connector-reconfiguration pitch.
+
+"By specifying parameters to a Connector, one can do such things as
+reconfigure a target from a single issue machine to a multi-issue
+machine ... one can quickly and easily explore a wide range of
+microarchitectures."  (section 4)
+
+This example sweeps issue width and L1D size on one workload, reporting
+target IPC, branch behaviour, estimated FPGA resources and simulated
+host speed for every point -- an architect's screening study.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.experiments.harness import build_fast_simulator, format_table
+from repro.host.resources import estimate_resources
+from repro.timing.cache.hierarchy import CacheGeometry
+from repro.timing.core import TimingConfig
+from repro.workloads import build as build_workload
+
+WORKLOAD = "164.gzip"
+
+
+def sweep_issue_width(widths=(1, 2, 4)):
+    rows = []
+    for width in widths:
+        sim = build_fast_simulator(
+            build_workload(WORKLOAD, 1),
+            timing_config=TimingConfig.with_issue_width(
+                width, predictor="gshare"
+            ),
+        )
+        result = sim.run()
+        resources = estimate_resources(sim.tm)
+        rows.append(
+            (
+                width,
+                "%.3f" % result.timing.ipc,
+                result.timing.cycles,
+                "%.1f%%" % (100 * result.timing.bp_accuracy),
+                "%.1f%%" % (100 * resources.user_logic_fraction),
+                "%.2f" % sim.host_time().mips,
+            )
+        )
+    return format_table(
+        ["issue", "IPC", "cycles", "BP acc", "FPGA logic", "sim MIPS"], rows
+    )
+
+
+def sweep_l1d(sizes=(8, 32, 128)):
+    rows = []
+    for kb in sizes:
+        sim = build_fast_simulator(
+            build_workload("181.mcf", 1),
+            timing_config=TimingConfig(
+                predictor="gshare",
+                caches=CacheGeometry(l1d_bytes=kb * 1024),
+            ),
+        )
+        result = sim.run()
+        hit = result.timing.dcache_hits / max(1, result.timing.dcache_accesses)
+        rows.append(
+            (
+                "%dKB" % kb,
+                "%.1f%%" % (100 * hit),
+                "%.3f" % result.timing.ipc,
+                result.timing.cycles,
+            )
+        )
+    return format_table(["L1D", "hit rate", "IPC", "cycles"], rows)
+
+
+def main():
+    print("Issue-width sweep on %s:" % WORKLOAD)
+    print(sweep_issue_width())
+    print()
+    print("L1D size sweep on 181.mcf (pointer chasing):")
+    print(sweep_l1d())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: simulate a program under FAST and read the results.
+
+Builds a FastOS image with one user program, runs it under the
+FAST-coupled cycle-accurate simulator (speculative functional model +
+trace buffer + Figure 3 out-of-order timing model), and prints target
+metrics plus the modeled host performance on the DRC platform.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.fast import FastSimulator
+from repro.kernel import UserProgram
+
+PROGRAM = UserProgram(
+    "fib",
+    r"""
+main:
+    ; print fibonacci parities: iterate fib, print '0'/'1' per step
+    MOVI R4, 1            ; fib(n-1)
+    MOVI R5, 1            ; fib(n)
+    MOVI R6, 24           ; steps
+fib_loop:
+    MOV R1, R5
+    ANDI R1, 1
+    ADDI R1, 48           ; '0' or '1'
+    MOVI R0, 1            ; SYS_PUTCHAR
+    SYSCALL
+    MOV R2, R5
+    ADD R5, R4
+    MOV R4, R2
+    DEC R6
+    JNZ fib_loop
+    MOVI R0, 1
+    MOVI R1, 10           ; newline
+    SYSCALL
+    MOVI R0, 0            ; SYS_EXIT
+    SYSCALL
+""",
+    entry="main",
+)
+
+
+def main():
+    sim = FastSimulator.from_programs([PROGRAM])
+    result = sim.run()
+
+    print("console output:")
+    print(result.console_text)
+    print("target metrics:", result.summary())
+    print()
+    print("protocol events:")
+    proto = result.protocol
+    print("  trace entries streamed : %d" % proto.entries_streamed)
+    print("  mispredict round trips : %d" % proto.mispredict_messages)
+    print("  resolution round trips : %d" % proto.resolve_messages)
+    print("  rollback re-executions : %d" % proto.rollback_replays)
+    print()
+    print("modeled host performance (DRC Opteron + Virtex4 LX200):")
+    for mode, breakdown in sim.host_time_all_modes().items():
+        print(
+            "  %-16s %6.2f MIPS  (bottleneck: %s)"
+            % (mode, breakdown.mips, breakdown.bottleneck)
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured in pyproject.toml; this file exists so
+legacy editable installs (``pip install -e . --no-use-pep517``) work on
+machines without the ``wheel`` package, e.g. offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""FAST reproduction: fast, full-system, cycle-accurate simulators.
+
+This package reproduces "FPGA-Accelerated Simulation Technologies
+(FAST): Fast, Full-System, Cycle-Accurate Simulators" (Chiou et al.,
+MICRO 2007) in pure Python.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the reproduced tables and figures.
+
+Most users want::
+
+    from repro import FastSimulator, UserProgram
+
+    sim = FastSimulator.from_programs([UserProgram("app", SOURCE)])
+    result = sim.run()
+"""
+
+from repro.fast.simulator import FastSimulator, SimulationResult
+from repro.kernel.image import UserProgram
+from repro.timing.core import TimingConfig, TimingModel, TimingStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FastSimulator",
+    "SimulationResult",
+    "TimingConfig",
+    "TimingModel",
+    "TimingStats",
+    "UserProgram",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro                 # list available experiments
+    python -m repro table1          # regenerate one
+    python -m repro all             # regenerate everything (slow)
+"""
+
+from __future__ import annotations
+
+import sys
+
+EXPERIMENTS = {
+    "fig3": ("Figure 3: the target microarchitecture", "fig3"),
+    "table1": ("Table 1: microcode coverage per workload", "table1"),
+    "table2": ("Table 2: FPGA resources vs issue width", "table2"),
+    "table3": ("Table 3: simulator performance survey", "table3"),
+    "fig4": ("Figure 4: simulator MIPS per workload", "fig4"),
+    "fig5": ("Figure 5: gshare branch prediction accuracy", "fig5"),
+    "fig6": ("Figure 6: Linux boot statistic trace", "fig6"),
+    "bottleneck": ("Section 4.5 bottleneck analysis", "bottleneck"),
+    "ablations": ("Design-choice ablations", "ablations"),
+    "fp-extension": ("Extension: hand-patched FP microcode", "fp_extension"),
+}
+
+
+def run_one(key: str) -> None:
+    import importlib
+
+    module = importlib.import_module("repro.experiments." + EXPERIMENTS[key][1])
+    print(module.main())
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        print("experiments:")
+        for key, (title, _) in EXPERIMENTS.items():
+            print("  %-13s %s" % (key, title))
+        return 0
+    target = argv[1]
+    if target == "all":
+        for key in EXPERIMENTS:
+            print("=" * 72)
+            run_one(key)
+            print()
+        return 0
+    if target not in EXPERIMENTS:
+        print("unknown experiment %r; run with no arguments for a list" % target)
+        return 1
+    run_one(target)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

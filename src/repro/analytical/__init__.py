@@ -1,0 +1,13 @@
+"""Section 3.1 analytical performance model and worked examples."""
+
+from repro.analytical.model import (
+    PartitionedSimulatorModel,
+    fast_round_trip_fraction,
+)
+from repro.analytical import scenarios
+
+__all__ = [
+    "PartitionedSimulatorModel",
+    "fast_round_trip_fraction",
+    "scenarios",
+]

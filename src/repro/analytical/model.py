@@ -1,0 +1,62 @@
+"""Section 3.1: the Amdahl-style analytical model of partitioned
+simulator performance.
+
+Partition the simulator into components A and B running in parallel,
+with T_A and T_B seconds per target cycle (including one-way
+communication).  Round trips happen on a fraction F of cycles, cost
+L_rt each, plus per-side extra work alpha:
+
+    C_A = 1 / (T_A + F * (L_rt + alpha_AA + alpha_BA))
+
+and the simulator rate is min(C_A, C_B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PartitionedSimulatorModel:
+    """The two-component analytical model, in seconds."""
+
+    t_a: float  # component A seconds/target-cycle (e.g. software FM)
+    t_b: float  # component B seconds/target-cycle (e.g. FPGA TM)
+    f: float  # round trips per target cycle (fraction)
+    l_rt: float  # round-trip latency, seconds
+    alpha_aa: float = 0.0  # extra work on A for an A-initiated round trip
+    alpha_ba: float = 0.0  # extra work on B for an A-initiated round trip
+    alpha_ab: float = 0.0  # extra work on A for a B-initiated round trip
+    alpha_bb: float = 0.0  # extra work on B for a B-initiated round trip
+
+    def rate_a(self) -> float:
+        """C_A: target cycles per second A can sustain."""
+        denom = self.t_a + self.f * (self.l_rt + self.alpha_aa + self.alpha_ba)
+        return 1.0 / denom if denom > 0 else float("inf")
+
+    def rate_b(self) -> float:
+        denom = self.t_b + self.f * (self.l_rt + self.alpha_bb + self.alpha_ab)
+        return 1.0 / denom if denom > 0 else float("inf")
+
+    def cycles_per_second(self) -> float:
+        """The simulator rate: min(C_A, C_B)."""
+        return min(self.rate_a(), self.rate_b())
+
+    def mips(self, target_ipc: float = 1.0) -> float:
+        """Simulated MIPS assuming *target_ipc* instructions per cycle."""
+        return self.cycles_per_second() * target_ipc / 1e6
+
+
+def fast_round_trip_fraction(
+    bp_accuracy: float, branch_ratio: float
+) -> float:
+    """F for a FAST simulator: a round trip for each mis-speculation and
+    each resolution (the paper's factor of two):
+
+        F = (1 - accuracy) * branch_ratio * 2
+    """
+    if not 0.0 <= bp_accuracy <= 1.0:
+        raise ValueError("bp_accuracy must be in [0, 1]")
+    if not 0.0 <= branch_ratio <= 1.0:
+        raise ValueError("branch_ratio must be in [0, 1]")
+    return (1.0 - bp_accuracy) * branch_ratio * 2.0

@@ -1,0 +1,66 @@
+"""The Intel FPGA-L1-cache co-simulation experiment (section 1).
+
+"An Intel experiment that moved the Simplescalar sim-outorder L1 data
+cache into a[n] FPGA sitting on the front-side bus of the host
+Pentium III ... produced lower performance than the original,
+unmodified Simplescalar."
+
+This baseline reproduces that *negative* result: hoisting a tiny piece
+of the timing model into hardware while keeping per-access round trips
+makes the simulator slower, because F (the round-trip fraction of the
+section 3.1 model) stays near one access per instruction.  It is the
+crossover FAST's speculation exists to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.platforms import DRC_PLATFORM, Platform
+from repro.timing.core import TimingStats
+
+
+@dataclass
+class HybridCacheResult:
+    """Software simulator vs. the same simulator with an FPGA L1D."""
+
+    software_seconds: float
+    hybrid_seconds: float
+    instructions: int
+
+    @property
+    def software_mips(self) -> float:
+        return self.instructions / self.software_seconds / 1e6
+
+    @property
+    def hybrid_mips(self) -> float:
+        return self.instructions / self.hybrid_seconds / 1e6
+
+    @property
+    def slowdown(self) -> float:
+        """> 1 means the FPGA 'acceleration' made things slower."""
+        return self.hybrid_seconds / self.software_seconds
+
+
+def price_fpga_cache_hybrid(
+    timing: TimingStats,
+    fm_instructions: int,
+    platform: Platform = DRC_PLATFORM,
+) -> HybridCacheResult:
+    """Price a finished run both ways.
+
+    The software simulator spends ``sw_cache_access_ns`` per data-cache
+    access in its cache model; the hybrid replaces that with a blocking
+    round trip to the FPGA per access.
+    """
+    cpu, link = platform.cpu, platform.link
+    base = cpu.fm_seconds(fm_instructions, mode="deopt") + cpu.tm_seconds(
+        timing.cycles
+    )
+    cache_sw = timing.dcache_accesses * cpu.sw_cache_access_ns * 1e-9
+    cache_fpga = timing.dcache_accesses * link.read_ns * 1e-9
+    return HybridCacheResult(
+        software_seconds=base,
+        hybrid_seconds=base - cache_sw + cache_fpga,
+        instructions=timing.instructions,
+    )

@@ -1,0 +1,94 @@
+"""Lock-step (timing-directed) functional/timing coupling.
+
+This is the Asim / Timing-First structure the paper contrasts with
+(section 5): "the functional model does not even fetch an instruction
+until instructed by the timing model ... both components must run in
+essentially lock-step order with each other and generally must
+round-trip communicate every simulated cycle."
+
+Concretely: the functional model executes exactly one instruction per
+timing-model fetch request -- a round-trip per instruction -- instead
+of streaming ahead through a trace buffer.  It is the cycle-accuracy
+*reference* for the FAST coupling: both must produce identical cycle
+counts, while their host-communication profiles differ enormously.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.functional.model import FunctionalModel
+from repro.functional.trace import TraceEntry
+from repro.timing.feed import InstructionFeed
+from repro.timing.module import Module
+
+
+@dataclass
+class LockStepStats:
+    fetch_round_trips: int = 0  # one FM<->TM round trip per instruction
+    mispredict_messages: int = 0
+    resolve_messages: int = 0
+    rollback_replays: int = 0
+    idle_ticks: int = 0
+
+
+class LockStepFeed(InstructionFeed, Module):
+    """Execute the functional model only when the timing model fetches."""
+
+    def __init__(self, fm: FunctionalModel):
+        Module.__init__(self, "lockstep_feed")
+        self.fm = fm
+        self._pending: Deque[TraceEntry] = deque()
+        self.stats = LockStepStats()
+
+    def peek(self) -> Optional[TraceEntry]:
+        if not self._pending:
+            if self.fm.state.halted or self.fm.bus.shutdown_requested:
+                # Only idle_tick may advance a halted FM (one device
+                # tick per idle target cycle), matching the trace-buffer
+                # feed exactly; see TraceBufferFeed._can_produce.
+                return None
+            entry = self.fm.execute_next()
+            if entry is None:
+                return None
+            self._pending.append(entry)
+            self.stats.fetch_round_trips += 1
+        return self._pending[0]
+
+    def consume(self) -> TraceEntry:
+        return self._pending.popleft()
+
+    def force_wrong_path(self, branch_in_no: int, wrong_pc: int) -> None:
+        self._pending.clear()
+        replayed = self.fm.set_pc(branch_in_no + 1, wrong_pc)
+        self.fm.enter_wrong_path()
+        self.stats.mispredict_messages += 1
+        self.stats.rollback_replays += replayed
+
+    def resolve_wrong_path(self, branch_in_no: int, actual_pc: int) -> None:
+        self._pending.clear()
+        self.fm.exit_wrong_path()
+        replayed = self.fm.set_pc(branch_in_no + 1, actual_pc)
+        self.stats.resolve_messages += 1
+        self.stats.rollback_replays += replayed
+
+    def interrupt_delivery(self, after_in: int, line: int):
+        self._pending.clear()
+        taken, replayed = self.fm.deliver_interrupt(after_in, line)
+        self.stats.rollback_replays += replayed
+        return taken, replayed
+
+    def commit(self, in_no: int) -> None:
+        self.fm.commit(in_no)
+
+    def idle_tick(self) -> None:
+        entry = self.fm.execute_next()
+        self.stats.idle_ticks += 1
+        if entry is not None:
+            self._pending.append(entry)
+
+    @property
+    def finished(self) -> bool:
+        return self.fm.bus.shutdown_requested and not self._pending

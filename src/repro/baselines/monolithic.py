@@ -1,0 +1,92 @@
+"""Monolithic software cycle-accurate simulator (sim-outorder-like).
+
+Functionality and timing live in one sequential software program: every
+instruction is interpreted *and* every target cycle's microarchitectural
+work is done on the same CPU host, one after the other.  This is the
+classic structure of Simplescalar's sim-outorder and the industrial
+simulators of Table 3, and it is the reference our FAST coupling is
+compared against -- both use the same underlying timing model, so their
+cycle counts must agree exactly while their host speeds differ by
+orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.baselines.lockstep import LockStepFeed, LockStepStats
+from repro.functional.model import FunctionalConfig, FunctionalModel
+from repro.host.platforms import DRC_PLATFORM, Platform
+from repro.kernel.image import UserProgram, build_os_image
+from repro.kernel.sources import KernelConfig
+from repro.system.bus import build_standard_system
+from repro.timing.core import TimingConfig, TimingModel, TimingStats
+
+
+@dataclass
+class MonolithicResult:
+    timing: TimingStats
+    lockstep: LockStepStats
+    console_text: str
+    host_seconds: float
+
+    @property
+    def kips(self) -> float:
+        if self.host_seconds <= 0:
+            return 0.0
+        return self.timing.instructions / self.host_seconds / 1e3
+
+    @property
+    def mips(self) -> float:
+        return self.kips / 1e3
+
+
+class MonolithicSimulator:
+    """One sequential software process doing everything."""
+
+    def __init__(
+        self,
+        fm: FunctionalModel,
+        timing_config: Optional[TimingConfig] = None,
+        platform: Platform = DRC_PLATFORM,
+    ):
+        self.fm = fm
+        self.platform = platform
+        self.feed = LockStepFeed(fm)
+        self.tm = TimingModel(
+            self.feed, microcode=fm.microcode, config=timing_config
+        )
+        self._console = None
+
+    @classmethod
+    def from_programs(
+        cls,
+        programs: Sequence[UserProgram],
+        kernel_config: Optional[KernelConfig] = None,
+        timing_config: Optional[TimingConfig] = None,
+        functional_config: Optional[FunctionalConfig] = None,
+        platform: Platform = DRC_PLATFORM,
+    ) -> "MonolithicSimulator":
+        memory, bus, _i, _t, console, _d = build_standard_system()
+        image, _cfg = build_os_image(programs, config=kernel_config)
+        fm = FunctionalModel(memory=memory, bus=bus, config=functional_config)
+        fm.load(image)
+        sim = cls(fm, timing_config=timing_config, platform=platform)
+        sim._console = console
+        return sim
+
+    def run(self, max_cycles: int = 100_000_000) -> MonolithicResult:
+        timing = self.tm.run(max_cycles=max_cycles)
+        cpu = self.platform.cpu
+        # Sequential composition: interpret every instruction, then do
+        # every cycle's timing work, on the same host.
+        host_seconds = cpu.fm_seconds(
+            self.fm.stats.executed, mode="deopt"
+        ) + cpu.tm_seconds(timing.cycles)
+        return MonolithicResult(
+            timing=timing,
+            lockstep=self.feed.stats,
+            console_text=self._console.text() if self._console else "",
+            host_seconds=host_seconds,
+        )

@@ -1,0 +1,110 @@
+"""Timing-directed (Asim / Timing-First style) simulator baselines.
+
+The functional model executes only when the timing model tells it to,
+so the two halves run in lock step and "generally must round-trip
+communicate every simulated cycle" (paper section 5).  We price two
+host mappings of the same lock-step engine:
+
+* **software/software** -- both halves on the CPU host: no link cost,
+  but fully sequential (Asim, Timing-First, M5).
+* **split across the DRC link** -- the naive "put the timing model in
+  the FPGA without speculation" mapping: every fetch is a blocking
+  round trip, which is exactly the section 3.1 example showing why
+  F ~= 1 caps performance around 2 MIPS no matter how fast each side is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.baselines.lockstep import LockStepFeed, LockStepStats
+from repro.functional.model import FunctionalConfig, FunctionalModel
+from repro.host.platforms import DRC_PLATFORM, Platform
+from repro.kernel.image import UserProgram, build_os_image
+from repro.kernel.sources import KernelConfig
+from repro.system.bus import build_standard_system
+from repro.timing.core import TimingConfig, TimingModel, TimingStats
+
+
+@dataclass
+class TimingDirectedResult:
+    timing: TimingStats
+    lockstep: LockStepStats
+    console_text: str
+    host_seconds_software: float  # both halves on the CPU
+    host_seconds_split: float  # TM in the FPGA, round trip per fetch
+
+    @property
+    def mips_software(self) -> float:
+        if self.host_seconds_software <= 0:
+            return 0.0
+        return self.timing.instructions / self.host_seconds_software / 1e6
+
+    @property
+    def mips_split(self) -> float:
+        if self.host_seconds_split <= 0:
+            return 0.0
+        return self.timing.instructions / self.host_seconds_split / 1e6
+
+
+class TimingDirectedSimulator:
+    """Lock-step coupling with timing-directed host pricing."""
+
+    def __init__(
+        self,
+        fm: FunctionalModel,
+        timing_config: Optional[TimingConfig] = None,
+        platform: Platform = DRC_PLATFORM,
+    ):
+        self.fm = fm
+        self.platform = platform
+        self.feed = LockStepFeed(fm)
+        self.tm = TimingModel(
+            self.feed, microcode=fm.microcode, config=timing_config
+        )
+        self._console = None
+
+    @classmethod
+    def from_programs(
+        cls,
+        programs: Sequence[UserProgram],
+        kernel_config: Optional[KernelConfig] = None,
+        timing_config: Optional[TimingConfig] = None,
+        functional_config: Optional[FunctionalConfig] = None,
+        platform: Platform = DRC_PLATFORM,
+    ) -> "TimingDirectedSimulator":
+        memory, bus, _i, _t, console, _d = build_standard_system()
+        image, _cfg = build_os_image(programs, config=kernel_config)
+        fm = FunctionalModel(memory=memory, bus=bus, config=functional_config)
+        fm.load(image)
+        sim = cls(fm, timing_config=timing_config, platform=platform)
+        sim._console = console
+        return sim
+
+    def run(self, max_cycles: int = 100_000_000) -> TimingDirectedResult:
+        timing = self.tm.run(max_cycles=max_cycles)
+        cpu, fpga, link = (
+            self.platform.cpu,
+            self.platform.fpga,
+            self.platform.link,
+        )
+        fm_time = cpu.fm_seconds(self.fm.stats.executed, mode="traced")
+        # Software/software: strictly sequential FM + TM work.
+        host_sw = fm_time + cpu.tm_seconds(timing.cycles)
+        # Split mapping: TM runs in the FPGA, but every fetched
+        # instruction requires a blocking round trip before the
+        # functional model may proceed (F ~ 1 in the section 3.1 model).
+        round_trips = self.feed.stats.fetch_round_trips
+        host_split = (
+            fm_time
+            + fpga.timing_model_seconds(timing.cycles)
+            + round_trips * link.read_ns * 1e-9
+        )
+        return TimingDirectedResult(
+            timing=timing,
+            lockstep=self.feed.stats,
+            console_text=self._console.text() if self._console else "",
+            host_seconds_software=host_sw,
+            host_seconds_split=host_split,
+        )

@@ -1,0 +1,22 @@
+"""Experiment harnesses regenerating every table and figure of the
+paper.  Each module is runnable: ``python -m repro.experiments.fig4``."""
+
+from repro.experiments.harness import (
+    PhaseCounters,
+    UserPhaseTracker,
+    WorkloadRun,
+    boot_functional,
+    build_fast_simulator,
+    format_table,
+    run_fast_workload,
+)
+
+__all__ = [
+    "PhaseCounters",
+    "UserPhaseTracker",
+    "WorkloadRun",
+    "boot_functional",
+    "build_fast_simulator",
+    "format_table",
+    "run_fast_workload",
+]

@@ -1,0 +1,182 @@
+"""Section 4.5 bottleneck analysis: the QEMU configuration ladder, the
+DRC latency table, and the per-basic-block-pair arithmetic.
+
+Paper numbers reproduced:
+
+=========================================================  =========
+configuration                                              MIPS
+=========================================================  =========
+unmodified QEMU (Linux boot)                               137
+optimizations off                                          45.8
+tracing + checkpointing (software verification rig)        11.5
++ software 97 % count-based BP (rollbacks)                 8.6
++ software 95 % BP                                         5.9
++ software 2-bit BP (94.8 %)                               5.1
+immediate-commit FPGA dummy timing model                   5.4
+real Fetch unit + perfect BP                               4.6
+(arithmetic check: 2139 ns / 10 instructions = 4.7 MIPS)
+=========================================================  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analytical import scenarios
+from repro.experiments.harness import boot_functional, format_table
+from repro.host.cpu import OPTERON_275
+from repro.host.link import COHERENT_LINK, DRC_LINK, DRC_LINK_MIN
+from repro.workloads import build as build_workload
+
+PAPER_LADDER = {
+    "qemu-unmodified": 137.0,
+    "qemu-deoptimized": 45.8,
+    "tracing+checkpointing": 11.5,
+    "sw-bp-97": 8.6,
+    "sw-bp-95": 5.9,
+    "sw-bp-2bit": 5.1,
+    "fpga-dummy-tm": 5.4,
+    "fpga-fetch-perfect-bp": 4.6,
+}
+
+
+@dataclass
+class LadderRow:
+    configuration: str
+    modeled_mips: float
+    paper_mips: float
+
+
+def _ladder_mips(
+    fm_ns: float,
+    bp_accuracy: float = 1.0,
+    rollback_ns: float = 4000.0,
+    branch_ratio: float = 0.2,
+    poll_ns_per_instr: float = 0.0,
+    trace_ns_per_instr: float = 0.0,
+) -> float:
+    """ns/instruction composition used throughout section 4.5."""
+    round_trips = (1.0 - bp_accuracy) * branch_ratio * 2.0
+    per_instr = (
+        fm_ns
+        + poll_ns_per_instr
+        + trace_ns_per_instr
+        + round_trips * rollback_ns
+    )
+    return 1e3 / per_instr
+
+
+def compute(measure_live: bool = True) -> List[LadderRow]:
+    cpu = OPTERON_275
+    rows = [
+        LadderRow("qemu-unmodified", 1e3 / cpu.qemu_full_ns, 137.0),
+        LadderRow("qemu-deoptimized", 1e3 / cpu.qemu_deopt_ns, 45.8),
+        LadderRow(
+            "tracing+checkpointing", 1e3 / cpu.qemu_traced_ns, 11.5
+        ),
+        LadderRow(
+            "sw-bp-97", _ladder_mips(cpu.qemu_traced_ns, 0.97, 2500.0), 8.6
+        ),
+        LadderRow(
+            "sw-bp-95", _ladder_mips(cpu.qemu_traced_ns, 0.95, 4000.0), 5.9
+        ),
+        LadderRow(
+            "sw-bp-2bit", _ladder_mips(cpu.qemu_traced_ns, 0.948, 4800.0), 5.1
+        ),
+        # FPGA dummy TM: immediate commits, perfect BP; cost is polling
+        # (469 ns per 2 basic blocks = ~10 instructions) + trace writes.
+        LadderRow(
+            "fpga-dummy-tm",
+            _ladder_mips(
+                cpu.qemu_traced_ns,
+                poll_ns_per_instr=DRC_LINK.read_ns / 10.0,
+                trace_ns_per_instr=2.0 * DRC_LINK.burst_write_ns_per_word * 2,
+            ),
+            5.4,
+        ),
+        # Real Fetch unit, perfect BP: the full 2139 ns / 10-instruction
+        # arithmetic of the text.
+        LadderRow(
+            "fpga-fetch-perfect-bp", scenarios.prototype_bottleneck_mips(), 4.6
+        ),
+        LadderRow(
+            "coherent-ht-projection", scenarios.coherent_projection_mips(), 5.9
+        ),
+    ]
+    return rows
+
+
+@dataclass
+class LatencyRow:
+    operation: str
+    ns: float
+
+
+def drc_latency_table() -> List[LatencyRow]:
+    return [
+        LatencyRow("user read (own logic)", DRC_LINK.read_ns),
+        LatencyRow("user write (own logic)", DRC_LINK.write_ns),
+        LatencyRow("burst write ns/word", DRC_LINK.burst_write_ns_per_word),
+        LatencyRow("min read (pin registers)", DRC_LINK_MIN.read_ns),
+        LatencyRow("min write (pin registers)", DRC_LINK_MIN.write_ns),
+        LatencyRow("min burst ns/word", DRC_LINK_MIN.burst_write_ns_per_word),
+        LatencyRow("coherent poll (new data)", COHERENT_LINK.poll_ns),
+    ]
+
+
+def live_fm_measurement(workload: str = "linux-2.4",
+                        max_instructions: int = 200_000):
+    """Run the real functional model and price its trace stream: the
+    live counterpart of the ladder's tracing/checkpointing row."""
+    fm = boot_functional(build_workload(workload, 1))
+    executed = fm.run(max_instructions=max_instructions)
+    stats = fm.stats
+    words_per_instr = stats.trace_words / max(1, stats.traced)
+    mean_block = stats.mean_basic_block
+    # 2 basic blocks' worth of instructions pay one poll + trace writes.
+    per_pair_ns = (
+        2 * mean_block * OPTERON_275.qemu_traced_ns
+        + DRC_LINK.read_ns
+        + 2 * mean_block * words_per_instr * DRC_LINK.burst_write_ns_per_word
+    )
+    mips = 2 * mean_block * 1e3 / per_pair_ns
+    return {
+        "executed": executed,
+        "mean_basic_block": mean_block,
+        "trace_words_per_instr": words_per_instr,
+        "modeled_mips": mips,
+    }
+
+
+def main() -> str:
+    rows = compute()
+    ladder = format_table(
+        ["Configuration", "modeled MIPS", "paper MIPS"],
+        [(r.configuration, "%.1f" % r.modeled_mips, "%.1f" % r.paper_mips)
+         for r in rows],
+    )
+    lat = format_table(
+        ["DRC operation", "ns"],
+        [(r.operation, "%.1f" % r.ns) for r in drc_latency_table()],
+    )
+    live = live_fm_measurement()
+    live_text = (
+        "Live FM measurement (linux boot, %d instructions): "
+        "%.1f instr/block, %.1f trace words/instr -> %.1f MIPS modeled"
+        % (
+            live["executed"],
+            live["mean_basic_block"],
+            live["trace_words_per_instr"],
+            live["modeled_mips"],
+        )
+    )
+    return "Section 4.5 bottleneck analysis\n%s\n\n%s\n\n%s" % (
+        ladder,
+        lat,
+        live_text,
+    )
+
+
+if __name__ == "__main__":
+    print(main())

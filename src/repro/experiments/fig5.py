@@ -1,0 +1,66 @@
+"""Figure 5: gshare branch prediction accuracy per workload.
+
+The paper's 4-way 8K-BTB gshare lands between ~77 % and ~96 % across
+the suite ("our simple gshare branch predictor has fairly low branch
+prediction accuracies").  We report the user-phase accuracy (the
+workload itself) plus the whole-run number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.harness import format_table, run_fast_workload
+from repro.experiments.fig4 import FIGURE_ORDER
+
+
+@dataclass
+class Fig5Row:
+    workload: str
+    accuracy: float  # whole run
+    user_accuracy: float  # workload phase only
+    branches: int
+
+
+def measure(
+    names: Optional[Sequence[str]] = None, scale: int = 1
+) -> List[Fig5Row]:
+    rows = []
+    for name in names or FIGURE_ORDER:
+        run = run_fast_workload(name, scale=scale, predictor="gshare")
+        rows.append(
+            Fig5Row(
+                workload=name,
+                accuracy=run.result.timing.bp_accuracy,
+                user_accuracy=run.user.bp_accuracy,
+                branches=run.result.timing.branches,
+            )
+        )
+    return rows
+
+
+def amean(rows: List[Fig5Row]) -> float:
+    return sum(r.accuracy for r in rows) / len(rows)
+
+
+def main(scale: int = 1, names: Optional[Sequence[str]] = None) -> str:
+    rows = measure(names=names, scale=scale)
+    table = format_table(
+        ["App", "BP acc (run)", "BP acc (user)", "branches"],
+        [
+            (
+                r.workload,
+                "%.1f%%" % (100 * r.accuracy),
+                "%.1f%%" % (100 * r.user_accuracy),
+                r.branches,
+            )
+            for r in rows
+        ]
+        + [("amean", "%.1f%%" % (100 * amean(rows)), "", "")],
+    )
+    return "Figure 5: gshare branch prediction accuracy\n" + table
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,85 @@
+"""Figure 6: a statistic trace of the Linux boot.
+
+Counter samples every N committed basic blocks, tracking branch
+prediction accuracy, I-cache hit rate and pipe-drain percentage.  The
+paper's narrative structure should be visible:
+
+* the BIOS phase executes many branches exactly once -> poor BP
+  accuracy, but bounded pipe drains,
+* the kernel-decompression phase is a tight loop -> flat, high BP and
+  I-cache rates,
+* the kernel proper then lowers BP and I-cache hit rates and raises
+  pipe drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.harness import build_fast_simulator, format_table
+from repro.timing.stats import StatSample, StatisticTraceSampler
+from repro.workloads import build as build_workload
+
+
+@dataclass
+class Fig6Result:
+    samples: List[StatSample]
+    decompress_start_block: int  # where the flat phase should begin
+
+
+def measure(
+    workload: str = "linux-2.4",
+    interval: int = 250,
+    scale: int = 1,
+    max_cycles: int = 5_000_000,
+) -> Fig6Result:
+    sim = build_fast_simulator(build_workload(workload, scale))
+    sampler = StatisticTraceSampler(sim.tm, interval=interval)
+    sim.run(max_cycles=max_cycles)
+    return Fig6Result(samples=sampler.samples, decompress_start_block=0)
+
+
+def phases(samples: List[StatSample]):
+    """Split samples into rough thirds: BIOS+memtest, decompress, kernel.
+
+    The decompress phase is found as the longest run of samples with
+    near-constant, high BP accuracy.
+    """
+    if len(samples) < 6:
+        return samples, [], []
+    best_start, best_len = 0, 0
+    run_start = 0
+    for i in range(1, len(samples)):
+        flat = abs(samples[i].bp_accuracy - samples[i - 1].bp_accuracy) < 0.02
+        if not flat:
+            run_start = i
+        if i - run_start > best_len:
+            best_start, best_len = run_start, i - run_start
+    bios = samples[:best_start]
+    decompress = samples[best_start : best_start + best_len + 1]
+    kernel = samples[best_start + best_len + 1 :]
+    return bios, decompress, kernel
+
+
+def main(workload: str = "linux-2.4", interval: int = 250) -> str:
+    result = measure(workload=workload, interval=interval)
+    rows = [
+        (
+            s.basic_blocks,
+            s.cycle,
+            "%.1f%%" % (100 * s.bp_accuracy),
+            "%.1f%%" % (100 * s.icache_hit_rate),
+            "%.1f%%" % (100 * s.pipe_drain_fraction),
+            "%.2f" % s.ipc,
+        )
+        for s in result.samples
+    ]
+    table = format_table(
+        ["BasicBlock", "Cycle", "BPacc", "iL1 hit", "PipeDrain", "IPC"], rows
+    )
+    return "Figure 6: statistic trace (%s boot)\n%s" % (workload, table)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,283 @@
+"""Shared machinery for regenerating the paper's tables and figures.
+
+All experiment modules (``repro.experiments.table1`` ...) and the
+pytest-benchmark suite use these helpers, so scales and configurations
+stay consistent between "python -m repro.experiments.fig4" and the
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.fast.simulator import FastSimulator, SimulationResult
+from repro.functional.model import FunctionalModel
+from repro.host.platforms import (
+    DRC_PROTOTYPE_PLATFORM,
+    Platform,
+)
+from repro.kernel.image import build_os_image
+from repro.kernel.layout import VBASE
+from repro.system.bus import build_standard_system
+from repro.timing.core import TimingConfig
+from repro.workloads import build as build_workload
+from repro.workloads import make_disk_image
+from repro.workloads.generator import Workload
+
+
+def _disk_for(workload: Workload) -> Optional[bytes]:
+    return make_disk_image() if workload.name == "mysql" else None
+
+
+def boot_functional(workload: Workload) -> FunctionalModel:
+    """A standalone functional model booted with *workload*."""
+    memory, bus, _i, _t, console, _d = build_standard_system(
+        disk_image=_disk_for(workload)
+    )
+    image, _ = build_os_image(workload.programs, config=workload.kernel_config)
+    fm = FunctionalModel(memory=memory, bus=bus)
+    fm.load(image)
+    fm.console = console  # convenience handle
+    return fm
+
+
+def build_fast_simulator(
+    workload: Workload,
+    predictor: str = "gshare",
+    platform: Platform = DRC_PROTOTYPE_PLATFORM,
+    timing_config: Optional[TimingConfig] = None,
+) -> FastSimulator:
+    config = timing_config or TimingConfig(predictor=predictor)
+    return FastSimulator.from_programs(
+        workload.programs,
+        kernel_config=workload.kernel_config,
+        timing_config=config,
+        platform=platform,
+        disk_image=_disk_for(workload),
+    )
+
+
+@dataclass
+class PhaseCounters:
+    """Counter snapshot used for boot/user phase splitting."""
+
+    cycles: int = 0
+    instructions: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    translated: int = 0
+    untranslated: int = 0
+    uops: int = 0
+
+    def delta(self, later: "PhaseCounters") -> "PhaseCounters":
+        return PhaseCounters(
+            cycles=later.cycles - self.cycles,
+            instructions=later.instructions - self.instructions,
+            branches=later.branches - self.branches,
+            mispredicts=later.mispredicts - self.mispredicts,
+            translated=later.translated - self.translated,
+            untranslated=later.untranslated - self.untranslated,
+            uops=later.uops - self.uops,
+        )
+
+    @property
+    def bp_accuracy(self) -> float:
+        if not self.branches:
+            return 1.0
+        return 1.0 - self.mispredicts / self.branches
+
+    @property
+    def coverage(self) -> float:
+        total = self.translated + self.untranslated
+        return self.translated / total if total else 1.0
+
+    @property
+    def uops_per_instruction(self) -> float:
+        total = self.translated + self.untranslated
+        return self.uops / total if total else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class UserPhaseTracker:
+    """Splits run statistics at the first user-mode commit.
+
+    Table 1 and Figures 4/5 characterize the benchmarks themselves, so
+    the boot phase (identical across workloads) must be separable from
+    the workload phase.  Besides the architectural counters, the full
+    set of host-model inputs (trace words, round trips, rollbacks,
+    idle cycles) is snapshotted so user-phase MIPS can be priced.
+    """
+
+    HOST_KEYS = (
+        "entries_streamed",
+        "mispredict_messages",
+        "resolve_messages",
+        "rollback_replays",
+        "trace_words",
+        "basic_blocks",
+        "wrong_path",
+        "idle_cycles",
+    )
+
+    def __init__(self, sim: FastSimulator):
+        self.sim = sim
+        self.boot_snapshot: Optional[PhaseCounters] = None
+        self._boot_host: Optional[Dict[str, int]] = None
+        sim.tm.commit_listeners.append(self._on_commit)
+
+    def _counters(self) -> PhaseCounters:
+        tm, fm = self.sim.tm, self.sim.fm
+        cov = fm.microcode.coverage
+        return PhaseCounters(
+            cycles=tm.cycle,
+            instructions=tm.backend.committed_instructions,
+            branches=tm.backend.counter("branches"),
+            mispredicts=tm.backend.counter("mispredicts"),
+            translated=cov.translated,
+            untranslated=cov.untranslated,
+            uops=cov.uops,
+        )
+
+    def _host_counters(self) -> Dict[str, int]:
+        proto = self.sim.feed.protocol
+        fm = self.sim.fm.stats
+        return {
+            "entries_streamed": proto.entries_streamed,
+            "mispredict_messages": proto.mispredict_messages,
+            "resolve_messages": proto.resolve_messages,
+            "rollback_replays": proto.rollback_replays,
+            "trace_words": fm.trace_words,
+            "basic_blocks": fm.basic_blocks,
+            "wrong_path": fm.wrong_path,
+            "idle_cycles": self.sim.tm.idle_cycles,
+        }
+
+    def _on_commit(self, di, cycle: int) -> None:
+        if self.boot_snapshot is None and di.entry.pc >= VBASE:
+            self.boot_snapshot = self._counters()
+            self._boot_host = self._host_counters()
+
+    def user_phase(self) -> PhaseCounters:
+        """Counters attributable to user-phase execution (falls back to
+        the whole run if no user instruction ever committed)."""
+        final = self._counters()
+        if self.boot_snapshot is None:
+            return final
+        return self.boot_snapshot.delta(final)
+
+    def boot_phase(self) -> Optional[PhaseCounters]:
+        return self.boot_snapshot
+
+    def user_host_mips(
+        self,
+        platform: Optional[Platform] = None,
+        protocol_mode: str = "prototype",
+    ) -> float:
+        """Modeled MIPS over the user phase only: all host-model event
+        counts are end-minus-boot deltas, priced like a full run."""
+        from repro.fast.parallel import fast_host_time
+        from repro.fast.trace_buffer import ProtocolStats
+        from repro.functional.model import FunctionalStats
+        from repro.timing.core import TimingStats
+
+        counters = self.user_phase()
+        final_host = self._host_counters()
+        boot_host = self._boot_host or {key: 0 for key in self.HOST_KEYS}
+        delta = {key: final_host[key] - boot_host[key] for key in self.HOST_KEYS}
+
+        proto = ProtocolStats(
+            entries_streamed=delta["entries_streamed"],
+            mispredict_messages=delta["mispredict_messages"],
+            resolve_messages=delta["resolve_messages"],
+            rollback_replays=delta["rollback_replays"],
+        )
+        fm_stats = FunctionalStats(
+            trace_words=delta["trace_words"],
+            basic_blocks=delta["basic_blocks"],
+            wrong_path=delta["wrong_path"],
+        )
+        tm_stats = TimingStats(
+            cycles=counters.cycles,
+            instructions=counters.instructions,
+            idle_cycles=delta["idle_cycles"],
+        )
+        breakdown = fast_host_time(
+            fm_stats, proto, tm_stats, platform or self.sim.platform,
+            protocol_mode=protocol_mode,
+        )
+        return breakdown.mips
+
+
+@dataclass
+class WorkloadRun:
+    """One complete FAST run of a workload."""
+
+    workload: str
+    predictor: str
+    result: SimulationResult
+    user: PhaseCounters
+    host_mips: Dict[str, float] = field(default_factory=dict)
+    user_mips: Dict[str, float] = field(default_factory=dict)
+    user_idle_fraction: float = 0.0
+
+
+def run_fast_workload(
+    name: str,
+    scale: int = 1,
+    predictor: str = "gshare",
+    platform: Platform = DRC_PROTOTYPE_PLATFORM,
+    timing_config: Optional[TimingConfig] = None,
+    max_cycles: int = 20_000_000,
+) -> WorkloadRun:
+    """Boot + run one workload under the FAST simulator."""
+    workload = build_workload(name, scale)
+    sim = build_fast_simulator(
+        workload,
+        predictor=predictor,
+        platform=platform,
+        timing_config=timing_config,
+    )
+    tracker = UserPhaseTracker(sim)
+    result = sim.run(max_cycles=max_cycles)
+    host = {
+        mode: breakdown.mips
+        for mode, breakdown in sim.host_time_all_modes().items()
+    }
+    user_mips = {
+        mode: tracker.user_host_mips(platform=platform, protocol_mode=mode)
+        for mode in ("prototype", "mispredict-only", "coherent")
+    }
+    user = tracker.user_phase()
+    boot_host = tracker._boot_host or {}
+    idle_delta = sim.tm.idle_cycles - boot_host.get("idle_cycles", 0)
+    return WorkloadRun(
+        workload=name,
+        predictor=predictor,
+        result=result,
+        user=user,
+        host_mips=host,
+        user_mips=user_mips,
+        user_idle_fraction=idle_delta / max(1, user.cycles),
+    )
+
+
+def format_table(headers, rows) -> str:
+    """Plain-text table used by all experiment CLIs."""
+    widths = [len(h) for h in headers]
+    text_rows = []
+    for row in rows:
+        text = [
+            "%.4g" % cell if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        text_rows.append(text)
+        for i, cell in enumerate(text):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join("%%-%ds" % w for w in widths)
+    lines = [fmt % tuple(headers), fmt % tuple("-" * w for w in widths)]
+    lines += [fmt % tuple(r) for r in text_rows]
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""FAST core: the speculative functional/timing coupled simulator."""
+
+from repro.fast.compression import (
+    BasicBlockCodec,
+    FullTraceCodec,
+    measure_compression,
+)
+from repro.fast.interrupts import CycleInterruptCoordinator
+from repro.fast.parallel import HostTimeBreakdown, fast_host_time
+from repro.fast.simulator import FastSimulator, SimulationResult
+from repro.fast.trace_buffer import ProtocolStats, TraceBufferFeed
+
+__all__ = [
+    "BasicBlockCodec",
+    "CycleInterruptCoordinator",
+    "FastSimulator",
+    "FullTraceCodec",
+    "measure_compression",
+    "HostTimeBreakdown",
+    "ProtocolStats",
+    "SimulationResult",
+    "TraceBufferFeed",
+    "fast_host_time",
+]

@@ -1,0 +1,134 @@
+"""FAST host-time composition: converting measured simulation events
+into wall-clock performance on a modeled host platform.
+
+This is where the paper's *speed* claims are reproduced.  A coupled
+simulation run yields event counts (instructions traced, trace words
+written, mispredict/resolution round trips, rollback re-executions,
+target cycles); this module prices them against a
+:class:`~repro.host.platforms.Platform` using the section 3.1 parallel
+composition:
+
+    time = max(FM busy, TM busy) + serialized round-trip time
+
+Three protocol variants are modeled, matching section 4.5:
+
+* ``prototype`` -- the measured FAST prototype: the FM polls a blocking
+  FPGA queue every other basic block (1 read per commit poll, 2 reads
+  per mispredict), so *every* pair of basic blocks pays a round trip.
+* ``mispredict-only`` -- the intended FAST protocol: round trips only
+  on mis-speculation and resolution.
+* ``coherent`` -- the projected cache-coherent HyperTransport
+  interface: polls amortize to cached-read cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fast.trace_buffer import ProtocolStats
+from repro.functional.model import FunctionalStats
+from repro.host.platforms import Platform
+from repro.timing.core import TimingStats
+
+PROTOCOL_MODES = ("prototype", "mispredict-only", "coherent")
+
+
+@dataclass
+class HostTimeBreakdown:
+    """Where host wall-clock time goes for one simulated run."""
+
+    fm_seconds: float  # functional execution (incl. wrong path)
+    trace_seconds: float  # streaming the trace over the link
+    tm_seconds: float  # timing model on its host
+    poll_seconds: float  # blocking commit/status polls
+    roundtrip_seconds: float  # mispredict/resolution messages
+    rollback_seconds: float  # set_pc re-execution
+    target_instructions: int  # committed + requested wrong path
+    target_cycles: int
+
+    @property
+    def producer_seconds(self) -> float:
+        """FM-side busy time (runs in parallel with the TM)."""
+        return self.fm_seconds + self.trace_seconds
+
+    @property
+    def serial_seconds(self) -> float:
+        """Time on neither side's critical path overlap: round trips,
+        polls on blocking links, and rollback re-execution."""
+        return self.poll_seconds + self.roundtrip_seconds + self.rollback_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return max(self.producer_seconds, self.tm_seconds) + self.serial_seconds
+
+    @property
+    def mips(self) -> float:
+        """Target-path MIPS, the paper's Figure 4 metric ("include
+        requested wrong path instructions, but not incorrect
+        instructions")."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.target_instructions / self.total_seconds / 1e6
+
+    @property
+    def bottleneck(self) -> str:
+        return "timing-model" if self.tm_seconds > self.producer_seconds else (
+            "functional-model"
+        )
+
+
+def fast_host_time(
+    fm_stats: FunctionalStats,
+    protocol: ProtocolStats,
+    tm_stats: TimingStats,
+    platform: Platform,
+    protocol_mode: str = "prototype",
+    fm_mode: str = "traced",
+    software_timing: bool = False,
+) -> HostTimeBreakdown:
+    """Price one coupled run on *platform*.
+
+    ``software_timing=True`` maps the timing model onto the CPU host
+    instead of the FPGA (the paper's software timing-model data points).
+    """
+    if protocol_mode not in PROTOCOL_MODES:
+        raise ValueError("unknown protocol mode %r" % protocol_mode)
+    cpu, fpga, link = platform.cpu, platform.fpga, platform.link
+
+    executed = protocol.entries_streamed + protocol.rollback_replays
+    fm_seconds = cpu.fm_seconds(protocol.entries_streamed, mode=fm_mode)
+    trace_seconds = fm_stats.trace_words * link.burst_write_ns_per_word * 1e-9
+
+    if software_timing:
+        tm_seconds = cpu.tm_seconds(tm_stats.cycles)
+    else:
+        tm_seconds = fpga.timing_model_seconds(tm_stats.cycles)
+
+    mispredict_events = protocol.round_trips
+    basic_blocks = max(1, fm_stats.basic_blocks)
+    if protocol_mode == "prototype":
+        # Poll every other basic block: one blocking read per poll plus
+        # an extra read whenever a mispredict is pending.
+        polls = basic_blocks / 2.0
+        poll_seconds = polls * link.poll_ns * 1e-9
+        roundtrip_seconds = mispredict_events * link.read_ns * 1e-9
+    elif protocol_mode == "mispredict-only":
+        poll_seconds = 0.0
+        roundtrip_seconds = mispredict_events * link.round_trip_ns() * 1e-9
+    else:  # coherent: polls amortize over ~7x more instructions
+        polls = basic_blocks / 14.0
+        poll_seconds = polls * link.poll_ns * 1e-9
+        roundtrip_seconds = mispredict_events * link.poll_ns * 1e-9
+
+    rollback_seconds = cpu.fm_seconds(protocol.rollback_replays, mode=fm_mode)
+
+    return HostTimeBreakdown(
+        fm_seconds=fm_seconds,
+        trace_seconds=trace_seconds,
+        tm_seconds=tm_seconds,
+        poll_seconds=poll_seconds,
+        roundtrip_seconds=roundtrip_seconds,
+        rollback_seconds=rollback_seconds,
+        target_instructions=tm_stats.instructions + fm_stats.wrong_path,
+        target_cycles=tm_stats.cycles,
+    )

@@ -1,0 +1,168 @@
+"""FastSimulator: the top-level FAST simulator facade.
+
+Wires a full system (memory, devices, FastOS, workloads) to a
+speculative functional model, couples it to the cycle-accurate timing
+model through a trace buffer, runs to completion and reports both
+target metrics (cycles, IPC, branch accuracy) and modeled host
+performance (MIPS on the DRC platform).
+
+This is the class most users want::
+
+    from repro.fast import FastSimulator
+    from repro.kernel import UserProgram
+
+    sim = FastSimulator.from_programs([UserProgram("app", SOURCE)])
+    result = sim.run()
+    print(result.timing.ipc, result.host_time().mips)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.fast.parallel import HostTimeBreakdown, fast_host_time
+from repro.fast.trace_buffer import ProtocolStats, TraceBufferFeed
+from repro.functional.model import (
+    FunctionalConfig,
+    FunctionalModel,
+    FunctionalStats,
+)
+from repro.host.platforms import DRC_PLATFORM, Platform
+from repro.isa.program import ProgramImage
+from repro.kernel.image import UserProgram, build_os_image
+from repro.kernel.sources import KernelConfig
+from repro.system.bus import build_standard_system
+from repro.timing.core import TimingConfig, TimingModel, TimingStats
+
+
+@dataclass
+class SimulationResult:
+    """Everything one coupled run produced."""
+
+    timing: TimingStats
+    functional: FunctionalStats
+    protocol: ProtocolStats
+    console_text: str
+    microcode_coverage: float
+    uops_per_instruction: float
+
+    def summary(self) -> str:
+        return (
+            "cycles=%d instructions=%d ipc=%.3f bp=%.2f%% "
+            "icache=%.2f%% coverage=%.2f%% uops/inst=%.2f"
+            % (
+                self.timing.cycles,
+                self.timing.instructions,
+                self.timing.ipc,
+                100 * self.timing.bp_accuracy,
+                100 * self.timing.icache_hit_rate,
+                100 * self.microcode_coverage,
+                self.uops_per_instruction,
+            )
+        )
+
+
+class FastSimulator:
+    """A FAST-coupled full-system simulator instance."""
+
+    def __init__(
+        self,
+        fm: FunctionalModel,
+        timing_config: Optional[TimingConfig] = None,
+        platform: Platform = DRC_PLATFORM,
+        tb_depth: int = 512,
+        tb_lookahead: int = 32,
+    ):
+        self.fm = fm
+        self.platform = platform
+        self.feed = TraceBufferFeed(fm, depth=tb_depth, lookahead=tb_lookahead)
+        self.tm = TimingModel(
+            self.feed, microcode=fm.microcode, config=timing_config
+        )
+        self._result: Optional[SimulationResult] = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_programs(
+        cls,
+        programs: Sequence[UserProgram],
+        kernel_config: Optional[KernelConfig] = None,
+        timing_config: Optional[TimingConfig] = None,
+        functional_config: Optional[FunctionalConfig] = None,
+        platform: Platform = DRC_PLATFORM,
+        disk_image: Optional[bytes] = None,
+        memory_size: int = 16 * 1024 * 1024,
+        **kwargs,
+    ) -> "FastSimulator":
+        """Boot FastOS with *programs* under the FAST simulator."""
+        memory, bus, _i, _t, console, _d = build_standard_system(
+            memory_size=memory_size, disk_image=disk_image
+        )
+        image, _cfg = build_os_image(programs, config=kernel_config)
+        fm = FunctionalModel(memory=memory, bus=bus, config=functional_config)
+        fm.load(image)
+        sim = cls(fm, timing_config=timing_config, platform=platform, **kwargs)
+        sim._console = console
+        return sim
+
+    @classmethod
+    def from_image(
+        cls,
+        image: ProgramImage,
+        timing_config: Optional[TimingConfig] = None,
+        functional_config: Optional[FunctionalConfig] = None,
+        platform: Platform = DRC_PLATFORM,
+        **kwargs,
+    ) -> "FastSimulator":
+        """Run a bare-metal image (no OS) under the FAST simulator."""
+        memory, bus, _i, _t, console, _d = build_standard_system()
+        fm = FunctionalModel(memory=memory, bus=bus, config=functional_config)
+        fm.load(image)
+        sim = cls(fm, timing_config=timing_config, platform=platform, **kwargs)
+        sim._console = console
+        return sim
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, max_cycles: int = 100_000_000) -> SimulationResult:
+        timing = self.tm.run(max_cycles=max_cycles)
+        coverage = self.fm.microcode.coverage
+        self._result = SimulationResult(
+            timing=timing,
+            functional=self.fm.stats,
+            protocol=self.feed.protocol,
+            console_text=getattr(self, "_console").text()
+            if hasattr(self, "_console")
+            else "",
+            microcode_coverage=coverage.fraction_translated,
+            uops_per_instruction=coverage.uops_per_instruction,
+        )
+        return self._result
+
+    # -- host performance --------------------------------------------------------
+
+    def host_time(
+        self,
+        protocol_mode: str = "prototype",
+        software_timing: bool = False,
+        platform: Optional[Platform] = None,
+    ) -> HostTimeBreakdown:
+        """Modeled wall-clock breakdown for the completed run."""
+        if self._result is None:
+            raise RuntimeError("call run() first")
+        return fast_host_time(
+            self._result.functional,
+            self._result.protocol,
+            self._result.timing,
+            platform or self.platform,
+            protocol_mode=protocol_mode,
+            software_timing=software_timing,
+        )
+
+    def host_time_all_modes(self) -> Dict[str, HostTimeBreakdown]:
+        return {
+            mode: self.host_time(protocol_mode=mode)
+            for mode in ("prototype", "mispredict-only", "coherent")
+        }

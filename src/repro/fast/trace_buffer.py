@@ -1,0 +1,176 @@
+"""The FAST trace buffer: speculative functional/timing coupling.
+
+"The functional model sequentially executes the program, generating a
+functional path instruction trace, and pipes that stream to the timing
+model [via the trace buffer].  Each logical TB entry ... is not
+deallocated until the instruction is fully committed."  (paper
+section 2)
+
+The functional model runs *ahead* of the timing model, up to the trace
+buffer capacity, without waiting for feedback -- this is the paper's
+key novelty ("parallelizing on the functional/timing boundary,
+leveraging functional model speculation").  Round-trip interactions
+happen only on:
+
+* **mis-speculation** -- the timing model's fetch-time branch
+  prediction disagrees with the functional path: ``set_pc`` forces the
+  functional model down the predicted wrong path (Figure 2), and
+* **resolution** -- the branch executes: ``set_pc`` resteers the
+  functional model back to the architectural path, and
+* **commit notifications** -- so rollback resources can be released.
+
+Every such interaction is counted; the host model prices them with DRC
+HyperTransport latencies to produce the paper's MIPS numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.functional.model import FunctionalModel
+from repro.functional.trace import TraceEntry
+from repro.timing.feed import InstructionFeed
+from repro.timing.module import Module
+
+
+@dataclass
+class ProtocolStats:
+    """FM<->TM interaction counts (the host model's inputs)."""
+
+    entries_streamed: int = 0  # trace entries delivered to the TM
+    mispredict_messages: int = 0  # TM -> FM: go down the wrong path
+    resolve_messages: int = 0  # TM -> FM: resume the right path
+    commit_messages: int = 0  # TM -> FM: release rollback state
+    rollback_replays: int = 0  # instructions re-executed by set_pc
+    idle_ticks: int = 0  # target cycles with a halted CPU
+    interrupt_deliveries: int = 0  # TM-generated interrupts (cycle mode)
+    max_runahead: int = 0  # deepest FM lead over TM commit, in entries
+
+    @property
+    def round_trips(self) -> int:
+        """One round trip per mispredict and one per resolution."""
+        return self.mispredict_messages + self.resolve_messages
+
+
+class TraceBufferFeed(InstructionFeed, Module):
+    """Feed the timing model through a bounded trace buffer."""
+
+    def __init__(self, fm: FunctionalModel, depth: int = 512,
+                 lookahead: int = 32):
+        Module.__init__(self, "trace_buffer")
+        if depth < 128:
+            raise ValueError(
+                "trace buffer depth must exceed the ROB + front-end "
+                "capacity (use >= 128)"
+            )
+        self.fm = fm
+        self.depth = depth
+        # How far the FM runs ahead of the TM's fetch point.  The trace
+        # buffer *capacity* (depth) bounds uncommitted entries; the
+        # lookahead bounds speculative work thrown away per mispredict.
+        self.lookahead = max(8, lookahead)
+        self._buffer: Deque[TraceEntry] = deque()
+        self._last_committed = 0
+        self.protocol = ProtocolStats()
+
+    # -- trace-buffer filling -----------------------------------------------
+
+    def _tb_occupancy(self) -> int:
+        """Entries between the oldest uncommitted instruction and the
+        functional model's current position."""
+        return self.fm.in_count - self._last_committed
+
+    def _can_produce(self) -> bool:
+        # A halted FM is advanced ONLY by idle_tick (one device tick per
+        # idle target cycle).  If refills were allowed to poke a halted
+        # FM, device time would depend on how often the timing model
+        # peeks -- which differs between this feed and the lock-step
+        # reference and would break cycle equivalence.
+        return not (self.fm.state.halted or self.fm.bus.shutdown_requested)
+
+    def _fill(self) -> None:
+        # On a forced wrong path, produce only a small batch: everything
+        # generated there is discarded at resolution, so deep runahead
+        # is pure waste (the real FAST likewise only needs enough wrong-
+        # path instructions to keep fetch busy until the branch
+        # resolves).
+        if self.fm.on_wrong_path:
+            for _ in range(8):
+                if not self._can_produce():
+                    return
+                entry = self.fm.execute_next()
+                if entry is None:
+                    return
+                self._buffer.append(entry)
+                self.protocol.entries_streamed += 1
+            return
+        while (
+            len(self._buffer) < self.lookahead
+            and self._tb_occupancy() < self.depth
+        ):
+            if not self._can_produce():
+                break
+            entry = self.fm.execute_next()
+            if entry is None:
+                break
+            self._buffer.append(entry)
+            self.protocol.entries_streamed += 1
+        runahead = self._tb_occupancy()
+        if runahead > self.protocol.max_runahead:
+            self.protocol.max_runahead = runahead
+
+    # -- InstructionFeed interface ----------------------------------------------
+
+    def peek(self) -> Optional[TraceEntry]:
+        if not self._buffer:
+            self._fill()
+            if not self._buffer:
+                return None
+        return self._buffer[0]
+
+    def consume(self) -> TraceEntry:
+        return self._buffer.popleft()
+
+    def force_wrong_path(self, branch_in_no: int, wrong_pc: int) -> None:
+        # Discard the functional-path entries beyond the branch; the
+        # paper overwrites them in the TB (Figure 2, T=1+m).
+        while self._buffer and self._buffer[-1].in_no > branch_in_no:
+            self._buffer.pop()
+        replayed = self.fm.set_pc(branch_in_no + 1, wrong_pc)
+        self.fm.enter_wrong_path()
+        self.protocol.mispredict_messages += 1
+        self.protocol.rollback_replays += replayed
+        self.bump("forced_wrong_paths")
+
+    def resolve_wrong_path(self, branch_in_no: int, actual_pc: int) -> None:
+        self._buffer.clear()  # everything buffered is wrong-path
+        self.fm.exit_wrong_path()
+        replayed = self.fm.set_pc(branch_in_no + 1, actual_pc)
+        self.protocol.resolve_messages += 1
+        self.protocol.rollback_replays += replayed
+        self.bump("resolutions")
+
+    def interrupt_delivery(self, after_in: int, line: int):
+        self._buffer.clear()  # everything beyond the boundary is stale
+        taken, replayed = self.fm.deliver_interrupt(after_in, line)
+        self.protocol.interrupt_deliveries += 1
+        self.protocol.rollback_replays += replayed
+        return taken, replayed
+
+    def commit(self, in_no: int) -> None:
+        self._last_committed = in_no
+        self.fm.commit(in_no)
+        self.protocol.commit_messages += 1
+
+    def idle_tick(self) -> None:
+        entry = self.fm.execute_next()
+        self.protocol.idle_ticks += 1
+        if entry is not None:
+            self._buffer.append(entry)
+            self.protocol.entries_streamed += 1
+
+    @property
+    def finished(self) -> bool:
+        return self.fm.bus.shutdown_requested and not self._buffer

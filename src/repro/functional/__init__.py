@@ -1,0 +1,28 @@
+"""Functional model: the full-system, speculative, roll-back-able ISA
+simulator (the paper's modified-QEMU analog)."""
+
+from repro.functional.checkpoint import CheckpointManager, CheckpointStats
+from repro.functional.cpu import Fault
+from repro.functional.model import (
+    FunctionalConfig,
+    FunctionalModel,
+    FunctionalStats,
+    RollbackError,
+    VECTOR_BASE,
+)
+from repro.functional.state import ArchState
+from repro.functional.trace import TraceEntry, format_trace
+
+__all__ = [
+    "ArchState",
+    "CheckpointManager",
+    "CheckpointStats",
+    "Fault",
+    "FunctionalConfig",
+    "FunctionalModel",
+    "FunctionalStats",
+    "RollbackError",
+    "TraceEntry",
+    "VECTOR_BASE",
+    "format_trace",
+]

@@ -1,0 +1,46 @@
+"""Host platform models: CPUs, FPGAs, links and resource estimation."""
+
+from repro.host.cpu import OPTERON_275, PPC405_300, CpuHost
+from repro.host.fpga import (
+    VIRTEX4_LX200,
+    VIRTEX4_LX200_PROTOTYPE,
+    XUP_VIRTEX2P,
+    FpgaHost,
+)
+from repro.host.link import (
+    COHERENT_LINK,
+    DRC_LINK,
+    DRC_LINK_MIN,
+    ON_FABRIC_LINK,
+    LinkModel,
+)
+from repro.host.platforms import (
+    DRC_COHERENT_PLATFORM,
+    DRC_PLATFORM,
+    DRC_PROTOTYPE_PLATFORM,
+    XUP_PLATFORM,
+    Platform,
+)
+from repro.host.resources import ResourceReport, estimate_resources
+
+__all__ = [
+    "COHERENT_LINK",
+    "CpuHost",
+    "DRC_COHERENT_PLATFORM",
+    "DRC_LINK",
+    "DRC_LINK_MIN",
+    "DRC_PLATFORM",
+    "DRC_PROTOTYPE_PLATFORM",
+    "FpgaHost",
+    "LinkModel",
+    "ON_FABRIC_LINK",
+    "OPTERON_275",
+    "PPC405_300",
+    "Platform",
+    "ResourceReport",
+    "VIRTEX4_LX200",
+    "VIRTEX4_LX200_PROTOTYPE",
+    "XUP_PLATFORM",
+    "XUP_VIRTEX2P",
+    "estimate_resources",
+]

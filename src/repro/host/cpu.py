@@ -1,0 +1,64 @@
+"""Software host cost model, calibrated to the paper's measurements.
+
+Section 4.5's QEMU configuration ladder on the DRC Opteron (2.2 GHz):
+
+=============================================  =========  ===========
+configuration                                  MIPS       ns / instr
+=============================================  =========  ===========
+unmodified QEMU (Linux boot)                   137        7.3
+optimizations off (no chaining, softMMU, ...)  45.8       21.8
++ tracing and checkpointing (test rig)         11.5       87.0
+=============================================  =========  ===========
+
+The software-timing-model cost is calibrated so a monolithic software
+cycle-accurate simulator lands in the sim-outorder/GEMS range of
+Table 3 (hundreds of KIPS down to tens of KIPS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuHost:
+    """A software host (the DRC Opteron by default)."""
+
+    name: str = "opteron-275"
+    clock_ghz: float = 2.2
+    # Functional-model cost per instruction, by configuration.
+    qemu_full_ns: float = 7.3  # 137 MIPS
+    qemu_deopt_ns: float = 21.8  # 45.8 MIPS
+    qemu_traced_ns: float = 87.0  # 11.5 MIPS (tracing + checkpointing)
+    # Software timing model cost per target cycle (monolithic or
+    # timing-directed simulators run the whole pipeline in software).
+    sw_timing_ns_per_cycle: float = 1400.0
+    # Cost of a software cache model access (for the FPGA-cache hybrid
+    # baseline's software-only comparison).
+    sw_cache_access_ns: float = 45.0
+
+    def fm_seconds(self, instructions: int, mode: str = "traced") -> float:
+        per = {
+            "full": self.qemu_full_ns,
+            "deopt": self.qemu_deopt_ns,
+            "traced": self.qemu_traced_ns,
+        }[mode]
+        return instructions * per * 1e-9
+
+    def tm_seconds(self, target_cycles: int) -> float:
+        return target_cycles * self.sw_timing_ns_per_cycle * 1e-9
+
+
+OPTERON_275 = CpuHost()
+
+# The XUP board's embedded PowerPC 405 at 300 MHz: roughly an order of
+# magnitude slower per instruction than the Opteron.
+PPC405_300 = CpuHost(
+    name="ppc405-300mhz",
+    clock_ghz=0.3,
+    qemu_full_ns=60.0,
+    qemu_deopt_ns=180.0,
+    qemu_traced_ns=700.0,
+    sw_timing_ns_per_cycle=11000.0,
+    sw_cache_access_ns=400.0,
+)

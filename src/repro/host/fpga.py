@@ -1,0 +1,48 @@
+"""FPGA host model: how fast the timing model runs in the fabric.
+
+The paper's Bluespec timing model runs at 100 MHz and spends multiple
+host (FPGA) cycles per target cycle; the authors consider "approximately
+twenty or so host cycles per target cycle" reasonable but measured their
+unoptimized prototype well above that, making the timing model the
+bottleneck (section 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpgaHost:
+    """An FPGA fabric running the timing model."""
+
+    name: str = "virtex4-lx200"
+    clock_mhz: float = 100.0
+    host_cycles_per_target_cycle: float = 20.0
+    slices: int = 89088  # Virtex4 LX200
+    brams: int = 336
+
+    @property
+    def ns_per_target_cycle(self) -> float:
+        return self.host_cycles_per_target_cycle * 1000.0 / self.clock_mhz
+
+    def timing_model_seconds(self, target_cycles: int) -> float:
+        return target_cycles * self.ns_per_target_cycle * 1e-9
+
+
+# The paper's two boards.
+VIRTEX4_LX200 = FpgaHost()
+
+# Unoptimized prototype: insufficient attention to host cycles per
+# target cycle made the timing model the bottleneck.
+VIRTEX4_LX200_PROTOTYPE = FpgaHost(
+    name="virtex4-lx200-prototype", host_cycles_per_target_cycle=60.0
+)
+
+XUP_VIRTEX2P = FpgaHost(
+    name="xup-virtex2pro-30",
+    clock_mhz=100.0,
+    host_cycles_per_target_cycle=25.0,
+    slices=13696,
+    brams=136,
+)

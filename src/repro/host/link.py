@@ -1,0 +1,84 @@
+"""Host interconnect (Opteron <-> FPGA) latency models.
+
+All numbers are the paper's own measurements of the DRC HyperTransport
+platform (section 4.5):
+
+* user-logic read: 469 ns (378 ns to pin-adjacent registers)
+* user-logic write: 307 ns (287 ns minimum)
+* burst write: 20 ns per 32-bit word (13.3 ns minimum)
+* reads are blocking, turning commit polling into round trips
+
+plus the projected cache-coherent HyperTransport interface where polls
+drop to cached-read cost (75-100 ns on a fresh FPGA write, ~1 ns when
+nothing new arrived).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """One-way and round-trip costs of the FM<->TM interconnect."""
+
+    name: str
+    read_ns: float  # blocking read (a round trip by construction)
+    write_ns: float  # single-word write
+    burst_write_ns_per_word: float
+    blocking_reads: bool = True
+    # Cost of polling for commit/mispredict status, per poll event.
+    poll_ns: float = 0.0
+
+    def trace_write_ns(self, words: int) -> float:
+        """Cost of streaming *words* 32-bit trace words FM -> TM."""
+        return words * self.burst_write_ns_per_word
+
+    def round_trip_ns(self) -> float:
+        """One request/response interaction (e.g. resteer + ack)."""
+        return self.read_ns + self.write_ns
+
+
+# The DRC development platform as measured (user-logic numbers; the
+# paper reports pin-adjacent minimums of 378/287/13.3 as well).
+DRC_LINK = LinkModel(
+    name="drc-hypertransport",
+    read_ns=469.0,
+    write_ns=307.0,
+    burst_write_ns_per_word=20.0,
+    blocking_reads=True,
+    poll_ns=469.0,
+)
+
+# Pin-adjacent best case on the same platform.
+DRC_LINK_MIN = LinkModel(
+    name="drc-hypertransport-min",
+    read_ns=378.0,
+    write_ns=287.0,
+    burst_write_ns_per_word=13.3,
+    blocking_reads=True,
+    poll_ns=378.0,
+)
+
+# Projected cache-coherent HyperTransport (section 4.5): trace writes at
+# cached-write speed, polls at memory-read speed only when the FPGA
+# actually wrote something new (~1.2 ns/instruction amortized; we charge
+# 169 ns per poll event against 7x fewer polls).
+COHERENT_LINK = LinkModel(
+    name="coherent-hypertransport",
+    read_ns=100.0,
+    write_ns=10.0,
+    burst_write_ns_per_word=2.0,
+    blocking_reads=False,
+    poll_ns=169.0,
+)
+
+# An on-die or same-fabric coupling (HASim-style): negligible latency.
+ON_FABRIC_LINK = LinkModel(
+    name="on-fabric",
+    read_ns=10.0,
+    write_ns=10.0,
+    burst_write_ns_per_word=0.5,
+    blocking_reads=False,
+    poll_ns=10.0,
+)

@@ -1,0 +1,49 @@
+"""Execution platforms: bundles of CPU host, FPGA host and link."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.cpu import OPTERON_275, PPC405_300, CpuHost
+from repro.host.fpga import (
+    VIRTEX4_LX200,
+    VIRTEX4_LX200_PROTOTYPE,
+    XUP_VIRTEX2P,
+    FpgaHost,
+)
+from repro.host.link import (
+    COHERENT_LINK,
+    DRC_LINK,
+    ON_FABRIC_LINK,
+    LinkModel,
+)
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One host configuration a simulator can be mapped onto."""
+
+    name: str
+    cpu: CpuHost
+    fpga: FpgaHost
+    link: LinkModel
+
+
+# The paper's primary platform: dual-socket DRC box, one Opteron 275 and
+# one Virtex4 LX200 connected by HyperTransport.
+DRC_PLATFORM = Platform("drc", OPTERON_275, VIRTEX4_LX200, DRC_LINK)
+
+# Same box, with the unoptimized prototype timing model (the measured
+# bottleneck of section 4.5).
+DRC_PROTOTYPE_PLATFORM = Platform(
+    "drc-prototype", OPTERON_275, VIRTEX4_LX200_PROTOTYPE, DRC_LINK
+)
+
+# Projected cache-coherent HyperTransport version of the DRC box.
+DRC_COHERENT_PLATFORM = Platform(
+    "drc-coherent", OPTERON_275, VIRTEX4_LX200, COHERENT_LINK
+)
+
+# The low-cost Xilinx University Platform board: embedded PowerPC 405
+# runs the functional model inside the same fabric as the timing model.
+XUP_PLATFORM = Platform("xup", PPC405_300, XUP_VIRTEX2P, ON_FABRIC_LINK)

@@ -1,0 +1,35 @@
+"""FastISA: the synthetic variable-length CISC ISA used as the x86 stand-in.
+
+Public surface:
+
+* :mod:`repro.isa.registers` -- register names and flag bits.
+* :mod:`repro.isa.opcodes` -- the opcode table (:class:`OpSpec`).
+* :func:`repro.isa.encoding.encode` / :func:`repro.isa.encoding.decode`.
+* :func:`repro.isa.assembler.assemble` -- two-pass assembler.
+* :func:`repro.isa.disassembler.disassemble`.
+* :class:`repro.isa.program.ProgramImage` -- loadable images.
+"""
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.disassembler import disassemble, format_instr
+from repro.isa.encoding import EncodingError, decode, encode, make
+from repro.isa.instructions import Instr
+from repro.isa.opcodes import OPCODES, OpSpec, lookup
+from repro.isa.program import ProgramImage, Segment
+
+__all__ = [
+    "AssemblerError",
+    "EncodingError",
+    "Instr",
+    "OPCODES",
+    "OpSpec",
+    "ProgramImage",
+    "Segment",
+    "assemble",
+    "decode",
+    "disassemble",
+    "encode",
+    "format_instr",
+    "lookup",
+    "make",
+]

@@ -1,0 +1,375 @@
+"""A small two-pass assembler for FastISA.
+
+Supports labels, numeric and symbolic operands, and data directives.
+It exists so FastOS and the synthetic workloads can be written as
+readable assembly-generating Python instead of hand-built byte arrays.
+
+Syntax overview::
+
+    ; comment
+    .org 0x1000            ; set location counter
+    start:
+        MOVI R0, 100
+        MOVI R1, buffer    ; labels usable as 32-bit immediates
+    loop:
+        LD   R2, [R1+0]
+        ADD  R0, R2
+        DEC  R1
+        JNZ  loop
+        REP MOVSB
+        MOVSR EPC, R3      ; special registers by name
+        FLD  F0, [R1+4]
+        HALT
+    buffer:
+        .word 1, 2, 3
+        .byte 0xFF
+        .ascii "hi"
+        .space 16
+        .align 4
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.isa import registers
+from repro.isa.encoding import encode, make
+from repro.isa.instructions import Instr
+from repro.isa.opcodes import OPCODES, lookup
+
+
+class AssemblerError(ValueError):
+    """Raised on a syntax or semantic error, with line information."""
+
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.$]*$")
+_MEM_RE = re.compile(r"^\[([A-Za-z0-9_]+)\s*(?:([+-])\s*([^\]]+))?\]$")
+
+
+@dataclass
+class _PendingInstr:
+    """An instruction parsed in pass one, awaiting label resolution."""
+
+    addr: int
+    name: str
+    dst: int
+    src: int
+    imm: Union[int, str]  # str means unresolved label
+    rep: bool
+    imm_is_rel: bool  # PC-relative (rel16) vs absolute immediate
+    line_no: int
+
+
+@dataclass
+class _DataItem:
+    addr: int
+    data: bytes
+
+
+@dataclass
+class AssembledProgram:
+    """Result of assembling a source text."""
+
+    data: bytes
+    base: int
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def symbol(self, name: str) -> int:
+        return self.symbols[name]
+
+
+class Assembler:
+    """Two-pass assembler.  Use :func:`assemble` for the common case."""
+
+    def __init__(self, base: int = 0):
+        self.base = base
+        self._pc = base
+        self._symbols: Dict[str, int] = {}
+        self._instrs: List[_PendingInstr] = []
+        self._data: List[_DataItem] = []
+        self._line_no = 0
+
+    # -- pass one -----------------------------------------------------
+
+    def run(self, source: str) -> AssembledProgram:
+        for self._line_no, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split(";", 1)[0].strip()
+            if not line:
+                continue
+            self._line(line)
+        return self._finish()
+
+    def _line(self, line: str) -> None:
+        while True:
+            match = re.match(r"^([A-Za-z_][A-Za-z0-9_.$]*):\s*(.*)$", line)
+            if not match:
+                break
+            label, line = match.group(1), match.group(2).strip()
+            if label in self._symbols:
+                self._err("duplicate label %r" % label)
+            self._symbols[label] = self._pc
+            if not line:
+                return
+        if line.startswith("."):
+            self._directive(line)
+        else:
+            self._instruction(line)
+
+    def _directive(self, line: str) -> None:
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        arg = parts[1] if len(parts) > 1 else ""
+        if name == ".org":
+            target = self._int(arg)
+            if target < self._pc:
+                self._err(".org cannot move backwards")
+            self._pc = target
+        elif name == ".word":
+            values = [self._int_or_label(v.strip()) for v in arg.split(",")]
+            blob = bytearray()
+            unresolved = []
+            for i, value in enumerate(values):
+                if isinstance(value, str):
+                    unresolved.append((i, value))
+                    blob += b"\x00\x00\x00\x00"
+                else:
+                    blob += (value & 0xFFFFFFFF).to_bytes(4, "little")
+            item = _DataItem(self._pc, bytes(blob))
+            self._data.append(item)
+            for i, label in unresolved:
+                self._instrs.append(
+                    _PendingInstr(
+                        self._pc + 4 * i, ".wordfix", 0, 0, label, False, False, self._line_no
+                    )
+                )
+            self._pc += len(blob)
+        elif name == ".byte":
+            values = [self._int(v.strip()) & 0xFF for v in arg.split(",")]
+            self._data.append(_DataItem(self._pc, bytes(values)))
+            self._pc += len(values)
+        elif name == ".ascii":
+            text = arg.strip()
+            if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+                self._err(".ascii needs a double-quoted string")
+            blob = text[1:-1].encode("latin-1").decode("unicode_escape").encode("latin-1")
+            self._data.append(_DataItem(self._pc, blob))
+            self._pc += len(blob)
+        elif name == ".space":
+            count = self._int(arg)
+            self._data.append(_DataItem(self._pc, bytes(count)))
+            self._pc += count
+        elif name == ".align":
+            align = self._int(arg)
+            rem = self._pc % align
+            if rem:
+                pad = align - rem
+                self._data.append(_DataItem(self._pc, bytes(pad)))
+                self._pc += pad
+        else:
+            self._err("unknown directive %r" % name)
+
+    def _instruction(self, line: str) -> None:
+        rep = False
+        parts = line.split(None, 1)
+        mnemonic = parts[0].upper()
+        if mnemonic == "REP":
+            rep = True
+            if len(parts) < 2:
+                self._err("REP prefix needs an instruction")
+            parts = parts[1].split(None, 1)
+            mnemonic = parts[0].upper()
+        if mnemonic not in OPCODES:
+            self._err("unknown mnemonic %r" % mnemonic)
+        spec = lookup(mnemonic)
+        operands = self._split_operands(parts[1]) if len(parts) > 1 else []
+        dst, src, imm, imm_is_rel = self._operands(spec, operands)
+        self._instrs.append(
+            _PendingInstr(self._pc, mnemonic, dst, src, imm, rep, imm_is_rel, self._line_no)
+        )
+        self._pc += spec.length + (1 if rep else 0)
+
+    @staticmethod
+    def _split_operands(text: str) -> List[str]:
+        # Split on commas not inside brackets.
+        out, depth, cur = [], 0, []
+        for ch in text:
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            if ch == "," and depth == 0:
+                out.append("".join(cur).strip())
+                cur = []
+            else:
+                cur.append(ch)
+        tail = "".join(cur).strip()
+        if tail:
+            out.append(tail)
+        return out
+
+    def _operands(self, spec, ops) -> Tuple[int, int, Union[int, str], bool]:
+        name, fmt = spec.name, spec.fmt
+        dst = src = 0
+        imm: Union[int, str] = 0
+        imm_is_rel = False
+        try:
+            if fmt == "none":
+                self._want(ops, 0)
+            elif fmt == "r":
+                if name == "MOVSR":  # MOVSR SRNAME, Rs
+                    self._want(ops, 2)
+                    dst = registers.sr_index(ops[0])
+                    src = self._reg(ops[1])
+                elif name == "MOVRS":  # MOVRS Rd, SRNAME
+                    self._want(ops, 2)
+                    dst = self._reg(ops[0])
+                    src = registers.sr_index(ops[1])
+                elif name in ("JR", "CALLR"):
+                    self._want(ops, 1)
+                    dst = self._reg(ops[0])
+                elif name in ("NOT", "NEG", "INC", "DEC", "PUSH", "POP"):
+                    self._want(ops, 1)
+                    dst = self._reg(ops[0])
+                elif spec.iclass == "fp":
+                    self._want(ops, 2)
+                    dst = self._anyreg(ops[0])
+                    src = self._anyreg(ops[1])
+                else:
+                    self._want(ops, 2)
+                    dst = self._reg(ops[0])
+                    src = self._reg(ops[1])
+            elif fmt in ("ri8", "ri32"):
+                self._want(ops, 2)
+                dst = self._reg(ops[0])
+                imm = self._int_or_label(ops[1])
+            elif fmt == "i8":
+                self._want(ops, 1)
+                imm = self._int(ops[0])
+            elif fmt == "m":
+                if name == "LOOP":  # LOOP Rc, label
+                    self._want(ops, 2)
+                    dst = self._reg(ops[0])
+                    imm = self._int_or_label(ops[1])
+                    imm_is_rel = True
+                elif name in ("ST", "STB", "FST"):  # ST [Rb+d], Rs
+                    self._want(ops, 2)
+                    src, disp = self._mem(ops[0])
+                    dst = self._anyreg(ops[1])
+                    imm = disp
+                else:  # LD Rd, [Rb+d]
+                    self._want(ops, 2)
+                    dst = self._anyreg(ops[0])
+                    src, imm = self._mem(ops[1])
+            elif fmt == "rel16":
+                self._want(ops, 1)
+                imm = self._int_or_label(ops[0])
+                imm_is_rel = True
+            elif fmt == "port":
+                if name == "OUT":  # OUT port, Rs
+                    self._want(ops, 2)
+                    imm = self._int(ops[0])
+                    dst = self._reg(ops[1])
+                else:  # IN Rd, port
+                    self._want(ops, 2)
+                    dst = self._reg(ops[0])
+                    imm = self._int(ops[1])
+        except AssemblerError:
+            raise
+        except ValueError as exc:
+            self._err(str(exc))
+        return dst, src, imm, imm_is_rel
+
+    def _mem(self, text: str) -> Tuple[int, Union[int, str]]:
+        match = _MEM_RE.match(text.strip())
+        if not match:
+            self._err("bad memory operand %r" % text)
+        base = self._reg(match.group(1))
+        disp: Union[int, str] = 0
+        if match.group(3) is not None:
+            disp = self._int(match.group(3))
+            if match.group(2) == "-":
+                disp = -disp
+        return base, disp
+
+    def _reg(self, text: str) -> int:
+        return registers.gpr_index(text.strip())
+
+    def _anyreg(self, text: str) -> int:
+        text = text.strip().upper()
+        if text.startswith("F") and text[1:].isdigit():
+            return registers.fpr_index(text)
+        return registers.gpr_index(text)
+
+    def _int(self, text) -> int:
+        if isinstance(text, int):
+            return text
+        text = text.strip()
+        try:
+            return int(text, 0)
+        except ValueError:
+            self._err("expected integer, got %r" % text)
+
+    def _int_or_label(self, text) -> Union[int, str]:
+        if isinstance(text, int):
+            return text
+        text = text.strip()
+        try:
+            return int(text, 0)
+        except ValueError:
+            if _LABEL_RE.match(text):
+                return text
+            self._err("expected integer or label, got %r" % text)
+
+    def _want(self, ops: List[str], count: int) -> None:
+        if len(ops) != count:
+            self._err("expected %d operand(s), got %d" % (count, len(ops)))
+
+    def _err(self, message: str) -> None:
+        raise AssemblerError("line %d: %s" % (self._line_no, message))
+
+    # -- pass two -----------------------------------------------------
+
+    def _finish(self) -> AssembledProgram:
+        size = self._pc - self.base
+        image = bytearray(size)
+        for item in self._data:
+            off = item.addr - self.base
+            image[off : off + len(item.data)] = item.data
+        for pending in self._instrs:
+            if pending.name == ".wordfix":
+                value = self._resolve(pending.imm, pending.line_no)
+                off = pending.addr - self.base
+                image[off : off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+                continue
+            imm = pending.imm
+            if isinstance(imm, str):
+                imm = self._resolve(imm, pending.line_no)
+            instr = make(pending.name, pending.dst, pending.src, 0, pending.rep)
+            if pending.imm_is_rel:
+                imm = imm - (pending.addr + instr.length)
+                if not -0x8000 <= imm < 0x8000:
+                    raise AssemblerError(
+                        "line %d: branch displacement %d out of rel16 range"
+                        % (pending.line_no, imm)
+                    )
+            instr = make(pending.name, pending.dst, pending.src, imm, pending.rep)
+            blob = encode(instr)
+            off = pending.addr - self.base
+            image[off : off + len(blob)] = blob
+        return AssembledProgram(bytes(image), self.base, dict(self._symbols))
+
+    def _resolve(self, label: str, line_no: int) -> int:
+        if label not in self._symbols:
+            raise AssemblerError("line %d: undefined label %r" % (line_no, label))
+        return self._symbols[label]
+
+
+def assemble(source: str, base: int = 0) -> AssembledProgram:
+    """Assemble *source* at load address *base*."""
+    return Assembler(base=base).run(source)

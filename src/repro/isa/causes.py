@@ -1,0 +1,35 @@
+"""Exception and interrupt cause codes shared by hardware and FastOS."""
+
+from __future__ import annotations
+
+CAUSE_NONE = 0
+CAUSE_TLB_MISS = 1
+CAUSE_DIV_ZERO = 2
+CAUSE_SYSCALL = 3
+CAUSE_TIMER_IRQ = 4
+CAUSE_DEVICE_IRQ = 5
+CAUSE_INVALID_OPCODE = 6
+CAUSE_PROTECTION = 7
+CAUSE_SOFT_INT = 8  # INT imm8; the immediate is stored in bits 8..15
+
+CAUSE_NAMES = {
+    CAUSE_NONE: "none",
+    CAUSE_TLB_MISS: "tlb-miss",
+    CAUSE_DIV_ZERO: "div-zero",
+    CAUSE_SYSCALL: "syscall",
+    CAUSE_TIMER_IRQ: "timer-irq",
+    CAUSE_DEVICE_IRQ: "device-irq",
+    CAUSE_INVALID_OPCODE: "invalid-opcode",
+    CAUSE_PROTECTION: "protection",
+    CAUSE_SOFT_INT: "soft-int",
+}
+
+# Interrupt causes are asynchronous; exceptions are synchronous with a
+# particular instruction.  The timing model uses this distinction when it
+# decides *when* to signal the functional model (section 3.4 of the paper).
+INTERRUPT_CAUSES = frozenset({CAUSE_TIMER_IRQ, CAUSE_DEVICE_IRQ})
+
+
+def is_interrupt(cause: int) -> bool:
+    """True if *cause* is an asynchronous interrupt rather than an exception."""
+    return (cause & 0xFF) in INTERRUPT_CAUSES

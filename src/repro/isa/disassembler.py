@@ -1,0 +1,84 @@
+"""Disassembler for FastISA: turns Instr objects / byte streams into text."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.isa import registers
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instr
+
+
+def _gpr(index: int) -> str:
+    return registers.GPR_NAMES[index & 7]
+
+
+def _fpr(index: int) -> str:
+    return registers.FPR_NAMES[index & 7]
+
+
+def _sr(index: int) -> str:
+    if index < len(registers.SR_NAMES):
+        return registers.SR_NAMES[index]
+    return "SR%d" % index
+
+
+def format_instr(instr: Instr, pc: int = None) -> str:
+    """Render one instruction.  If *pc* is given, branch targets are
+    shown as absolute addresses."""
+    spec = instr.spec
+    name = spec.name
+    prefix = "REP " if instr.rep else ""
+    fmt = spec.fmt
+    if fmt == "none":
+        body = name
+    elif fmt == "r":
+        if name == "MOVSR":
+            body = "%s %s, %s" % (name, _sr(instr.dst), _gpr(instr.src))
+        elif name == "MOVRS":
+            body = "%s %s, %s" % (name, _gpr(instr.dst), _sr(instr.src))
+        elif name in ("JR", "CALLR", "NOT", "NEG", "INC", "DEC", "PUSH", "POP"):
+            body = "%s %s" % (name, _gpr(instr.dst))
+        elif spec.iclass == "fp":
+            body = "%s %s, %s" % (name, _fpr(instr.dst), _fpr(instr.src))
+        else:
+            body = "%s %s, %s" % (name, _gpr(instr.dst), _gpr(instr.src))
+    elif fmt in ("ri8", "ri32"):
+        body = "%s %s, %d" % (name, _gpr(instr.dst), instr.imm)
+    elif fmt == "i8":
+        body = "%s %d" % (name, instr.imm)
+    elif fmt == "m":
+        if name == "LOOP":
+            target = instr.imm if pc is None else instr.branch_target(pc)
+            body = "%s %s, %#x" % (name, _gpr(instr.dst), target)
+        elif name in ("ST", "STB"):
+            body = "%s [%s%+d], %s" % (name, _gpr(instr.src), instr.imm, _gpr(instr.dst))
+        elif name == "FST":
+            body = "%s [%s%+d], %s" % (name, _gpr(instr.src), instr.imm, _fpr(instr.dst))
+        elif name == "FLD":
+            body = "%s %s, [%s%+d]" % (name, _fpr(instr.dst), _gpr(instr.src), instr.imm)
+        else:
+            body = "%s %s, [%s%+d]" % (name, _gpr(instr.dst), _gpr(instr.src), instr.imm)
+    elif fmt == "rel16":
+        if pc is None:
+            body = "%s %+d" % (name, instr.imm)
+        else:
+            body = "%s %#x" % (name, instr.branch_target(pc))
+    elif fmt == "port":
+        if name == "OUT":
+            body = "%s %#x, %s" % (name, instr.imm, _gpr(instr.dst))
+        else:
+            body = "%s %s, %#x" % (name, _gpr(instr.dst), instr.imm)
+    else:  # pragma: no cover
+        body = name
+    return prefix + body
+
+
+def disassemble(data: bytes, base: int = 0) -> Iterator[Tuple[int, Instr, str]]:
+    """Yield ``(address, instr, text)`` for each instruction in *data*."""
+    offset = 0
+    while offset < len(data):
+        instr, length = decode(data, offset)
+        addr = base + offset
+        yield addr, instr, format_instr(instr, pc=addr)
+        offset += length

@@ -1,0 +1,78 @@
+"""Decoded-instruction representation for FastISA.
+
+A :class:`Instr` is the result of decoding raw bytes (or of assembling a
+source line).  Operand fields are interpreted according to the opcode
+format:
+
+* ``r``      -- ``dst`` and ``src`` are register indices.  For ``MOVSR``
+  the destination is a special-register index; for ``MOVRS`` the source
+  is.  ``JR``/``CALLR`` take their target in ``dst``.
+* ``ri8``/``ri32`` -- ``dst`` is a register, ``imm`` the immediate.
+* ``m``      -- ``dst`` is the data register (destination for loads,
+  source for stores), ``src`` the base register, ``imm`` the signed
+  16-bit displacement.  ``LOOP`` uses ``dst`` as the counter and ``imm``
+  as a branch displacement.
+* ``rel16``  -- ``imm`` is a signed offset relative to the *next*
+  instruction.
+* ``port``   -- ``dst`` is the data register, ``imm`` the 16-bit port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import OpSpec
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded FastISA instruction."""
+
+    spec: OpSpec
+    dst: int = 0
+    src: int = 0
+    imm: int = 0
+    rep: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def length(self) -> int:
+        """Encoded length in bytes, including the REP prefix if present."""
+        return self.spec.length + (1 if self.rep else 0)
+
+    @property
+    def is_control(self) -> bool:
+        return self.spec.is_control
+
+    def branch_target(self, pc: int) -> int:
+        """Target address of a PC-relative control instruction at *pc*."""
+        return (pc + self.length + self.imm) & 0xFFFFFFFF
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.isa.disassembler import format_instr
+
+        return format_instr(self)
+
+
+@dataclass
+class DecodedBlock:
+    """A run of instructions decoded from consecutive addresses.
+
+    The functional model's translation cache stores these, mirroring
+    QEMU's translated basic blocks.  A block ends at the first control
+    instruction or at ``max_len`` instructions.
+    """
+
+    start: int
+    instrs: list = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(i.length for i in self.instrs)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size_bytes

@@ -1,0 +1,62 @@
+"""Program images: loadable segments plus an entry point and symbols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.assembler import AssembledProgram, assemble
+
+
+@dataclass
+class Segment:
+    """One contiguous region of bytes at a load address."""
+
+    base: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+
+@dataclass
+class ProgramImage:
+    """A loadable program: segments, entry PC and a symbol table.
+
+    Both FastOS kernel images and user workloads are ProgramImages; the
+    functional model's loader copies each segment into physical memory
+    and sets the PC to ``entry``.
+    """
+
+    name: str
+    segments: List[Segment] = field(default_factory=list)
+    entry: int = 0
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_assembly(
+        cls, name: str, source: str, base: int = 0, entry: Optional[str] = None
+    ) -> "ProgramImage":
+        """Assemble *source* into a single-segment image.
+
+        *entry* names a label to start at; defaults to the load base.
+        """
+        assembled: AssembledProgram = assemble(source, base=base)
+        entry_addr = assembled.symbols[entry] if entry else base
+        return cls(
+            name=name,
+            segments=[Segment(base, assembled.data)],
+            entry=entry_addr,
+            symbols=dict(assembled.symbols),
+        )
+
+    def add_segment(self, base: int, data: bytes) -> None:
+        self.segments.append(Segment(base, data))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(seg.data) for seg in self.segments)
+
+    def symbol(self, name: str) -> int:
+        return self.symbols[name]

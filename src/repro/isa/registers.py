@@ -1,0 +1,100 @@
+"""Architectural register definitions for FastISA.
+
+FastISA is the synthetic, variable-length CISC instruction set this
+reproduction uses as its x86 stand-in (see DESIGN.md section 2).  It has
+eight 32-bit general-purpose registers, eight floating-point registers,
+a flags register with the usual Z/N/C/V condition codes, and a small set
+of special (privileged) registers used by the FastOS kernel for
+exception handling and software TLB refill.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# General-purpose registers.
+#
+# R6 is used by convention as the frame pointer and R7 as the stack
+# pointer (the PUSH/POP/CALL/RET microcode hard-codes R7, mirroring how
+# x86 hard-codes ESP).
+# ---------------------------------------------------------------------------
+NUM_GPRS = 8
+GPR_NAMES = tuple("R%d" % i for i in range(NUM_GPRS))
+FP = 6
+SP = 7
+
+# Floating-point register file (F0..F7).
+NUM_FPRS = 8
+FPR_NAMES = tuple("F%d" % i for i in range(NUM_FPRS))
+
+# ---------------------------------------------------------------------------
+# Flags register bit positions.
+# ---------------------------------------------------------------------------
+FLAG_Z = 1 << 0  # zero
+FLAG_N = 1 << 1  # negative (sign)
+FLAG_C = 1 << 2  # carry
+FLAG_V = 1 << 3  # overflow
+
+FLAG_NAMES = {FLAG_Z: "Z", FLAG_N: "N", FLAG_C: "C", FLAG_V: "V"}
+
+# ---------------------------------------------------------------------------
+# Special registers, accessed with MOVSR/MOVRS.  Indices are encoded in
+# the instruction's mod byte.
+# ---------------------------------------------------------------------------
+SR_STATUS = 0  # bit 0: interrupt enable, bit 1: kernel mode
+SR_EPC = 1  # exception return PC
+SR_CAUSE = 2  # exception cause code (see repro.isa.causes)
+SR_BADVADDR = 3  # faulting virtual address for TLB misses
+SR_KSP = 4  # kernel stack pointer save slot
+SR_SCRATCH0 = 5
+SR_SCRATCH1 = 6
+SR_CYCLE = 7  # free-running instruction counter (read-only)
+SR_FLAGS = 8  # alias of the flags register, for context save/restore
+SR_SCRATCH2 = 9
+
+NUM_SRS = 10
+SR_NAMES = (
+    "STATUS",
+    "EPC",
+    "CAUSE",
+    "BADVADDR",
+    "KSP",
+    "SCRATCH0",
+    "SCRATCH1",
+    "CYCLE",
+    "FLAGS",
+    "SCRATCH2",
+)
+
+STATUS_IE = 1 << 0  # interrupts enabled
+STATUS_KERNEL = 1 << 1  # privileged mode
+
+
+def gpr_index(name: str) -> int:
+    """Return the register index for a GPR name such as ``"R3"``.
+
+    Raises ``ValueError`` for unknown names.
+    """
+    name = name.upper()
+    if name == "SP":
+        return SP
+    if name == "FP":
+        return FP
+    if name in GPR_NAMES:
+        return GPR_NAMES.index(name)
+    raise ValueError("unknown GPR name: %r" % (name,))
+
+
+def fpr_index(name: str) -> int:
+    """Return the register index for an FPR name such as ``"F2"``."""
+    name = name.upper()
+    if name in FPR_NAMES:
+        return FPR_NAMES.index(name)
+    raise ValueError("unknown FPR name: %r" % (name,))
+
+
+def sr_index(name: str) -> int:
+    """Return the index of a special register by name (e.g. ``"EPC"``)."""
+    name = name.upper()
+    if name in SR_NAMES:
+        return SR_NAMES.index(name)
+    raise ValueError("unknown special register: %r" % (name,))

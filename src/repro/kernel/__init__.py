@@ -1,0 +1,32 @@
+"""FastOS: the synthetic bootable operating system (BIOS, kernel,
+scheduler, syscalls) the workloads run on."""
+
+from repro.kernel import layout
+from repro.kernel.image import (
+    ImageError,
+    UserProgram,
+    boot_system,
+    build_os_image,
+    rle_compress,
+    rle_decompress,
+)
+from repro.kernel.sources import (
+    KernelConfig,
+    linux24_config,
+    linux26_config,
+    windowsxp_config,
+)
+
+__all__ = [
+    "ImageError",
+    "KernelConfig",
+    "UserProgram",
+    "boot_system",
+    "build_os_image",
+    "layout",
+    "linux24_config",
+    "linux26_config",
+    "rle_compress",
+    "rle_decompress",
+    "windowsxp_config",
+]

@@ -1,0 +1,59 @@
+"""Physical/virtual memory layout constants shared by FastOS and the
+image builder."""
+
+from __future__ import annotations
+
+# Physical layout.
+RESET_VECTOR = 0x0000  # JMP bios_start
+EXC_VECTOR = 0x0040  # JMP kernel handler trampoline
+BIOS_BASE = 0x0100  # up to ~28 KB of one-shot BIOS code
+DECOMP_BASE = 0x7000  # literal/run decompressor
+BOOTINFO = 0x7800  # nproc + per-process descriptors
+DISK_BUF = 0x7A00  # kernel bounce buffer for disk DMA
+BIOS_STACK = 0x7F00
+KERNEL_BASE = 0x8000  # decompressed kernel lands here
+MEMTEST_BASE = 0x14000  # BIOS memory-test scratch area
+KERNEL_HANDLER_TRAMP = KERNEL_BASE + 3  # JMP kmain is 3 bytes
+PT_BASE = 0x18000  # page tables, 256 B stride per process
+PAYLOAD_BASE = 0x20000  # RLE-compressed kernel payload
+USER_PHYS_BASE = 0x200000  # process i at USER_PHYS_BASE + i*USER_PHYS_STRIDE
+USER_PHYS_STRIDE = 0x40000  # 256 KB per process
+
+# Virtual layout (per process; all processes share the same window).
+VBASE = 0x400000
+NPAGES = 64  # 64 x 4 KB = 256 KB mapped per process
+USER_STACK_TOP = VBASE + NPAGES * 4096
+
+MAX_PROCS = 8
+
+# Boot-info block format: word[0] = nproc; then per process 4 words:
+# phys_base, size_bytes, entry_offset, reserved.
+BI_ENTRIES = BOOTINFO + 4
+BI_STRIDE = 16
+
+# Syscall numbers (R0 = number, args in R1..R3, result in R0).
+SYS_EXIT = 0
+SYS_PUTCHAR = 1
+SYS_SLEEP = 2
+SYS_TIME = 3
+SYS_YIELD = 4
+SYS_READ_DISK = 5
+SYS_GETPID = 6
+
+# PCB field offsets (64 bytes per PCB).
+PCB_R0 = 0  # ..PCB_R7 = 28
+PCB_FLAGS = 32
+PCB_EPC = 36
+PCB_STATE = 40
+PCB_WAKE = 44
+PCB_PTBASE = 48
+PCB_VBASE = 52
+PCB_PHYS = 56
+PCB_NPAGES = 60
+PCB_SIZE = 64
+
+PROC_FREE = 0
+PROC_READY = 1
+PROC_RUNNING = 2
+PROC_BLOCKED = 3
+PROC_DEAD = 4

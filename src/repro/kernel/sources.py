@@ -1,0 +1,763 @@
+"""FastOS assembly sources.
+
+Two assembly units:
+
+* the **boot unit** (reset vector, exception-vector stub, BIOS, RLE
+  decompressor) assembled at physical 0, and
+* the **kernel unit** (handlers, scheduler, syscalls) assembled at
+  ``KERNEL_BASE`` and shipped RLE-compressed; the BIOS decompresses it
+  at boot, which is the "kernel being decompressed" phase visible in
+  the paper's Figure 6 statistic trace.
+
+Both are generated as text so per-variant knobs (BIOS length, device
+probes, banner) can be spliced in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.kernel import layout as L
+
+
+@dataclass
+class KernelConfig:
+    """Per-OS-variant boot/kernel parameters.
+
+    The three stock variants model the paper's guests: Linux 2.4,
+    Linux 2.6 and Windows XP ("Windows ... uses a wider range of
+    instructions and touches more devices than Linux does").
+    """
+
+    name: str = "linux-2.4"
+    banner: str = "FastOS/linux-2.4\n"
+    bios_memtest_words: int = 600
+    # One-shot branchy configuration blocks: "the BIOS ... is comprised
+    # of many branches that are executed only once", giving Figure 6's
+    # poorly-predicted opening phase.
+    bios_branch_blocks: int = 400
+    probe_ports: List[int] = field(
+        default_factory=lambda: [0x10, 0x20, 0x30, 0x50]
+    )
+    probe_rounds: int = 1
+    boot_disk_reads: int = 1
+    timer_interval: int = 10000
+    decompress_pad: int = 2048  # extra zero bytes to decompress (boot work)
+
+
+def linux24_config() -> KernelConfig:
+    return KernelConfig()
+
+
+def linux26_config() -> KernelConfig:
+    return KernelConfig(
+        name="linux-2.6",
+        banner="FastOS/linux-2.6\n",
+        bios_memtest_words=800,
+        bios_branch_blocks=550,
+        probe_rounds=2,
+        decompress_pad=4096,
+    )
+
+
+def windowsxp_config() -> KernelConfig:
+    return KernelConfig(
+        name="windows-xp",
+        banner="FastOS/windows-xp\n",
+        bios_memtest_words=1600,
+        bios_branch_blocks=900,
+        probe_ports=[0x10, 0x11, 0x20, 0x21, 0x22, 0x30, 0x31, 0x32, 0x33,
+                     0x50, 0x51],
+        probe_rounds=3,
+        boot_disk_reads=4,
+        decompress_pad=12288,
+    )
+
+
+def boot_source(config: KernelConfig, payload_end: int) -> str:
+    """Assembly for the boot unit (BIOS + decompressor) at base 0."""
+    import random
+    import zlib
+
+    # Stable seed: hash(str) is randomized per process, which would make
+    # boot images (and therefore whole simulations) irreproducible.
+    rng = random.Random(zlib.crc32(config.name.encode()) & 0xFFFF)
+    branch_blocks = []
+    for i in range(config.bios_branch_blocks):
+        cc = rng.choice(["JZ", "JNZ", "JC", "JNC", "JL", "JGE"])
+        branch_blocks.append(
+            """
+    ADDI R2, %(add)d
+    CMPI R2, %(cmp)d
+    %(cc)s bios_blk_%(i)d
+    XORI R2, %(xor)d
+bios_blk_%(i)d:"""
+            % {
+                "i": i,
+                "add": rng.randrange(1, 1 << 12),
+                "cmp": rng.randrange(1 << 16),
+                "xor": rng.randrange(1, 1 << 12),
+                "cc": cc,
+            }
+        )
+    branch_text = "\n".join(branch_blocks)
+
+    probes = []
+    for round_no in range(config.probe_rounds):
+        for i, port in enumerate(config.probe_ports):
+            skip = "probe_skip_%d_%d" % (round_no, i)
+            probes.append(
+                """
+    IN R2, %#x
+    CMPI R2, 0xDEAD
+    JZ %s
+    INC R3
+%s:""" % (port, skip, skip)
+            )
+    probe_text = "\n".join(probes)
+
+    disk_reads = []
+    for i in range(config.boot_disk_reads):
+        disk_reads.append(
+            """
+    MOVI R2, %d
+    OUT 0x31, R2          ; sector
+    MOVI R2, %#x
+    OUT 0x32, R2          ; DMA address
+    MOVI R2, 1
+    OUT 0x30, R2          ; command: read
+bios_disk_poll_%d:
+    IN R2, 0x33
+    CMPI R2, 2
+    JNZ bios_disk_poll_%d""" % (i, L.DISK_BUF, i, i)
+        )
+    disk_text = "\n".join(disk_reads)
+
+    return """
+; ---- FastOS boot unit: reset vector, BIOS and kernel decompressor ----
+.org %(reset)#x
+    JMP bios_start
+.org %(vector)#x
+    JMP %(tramp)#x        ; exception/interrupt trampoline into the kernel
+.org %(bios)#x
+bios_start:
+    MOVI SP, %(bios_stack)#x
+    MOVI R3, 0            ; devices found
+    ; --- memory test: write/read-back a pattern over a scratch region ---
+    MOVI R0, %(memtest)#x
+    MOVI R1, %(memtest_words)d
+bios_mt_loop:
+    MOV R2, R1
+    SHL R2, 3
+    XORI R2, 0x5A5A5A5A
+    ST [R0+0], R2
+    LD R4, [R0+0]
+    CMP R2, R4
+    JNZ bios_mt_fail
+    ADDI R0, 4
+    DEC R1
+    JNZ bios_mt_loop
+    JMP bios_mt_done
+bios_mt_fail:
+    MOVI R2, 70           ; 'F'
+    OUT 0x10, R2
+bios_mt_done:
+    ; --- one-shot configuration blocks (cold branches) ---
+    MOVI R2, 0x5EED
+%(branch_blocks)s
+    ; --- device probes: straight-line, one-shot branches ---
+%(probes)s
+    ; --- boot-sector disk reads (PIO polling) ---
+%(disk_reads)s
+    JMP decompress
+.org %(decomp)#x
+decompress:
+    ; Decompress the literal/run-encoded kernel payload to KERNEL_BASE.
+    ; The long literal-copy inner loop is the flat, predictable phase
+    ; visible in the Figure 6 statistic trace.
+    MOVI R0, %(payload)#x
+    MOVI R1, %(kernel)#x
+dc_loop:
+    LDB R3, [R0+0]        ; op byte
+    CMPI R3, 1
+    JZ dc_literal
+    CMPI R3, 2
+    JZ dc_run
+    JMP %(kernel)#x       ; op 0: done, enter the kernel
+dc_literal:
+    LDB R3, [R0+1]
+    LDB R4, [R0+2]
+    SHL R4, 8
+    ADD R3, R4            ; length
+    ADDI R0, 3
+dc_copy:
+    LDB R4, [R0+0]
+    STB [R1+0], R4
+    INC R0
+    INC R1
+    DEC R3
+    JNZ dc_copy
+    JMP dc_loop
+dc_run:
+    LDB R3, [R0+1]
+    LDB R4, [R0+2]
+    SHL R4, 8
+    ADD R3, R4            ; length
+    LDB R4, [R0+3]        ; fill value
+    ADDI R0, 4
+dc_fill:
+    STB [R1+0], R4
+    INC R1
+    DEC R3
+    JNZ dc_fill
+    JMP dc_loop
+""" % {
+        "reset": L.RESET_VECTOR,
+        "vector": L.EXC_VECTOR,
+        "tramp": L.KERNEL_HANDLER_TRAMP,
+        "bios": L.BIOS_BASE,
+        "bios_stack": L.BIOS_STACK,
+        "memtest": L.MEMTEST_BASE,
+        "memtest_words": config.bios_memtest_words,
+        "branch_blocks": branch_text,
+        "probes": probe_text,
+        "disk_reads": disk_text,
+        "decomp": L.DECOMP_BASE,
+        "payload": L.PAYLOAD_BASE,
+        "payload_end": payload_end,
+        "kernel": L.KERNEL_BASE,
+    }
+
+
+def kernel_source(config: KernelConfig) -> str:
+    """Assembly for the kernel unit at KERNEL_BASE."""
+    banner_bytes = ", ".join(str(b) for b in config.banner.encode("latin-1"))
+    return """
+; ---- FastOS kernel: handlers, scheduler, syscalls ----
+.org %(kernel)#x
+kernel_entry:
+    JMP kmain
+handler_tramp:            ; must sit at KERNEL_BASE+3 (the vector stub
+    JMP khandler          ; jumps here)
+
+; =====================================================================
+; kmain: kernel initialisation
+; =====================================================================
+kmain:
+    MOVI SP, kstack_top
+    ; Mark "no user context yet" so an early interrupt never saves over
+    ; a PCB.
+    MOVI R0, 1
+    MOVI R1, g_in_idle
+    ST [R1+0], R0
+    MOVI R0, 0
+    MOVI R1, g_tick
+    ST [R1+0], R0
+    MOVI R1, g_current
+    ST [R1+0], R0
+    ; read boot info
+    MOVI R1, %(bootinfo)#x
+    LD R2, [R1+0]
+    MOVI R1, g_nproc
+    ST [R1+0], R2
+    MOVI R1, g_alive
+    ST [R1+0], R2
+    DEC R2                ; curpid = nproc-1 so the first pick is pid 0
+    MOVI R1, g_curpid
+    ST [R1+0], R2
+    ; print banner
+    MOVI R5, banner
+kmain_banner:
+    LDB R2, [R5+0]
+    CMPI R2, 0
+    JZ kmain_banner_done
+    OUT 0x10, R2
+    INC R5
+    JMP kmain_banner
+kmain_banner_done:
+    ; ----- per-process init: page tables + PCBs -----
+    MOVI R4, 0            ; i
+pi_loop:
+    MOVI R0, g_nproc
+    LD R0, [R0+0]
+    CMP R4, R0
+    JGE pi_done
+    MOV R5, R4
+    SHL R5, 4
+    ADDI R5, %(bi_entries)#x
+    LD R6, [R5+0]         ; phys_base
+    LD R5, [R5+8]         ; entry offset
+    ; pcb = pcbs + i*64
+    MOV R3, R4
+    SHL R3, 6
+    ADDI R3, pcbs
+    MOVI R1, 0
+    ST [R3+0], R1
+    ST [R3+4], R1
+    ST [R3+8], R1
+    ST [R3+12], R1
+    ST [R3+16], R1
+    ST [R3+20], R1
+    ST [R3+24], R1
+    ST [R3+%(pcb_flags)d], R1
+    ST [R3+%(pcb_wake)d], R1
+    MOVI R1, %(user_stack_top)#x
+    ST [R3+28], R1        ; user SP
+    MOVI R1, %(vbase)#x
+    ADD R1, R5
+    ST [R3+%(pcb_epc)d], R1
+    MOVI R1, %(ready)d
+    ST [R3+%(pcb_state)d], R1
+    MOV R1, R4
+    SHL R1, 8
+    ADDI R1, %(pt_base)#x
+    ST [R3+%(pcb_ptbase)d], R1
+    MOVI R2, %(vbase)#x
+    ST [R3+%(pcb_vbase)d], R2
+    ST [R3+%(pcb_phys)d], R6
+    MOVI R2, %(npages)d
+    ST [R3+%(pcb_npages)d], R2
+    ; build the page table: pte = ((phys>>12 + j) << 12) | VALID|WRITE
+    MOVI R2, 0
+pi_pt:
+    CMPI R2, %(npages)d
+    JGE pi_pt_done
+    MOV R0, R6
+    SHR R0, 12
+    ADD R0, R2
+    SHL R0, 12
+    ORI R0, 3
+    MOV R5, R2
+    SHL R5, 2
+    ADD R5, R1
+    ST [R5+0], R0
+    INC R2
+    JMP pi_pt
+pi_pt_done:
+    INC R4
+    JMP pi_loop
+pi_done:
+    ; program timer and enable its interrupt line
+    MOVI R0, %(timer_interval)d
+    OUT 0x21, R0
+    MOVI R0, 1
+    OUT 0x20, R0
+    OUT 0x51, R0
+    ; run the first process
+    CALL sched_pick
+    CMPI R0, 0
+    JZ go_idle
+    JMP dispatch
+
+; =====================================================================
+; khandler: common exception/interrupt entry
+; =====================================================================
+khandler:
+    MOVSR SCRATCH0, R0
+    MOVRS R0, FLAGS
+    MOVSR SCRATCH1, R0
+    MOVI R0, g_in_idle
+    LD R0, [R0+0]
+    CMPI R0, 0
+    JNZ handler_dispatch  ; idle/boot context is disposable: skip save
+    MOVI R0, g_current
+    LD R0, [R0+0]
+    ST [R0+4], R1
+    ST [R0+8], R2
+    ST [R0+12], R3
+    ST [R0+16], R4
+    ST [R0+20], R5
+    ST [R0+24], R6
+    ST [R0+28], R7
+    MOVRS R1, SCRATCH0
+    ST [R0+0], R1
+    MOVRS R1, SCRATCH1
+    ST [R0+%(pcb_flags)d], R1
+    MOVRS R1, EPC
+    ST [R0+%(pcb_epc)d], R1
+handler_dispatch:
+    MOVI SP, kstack_top
+    MOVRS R1, CAUSE
+    ANDI R1, 0xFF
+    CMPI R1, 4
+    JZ h_timer
+    CMPI R1, 3
+    JZ h_syscall
+    CMPI R1, 1
+    JZ h_tlbmiss
+    CMPI R1, 5
+    JZ h_device
+    CMPI R1, 2
+    JZ h_kill             ; divide by zero: kill process
+    CMPI R1, 7
+    JZ h_kill             ; protection fault: kill process
+    JMP h_fatal
+
+; ----- timer interrupt ------------------------------------------------
+h_timer:
+    IN R1, 0x50
+    OUT 0x50, R1          ; acknowledge everything pending
+    MOVI R1, g_tick
+    LD R2, [R1+0]
+    INC R2
+    ST [R1+0], R2
+    CALL wake_sleepers
+    ; preempt the current process (running -> ready), unless idle
+    MOVI R1, g_in_idle
+    LD R1, [R1+0]
+    CMPI R1, 0
+    JNZ h_pick
+    MOVI R1, g_current
+    LD R1, [R1+0]
+    LD R2, [R1+%(pcb_state)d]
+    CMPI R2, %(running)d
+    JNZ h_pick
+    MOVI R2, %(ready)d
+    ST [R1+%(pcb_state)d], R2
+h_pick:
+    CALL sched_pick
+    CMPI R0, 0
+    JZ go_idle
+    JMP dispatch
+
+h_device:
+    IN R1, 0x50
+    ANDI R1, 0xFFFFFFFE   ; never ack the timer line here
+    OUT 0x50, R1          ; ack; disk I/O is polled synchronously
+    MOVI R1, g_in_idle
+    LD R1, [R1+0]
+    CMPI R1, 0
+    JNZ go_idle           ; interrupted the idle loop: stay idle
+    JMP h_resume_current
+
+; ----- TLB refill -----------------------------------------------------
+h_tlbmiss:
+    MOVI R0, g_current
+    LD R0, [R0+0]
+    MOVRS R1, BADVADDR
+    SHR R1, 12            ; vpn
+    LD R2, [R0+%(pcb_vbase)d]
+    SHR R2, 12
+    MOV R3, R1
+    SUB R3, R2
+    JC h_kill             ; below the window
+    LD R4, [R0+%(pcb_npages)d]
+    CMP R3, R4
+    JGE h_kill            ; beyond the window
+    SHL R3, 2
+    LD R2, [R0+%(pcb_ptbase)d]
+    ADD R2, R3
+    LD R4, [R2+0]
+    CMPI R4, 0
+    JZ h_kill
+    TLBWR R1, R4
+    JMP h_resume_current
+
+; ----- syscalls --------------------------------------------------------
+h_syscall:
+    MOVI R0, g_current
+    LD R0, [R0+0]
+    LD R1, [R0+0]         ; syscall number (user R0)
+    CMPI R1, %(sys_putchar)d
+    JZ sys_putchar
+    CMPI R1, %(sys_exit)d
+    JZ h_kill_quiet
+    CMPI R1, %(sys_sleep)d
+    JZ sys_sleep
+    CMPI R1, %(sys_time)d
+    JZ sys_time
+    CMPI R1, %(sys_yield)d
+    JZ sys_yield
+    CMPI R1, %(sys_read_disk)d
+    JZ sys_read_disk
+    CMPI R1, %(sys_getpid)d
+    JZ sys_getpid
+    MOVI R2, 0xFFFFFFFF   ; unknown syscall: return -1
+    ST [R0+0], R2
+    JMP h_resume_current
+
+sys_putchar:
+    LD R2, [R0+4]
+    OUT 0x10, R2
+    JMP h_resume_current
+
+sys_time:
+    MOVI R2, g_tick
+    LD R2, [R2+0]
+    ST [R0+0], R2
+    JMP h_resume_current
+
+sys_getpid:
+    MOV R2, R0
+    SUBI R2, pcbs
+    SHR R2, 6
+    ST [R0+0], R2
+    JMP h_resume_current
+
+sys_yield:
+    MOVI R2, %(ready)d
+    ST [R0+%(pcb_state)d], R2
+    JMP h_pick
+
+sys_sleep:
+    LD R2, [R0+4]         ; ticks to sleep
+    MOVI R3, g_tick
+    LD R3, [R3+0]
+    ADD R3, R2
+    ST [R0+%(pcb_wake)d], R3
+    MOVI R2, %(blocked)d
+    ST [R0+%(pcb_state)d], R2
+    JMP h_pick
+
+sys_read_disk:
+    LD R2, [R0+4]         ; sector
+    OUT 0x31, R2
+    MOVI R2, %(disk_buf)#x
+    OUT 0x32, R2
+    MOVI R2, 1
+    OUT 0x30, R2
+rd_poll:
+    IN R2, 0x33
+    CMPI R2, 2
+    JNZ rd_poll
+    LD R1, [R0+8]         ; user destination vaddr
+    CALL virt2phys
+    CMPI R1, 0
+    JZ h_kill
+    ; word-wise copy of the sector (memcpy by words, like real kernels)
+    MOVI R3, %(disk_buf)#x
+    MOVI R2, 128
+rd_copy:
+    LD R4, [R3+0]
+    ST [R1+0], R4
+    ADDI R3, 4
+    ADDI R1, 4
+    DEC R2
+    JNZ rd_copy
+    JMP h_resume_current
+
+; ----- process death ---------------------------------------------------
+h_kill:
+    MOVI R2, 33           ; '!'
+    OUT 0x10, R2
+h_kill_quiet:
+    MOVI R0, g_current
+    LD R0, [R0+0]
+    MOVI R2, %(dead)d
+    ST [R0+%(pcb_state)d], R2
+    MOVI R1, g_alive
+    LD R2, [R1+0]
+    DEC R2
+    ST [R1+0], R2
+    JNZ h_pick
+    MOVI R1, 0
+    OUT 0x40, R1          ; all processes done: power off
+    HALT
+
+h_fatal:
+    MOVI R2, 70           ; 'F'
+    OUT 0x10, R2
+    MOVI R1, 1
+    OUT 0x40, R1
+    HALT
+
+; =====================================================================
+; dispatch / restore / idle
+; =====================================================================
+h_resume_current:
+    MOVI R0, g_current
+    LD R0, [R0+0]
+    JMP restore_context
+
+dispatch:                 ; R0 = chosen PCB
+    MOVI R1, g_in_idle
+    MOVI R2, 0
+    ST [R1+0], R2
+    MOVI R2, %(running)d
+    ST [R0+%(pcb_state)d], R2
+    ; update curpid = (pcb - pcbs) >> 6
+    MOV R2, R0
+    SUBI R2, pcbs
+    SHR R2, 6
+    MOVI R1, g_curpid
+    ST [R1+0], R2
+    ; flush the TLB only when actually switching address spaces
+    MOVI R1, g_current
+    LD R2, [R1+0]
+    CMP R2, R0
+    JZ dispatch_noflush
+    TLBFLUSH
+dispatch_noflush:
+    ST [R1+0], R0
+restore_context:          ; R0 = PCB
+    LD R1, [R0+%(pcb_epc)d]
+    MOVSR EPC, R1
+    MOVI R1, 6            ; PREV_IE=1, PREV_KERNEL=0: IRET drops to user
+    MOVSR STATUS, R1
+    LD R1, [R0+%(pcb_flags)d]
+    MOVSR FLAGS, R1
+    LD R1, [R0+4]
+    LD R2, [R0+8]
+    LD R3, [R0+12]
+    LD R4, [R0+16]
+    LD R5, [R0+20]
+    LD R6, [R0+24]
+    LD R7, [R0+28]
+    LD R0, [R0+0]
+    IRET
+
+go_idle:
+    MOVI R0, 1
+    MOVI R1, g_in_idle
+    ST [R1+0], R0
+    STI
+idle_halt:
+    HALT
+    JMP idle_halt
+
+; =====================================================================
+; subroutines
+; =====================================================================
+wake_sleepers:            ; clobbers R0-R3
+    MOVI R0, g_nproc
+    LD R0, [R0+0]
+    MOVI R1, pcbs
+    MOVI R2, g_tick
+    LD R2, [R2+0]
+ws_loop:
+    CMPI R0, 0
+    JZ ws_done
+    LD R3, [R1+%(pcb_state)d]
+    CMPI R3, %(blocked)d
+    JNZ ws_next
+    LD R3, [R1+%(pcb_wake)d]
+    CMP R2, R3
+    JC ws_next            ; tick < wake: keep sleeping
+    MOVI R3, %(ready)d
+    ST [R1+%(pcb_state)d], R3
+ws_next:
+    ADDI R1, %(pcb_size)d
+    DEC R0
+    JMP ws_loop
+ws_done:
+    RET
+
+sched_pick:               ; returns R0 = ready PCB or 0; clobbers R1-R4
+    MOVI R1, g_nproc
+    LD R1, [R1+0]
+    MOVI R2, g_curpid
+    LD R2, [R2+0]
+    MOV R3, R1            ; candidates remaining
+sp_loop:
+    CMPI R3, 0
+    JZ sp_none
+    INC R2
+    CMP R2, R1
+    JL sp_ok
+    MOVI R2, 0
+sp_ok:
+    MOV R4, R2
+    SHL R4, 6
+    ADDI R4, pcbs
+    LD R0, [R4+%(pcb_state)d]
+    CMPI R0, %(ready)d
+    JZ sp_found
+    DEC R3
+    JMP sp_loop
+sp_found:
+    MOV R0, R4
+    RET
+sp_none:
+    MOVI R0, 0
+    RET
+
+virt2phys:                ; R1 = user vaddr -> R1 = phys (0 on failure);
+    MOV R2, R1            ; preserves R0 (PCB); clobbers R2-R4
+    SHR R2, 12
+    LD R3, [R0+%(pcb_vbase)d]
+    SHR R3, 12
+    SUB R2, R3
+    JC v2p_fail
+    LD R3, [R0+%(pcb_npages)d]
+    CMP R2, R3
+    JGE v2p_fail
+    SHL R2, 2
+    LD R3, [R0+%(pcb_ptbase)d]
+    ADD R3, R2
+    LD R3, [R3+0]
+    CMPI R3, 0
+    JZ v2p_fail
+    SHR R3, 12
+    SHL R3, 12
+    MOVI R4, 0xFFF
+    AND R4, R1
+    MOV R1, R3
+    ADD R1, R4
+    RET
+v2p_fail:
+    MOVI R1, 0
+    RET
+
+; =====================================================================
+; kernel data
+; =====================================================================
+.align 4
+g_tick:
+    .word 0
+g_in_idle:
+    .word 1
+g_current:
+    .word 0
+g_curpid:
+    .word 0
+g_nproc:
+    .word 0
+g_alive:
+    .word 0
+banner:
+    .byte %(banner_bytes)s, 0
+.align 4
+pcbs:
+    .space %(pcb_space)d
+kstack:
+    .space 512
+kstack_top:
+    .word 0
+kernel_pad:
+    .space %(decompress_pad)d
+kernel_end:
+""" % {
+        "kernel": L.KERNEL_BASE,
+        "bootinfo": L.BOOTINFO,
+        "bi_entries": L.BI_ENTRIES,
+        "vbase": L.VBASE,
+        "npages": L.NPAGES,
+        "pt_base": L.PT_BASE,
+        "user_stack_top": L.USER_STACK_TOP,
+        "timer_interval": config.timer_interval,
+        "disk_buf": L.DISK_BUF,
+        "banner_bytes": banner_bytes,
+        "pcb_space": L.PCB_SIZE * L.MAX_PROCS,
+        "pcb_flags": L.PCB_FLAGS,
+        "pcb_epc": L.PCB_EPC,
+        "pcb_state": L.PCB_STATE,
+        "pcb_wake": L.PCB_WAKE,
+        "pcb_ptbase": L.PCB_PTBASE,
+        "pcb_vbase": L.PCB_VBASE,
+        "pcb_phys": L.PCB_PHYS,
+        "pcb_npages": L.PCB_NPAGES,
+        "pcb_size": L.PCB_SIZE,
+        "ready": L.PROC_READY,
+        "running": L.PROC_RUNNING,
+        "blocked": L.PROC_BLOCKED,
+        "dead": L.PROC_DEAD,
+        "sys_exit": L.SYS_EXIT,
+        "sys_putchar": L.SYS_PUTCHAR,
+        "sys_sleep": L.SYS_SLEEP,
+        "sys_time": L.SYS_TIME,
+        "sys_yield": L.SYS_YIELD,
+        "sys_read_disk": L.SYS_READ_DISK,
+        "sys_getpid": L.SYS_GETPID,
+        "decompress_pad": config.decompress_pad,
+    }

@@ -1,0 +1,43 @@
+"""Microcode: cracking CISC instructions into µops via a compiler.
+
+Public surface:
+
+* :class:`repro.microcode.uop.Uop` -- the micro-op record.
+* :class:`repro.microcode.compiler.MicrocodeCompiler` and
+  :class:`repro.microcode.compiler.MicrocodeTarget`.
+* :class:`repro.microcode.table.MicrocodeTable` -- compiled table with
+  crack-time substitution and Table 1 coverage counters.
+"""
+
+from repro.microcode.compiler import (
+    CompileResult,
+    MicrocodeCompiler,
+    MicrocodeError,
+    MicrocodeTarget,
+)
+from repro.microcode.table import CoverageCounters, MicrocodeTable
+from repro.microcode.uop import (
+    FLAGS_REG,
+    FPR_BASE,
+    NO_REG,
+    NOP_UOP,
+    NUM_UOP_REGS,
+    TEMP_BASE,
+    Uop,
+)
+
+__all__ = [
+    "CompileResult",
+    "CoverageCounters",
+    "FLAGS_REG",
+    "FPR_BASE",
+    "MicrocodeCompiler",
+    "MicrocodeError",
+    "MicrocodeTable",
+    "MicrocodeTarget",
+    "NOP_UOP",
+    "NO_REG",
+    "NUM_UOP_REGS",
+    "TEMP_BASE",
+    "Uop",
+]

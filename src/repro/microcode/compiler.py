@@ -1,0 +1,331 @@
+"""The microcode compiler.
+
+Compiles the per-instruction semantics DSL (:mod:`repro.microcode.semantics`)
+into optimized µop templates for a particular target microarchitecture.
+This reproduces the paper's microcode compiler, which exists "to ease the
+process of (i) porting new ISAs, (ii) generating new instructions and
+(iii) porting to new microarchitectures with different microcode".
+
+Pipeline:
+
+1. **Parse** the DSL into primitive statements.
+2. **Lower** primitives to µops using the target's instruction-selection
+   table (per-operation latencies and unit assignment).
+3. **Optimize**: address-generation folding into load/store µops (when
+   the target's load/store unit has an address-generation port), dead
+   flag-write elimination, and NOP removal.
+
+Templates use placeholder register ids that :class:`~repro.microcode.table.
+MicrocodeTable` substitutes per dynamic instruction.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.microcode.uop import (
+    FPR_BASE,
+    NO_REG,
+    TEMP_BASE,
+    NUM_TEMPS,
+    UOP_ALU,
+    UOP_BRANCH,
+    UOP_FP,
+    UOP_JUMP,
+    UOP_LOAD,
+    UOP_MULDIV,
+    UOP_STORE,
+    UOP_SYS,
+    Uop,
+)
+
+# Placeholder ids substituted at crack time.
+PH_RD = -2  # instruction's encoded destination GPR
+PH_RS = -3  # instruction's encoded source GPR
+PH_FD = -4  # destination FPR
+PH_FS = -5  # source FPR
+PLACEHOLDERS = (PH_RD, PH_RS, PH_FD, PH_FS)
+
+
+class MicrocodeError(ValueError):
+    """Raised on a malformed semantics specification."""
+
+
+@dataclass(frozen=True)
+class MicrocodeTarget:
+    """Microarchitecture description the compiler specializes for.
+
+    The default values match the Figure 3 target: single-cycle ALU,
+    pipelined multiplier, iterative divider, an LSU with its own
+    address-generation port (so agen µops fold into memory µops).
+    """
+
+    name: str = "default"
+    fold_agen: bool = True
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 12
+    fp_add_latency: int = 3
+    fp_mul_latency: int = 4
+    fp_div_latency: int = 12
+    fp_sqrt_latency: int = 15
+    load_latency: int = 1  # beyond-cache latency is the cache model's job
+    store_latency: int = 1
+    branch_latency: int = 1
+    sys_latency: int = 1
+    num_temps: int = NUM_TEMPS
+
+    def latency_of(self, op: str) -> int:
+        if op == "mul":
+            return self.mul_latency
+        if op == "div":
+            return self.div_latency
+        if op in ("fadd", "fsub", "fcmp", "fmov", "fitof", "fftoi"):
+            return self.fp_add_latency
+        if op == "fmul":
+            return self.fp_mul_latency
+        if op == "fdiv":
+            return self.fp_div_latency
+        if op == "fsqrt":
+            return self.fp_sqrt_latency
+        return self.alu_latency
+
+
+_INT_OPS = frozenset(
+    "add sub and or xor mov not neg cmp test shl shr sar adc".split()
+)
+_MULDIV_OPS = frozenset(("mul", "div"))
+_FP_OPS = frozenset(
+    "fadd fsub fmul fdiv fsqrt fmov fitof fftoi fcmp".split()
+)
+
+_STMT_RE = re.compile(
+    r"^(?:(?P<dst>[a-z][a-z0-9]*)\s*=\s*)?"
+    r"(?P<op>[a-z]+)\((?P<args>[^)]*)\)\s*(?P<flags>[!?]*)$"
+)
+
+
+@dataclass
+class _Prim:
+    """One parsed primitive statement."""
+
+    op: str
+    dst: Optional[str]
+    args: List[str]
+    wflags: bool
+    rflags: bool
+
+
+@dataclass
+class CompileResult:
+    """Compiled template plus compiler diagnostics."""
+
+    uops: Tuple[Uop, ...]
+    folded_agens: int = 0
+    dead_flag_writes: int = 0
+
+    @property
+    def uop_count(self) -> int:
+        return len(self.uops)
+
+
+class MicrocodeCompiler:
+    """Compiles semantics DSL text into µop templates for one target."""
+
+    def __init__(self, target: Optional[MicrocodeTarget] = None):
+        self.target = target or MicrocodeTarget()
+
+    # -- public API -----------------------------------------------------
+
+    def compile(self, source: str) -> CompileResult:
+        """Compile one instruction's semantics into a µop template."""
+        prims = self._parse(source)
+        uops = [self._lower(p) for p in prims]
+        folded = 0
+        if self.target.fold_agen:
+            uops, folded = self._fold_agen(uops)
+        uops, dead = self._kill_dead_flag_writes(uops)
+        uops = [u for u in uops if u.kind != "nop"]
+        return CompileResult(tuple(uops), folded_agens=folded, dead_flag_writes=dead)
+
+    # -- parsing --------------------------------------------------------
+
+    def _parse(self, source: str) -> List[_Prim]:
+        prims = []
+        for raw in source.strip().splitlines():
+            line = raw.split(";", 1)[0].strip()
+            if not line:
+                continue
+            match = _STMT_RE.match(line)
+            if not match:
+                raise MicrocodeError("bad semantics statement: %r" % line)
+            args = [a.strip() for a in match.group("args").split(",") if a.strip()]
+            flags = match.group("flags")
+            prims.append(
+                _Prim(
+                    op=match.group("op"),
+                    dst=match.group("dst"),
+                    args=args,
+                    wflags="!" in flags,
+                    rflags="?" in flags,
+                )
+            )
+        return prims
+
+    # -- lowering -------------------------------------------------------
+
+    def _reg(self, symbol: str) -> int:
+        """Resolve an operand symbol to a (possibly placeholder) reg id."""
+        if symbol == "rd":
+            return PH_RD
+        if symbol == "rs":
+            return PH_RS
+        if symbol == "fd":
+            return PH_FD
+        if symbol == "fs":
+            return PH_FS
+        if symbol == "sp":
+            return 7
+        if symbol in ("pc", "imm"):
+            # Neither the sequential PC nor an immediate is a renamed
+            # register: they contribute no dependency edges.
+            return NO_REG
+        if re.match(r"^r[0-7]$", symbol):
+            return int(symbol[1:])
+        if re.match(r"^f[0-7]$", symbol):
+            return FPR_BASE + int(symbol[1:])
+        if re.match(r"^t[0-9]$", symbol):
+            index = int(symbol[1:])
+            if index >= self.target.num_temps:
+                raise MicrocodeError(
+                    "temporary %s exceeds target's %d temps"
+                    % (symbol, self.target.num_temps)
+                )
+            return TEMP_BASE + index
+        if re.match(r"^-?[0-9]+$", symbol):
+            return NO_REG  # literal: contributes no dependency
+        raise MicrocodeError("unknown operand symbol %r" % symbol)
+
+    def _lower(self, prim: _Prim) -> Uop:
+        target = self.target
+        op = prim.op
+        dst = self._reg(prim.dst) if prim.dst else NO_REG
+
+        def src(index: int) -> int:
+            if index >= len(prim.args):
+                return NO_REG
+            return self._reg(prim.args[index])
+
+        if op in _INT_OPS:
+            rflags = prim.rflags or op == "adc"
+            return Uop(
+                UOP_ALU, op, dst, src(0), src(1), target.latency_of(op),
+                prim.wflags, rflags,
+            )
+        if op in _MULDIV_OPS:
+            return Uop(
+                UOP_MULDIV, op, dst, src(0), src(1), target.latency_of(op), prim.wflags
+            )
+        if op in _FP_OPS:
+            return Uop(UOP_FP, op, dst, src(0), src(1), target.latency_of(op))
+        if op == "load":
+            # load(base, off) -> dst
+            return Uop(UOP_LOAD, "load", dst, src(0), NO_REG, target.load_latency)
+        if op == "store":
+            # store(base, off, value): src1 = base, src2 = data
+            return Uop(UOP_STORE, "store", NO_REG, src(0), src(2), target.store_latency)
+        if op == "branch":
+            cond = prim.args[0] if prim.args else "z"
+            return Uop(
+                UOP_BRANCH, cond, NO_REG, NO_REG, NO_REG, target.branch_latency,
+                rflags=True,
+            )
+        if op == "jump":
+            target_reg = src(0) if prim.args else NO_REG
+            return Uop(
+                UOP_JUMP, "jump", NO_REG, target_reg, NO_REG, target.branch_latency
+            )
+        if op == "sys":
+            name = prim.args[0] if prim.args else "sys"
+            return Uop(UOP_SYS, name, dst, NO_REG, NO_REG, target.sys_latency)
+        raise MicrocodeError("unknown primitive %r" % op)
+
+    # -- optimization ---------------------------------------------------
+
+    def _fold_agen(self, uops: List[Uop]) -> Tuple[List[Uop], int]:
+        """Fold ``t = add(base, literal); mem(t, ...)`` into the memory µop.
+
+        Only performed when the temporary produced by the add is consumed
+        exactly once, by the very next memory µop, and never used again
+        -- the common pattern emitted for LD/ST/PUSH-style semantics.
+        """
+        folded = 0
+        out: List[Uop] = []
+        i = 0
+        while i < len(uops):
+            cur = uops[i]
+            nxt = uops[i + 1] if i + 1 < len(uops) else None
+            if (
+                nxt is not None
+                and cur.kind == UOP_ALU
+                and cur.op == "add"
+                and cur.src2 == NO_REG  # second operand was a literal
+                and not cur.wflags
+                and cur.dst >= TEMP_BASE
+                and nxt.is_mem
+                and nxt.src1 == cur.dst
+                and not self._used_later(uops, i + 2, cur.dst)
+                and cur.dst != (nxt.src2 if nxt.kind == UOP_STORE else nxt.dst)
+            ):
+                merged = Uop(
+                    nxt.kind,
+                    nxt.op,
+                    nxt.dst,
+                    cur.src1,
+                    nxt.src2,
+                    nxt.lat,
+                    nxt.wflags,
+                    nxt.rflags,
+                )
+                out.append(merged)
+                folded += 1
+                i += 2
+                continue
+            out.append(cur)
+            i += 1
+        return out, folded
+
+    @staticmethod
+    def _used_later(uops: List[Uop], start: int, reg: int) -> bool:
+        for uop in uops[start:]:
+            if reg in tuple(uop.sources()):
+                return True
+            if reg in tuple(uop.destinations()):
+                return False  # redefined before any use
+        return False
+
+    @staticmethod
+    def _kill_dead_flag_writes(uops: List[Uop]) -> Tuple[List[Uop], int]:
+        """Clear ``wflags`` on writes that are overwritten before any read.
+
+        The final flag write of a template is always preserved: a later
+        *instruction* may read the flags.
+        """
+        killed = 0
+        out = list(uops)
+        for i, uop in enumerate(out):
+            if not uop.wflags:
+                continue
+            for later in out[i + 1 :]:
+                if later.rflags:
+                    break  # live
+                if later.wflags:
+                    out[i] = Uop(
+                        uop.kind, uop.op, uop.dst, uop.src1, uop.src2,
+                        uop.lat, False, uop.rflags,
+                    )
+                    killed += 1
+                    break
+        return out, killed

@@ -1,0 +1,181 @@
+"""Per-instruction semantics specifications.
+
+The paper's microcode compiler "takes C code that specifies the
+functionality of each instruction ... and compiles it into fairly
+optimized microcode" (section 4.3).  Our stand-in for those C specs is a
+tiny three-address DSL.  Each ISA instruction maps to a list of
+statements of the form::
+
+    t0 = add(rs, imm)        ; ALU primitive into a temporary
+    rd = load(t0, 0)         ; memory read
+    store(t0, 0, rd)         ; memory write
+    sp = sub(sp, 4) !        ; trailing "!" writes the flags
+    branch(nz)               ; conditional control transfer (reads flags)
+    jump(t0)                 ; unconditional control transfer
+    sys(halt)                ; serialized system operation
+
+Operand symbols: ``rd``/``rs`` are the instruction's encoded registers,
+``fd``/``fs`` their floating-point counterparts, ``imm`` the immediate,
+``sp`` is R7, ``pc`` the sequential return address, ``r0``-``r7`` and
+``f0``-``f7`` name architectural registers directly, ``t0``-``t3`` are
+microcode temporaries, and bare integers are literals.
+
+Instructions with **no entry here are not automatically translated**;
+the microcode table replaces them with a NOP (exactly the paper's
+fallback) and coverage accounting reports them, reproducing Table 1.
+The FP subset below is deliberately partial — the paper supports only
+about 25 % of dynamic FP instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+# Semantics for a REP-prefixed string instruction describe *one loop
+# iteration*; the cracker repeats them per iteration at run time.
+SEMANTICS: Dict[str, str] = {
+    "NOP": "",
+    "HALT": "sys(halt)",
+    "SYSCALL": "sys(syscall)",
+    "IRET": """
+        sys(iret)
+        jump()
+    """,
+    "CLI": "sys(cli)",
+    "STI": "sys(sti)",
+    "INT": "sys(int)",
+    "RET": """
+        t0 = load(sp, 0)
+        sp = add(sp, 4)
+        jump(t0)
+    """,
+    # Data movement.
+    "MOV": "rd = mov(rs)",
+    "MOVI": "rd = mov(imm)",
+    "LD": """
+        t0 = add(rs, imm)
+        rd = load(t0, 0)
+    """,
+    "LDB": """
+        t0 = add(rs, imm)
+        rd = load(t0, 0)
+    """,
+    "ST": """
+        t0 = add(rs, imm)
+        store(t0, 0, rd)
+    """,
+    "STB": """
+        t0 = add(rs, imm)
+        store(t0, 0, rd)
+    """,
+    "PUSH": """
+        sp = sub(sp, 4)
+        store(sp, 0, rd)
+    """,
+    "POP": """
+        rd = load(sp, 0)
+        sp = add(sp, 4)
+    """,
+    "LEA": "rd = add(rs, imm)",
+    # Integer ALU.
+    "ADD": "rd = add(rd, rs) !",
+    "SUB": "rd = sub(rd, rs) !",
+    "AND": "rd = and(rd, rs) !",
+    "OR": "rd = or(rd, rs) !",
+    "XOR": "rd = xor(rd, rs) !",
+    "CMP": "cmp(rd, rs) !",
+    "TEST": "test(rd, rs) !",
+    "NOT": "rd = not(rd) !",
+    "NEG": "rd = neg(rd) !",
+    "INC": "rd = add(rd, 1) !",
+    "DEC": "rd = sub(rd, 1) !",
+    "MUL": "rd = mul(rd, rs) !",
+    "DIV": "rd = div(rd, rs) !",
+    "ADC": "rd = adc(rd, rs) !?",
+    "ADDI": "rd = add(rd, imm) !",
+    "SUBI": "rd = sub(rd, imm) !",
+    "ANDI": "rd = and(rd, imm) !",
+    "ORI": "rd = or(rd, imm) !",
+    "XORI": "rd = xor(rd, imm) !",
+    "CMPI": "cmp(rd, imm) !",
+    "SHL": "rd = shl(rd, imm) !",
+    "SHR": "rd = shr(rd, imm) !",
+    "SAR": "rd = sar(rd, imm) !",
+    # Control.
+    "JMP": "jump()",
+    "JZ": "branch(z)",
+    "JNZ": "branch(nz)",
+    "JL": "branch(l)",
+    "JGE": "branch(ge)",
+    "JG": "branch(g)",
+    "JLE": "branch(le)",
+    "JC": "branch(c)",
+    "JNC": "branch(nc)",
+    "CALL": """
+        sp = sub(sp, 4)
+        store(sp, 0, pc)
+        jump()
+    """,
+    "JR": "jump(rd)",
+    "CALLR": """
+        sp = sub(sp, 4)
+        store(sp, 0, pc)
+        jump(rd)
+    """,
+    "LOOP": """
+        rd = sub(rd, 1) !
+        branch(nz)
+    """,
+    # String operations (one iteration; REP repeats these).
+    "MOVSB": """
+        t0 = load(r0, 0)
+        store(r1, 0, t0)
+        r0 = add(r0, 1)
+        r1 = add(r1, 1)
+        r2 = sub(r2, 1) !
+        branch(rep)
+    """,
+    "STOSB": """
+        store(r1, 0, r3)
+        r1 = add(r1, 1)
+        r2 = sub(r2, 1) !
+        branch(rep)
+    """,
+    "SCASB": """
+        t0 = load(r0, 0)
+        cmp(t0, r3) !
+        r0 = add(r0, 1)
+        r2 = sub(r2, 1) !
+        branch(rep)
+    """,
+    # Floating point -- DELIBERATELY PARTIAL (paper section 4.3: only
+    # ~25% of dynamic FP instructions have automatic translations).
+    "FADD": "fd = fadd(fd, fs)",
+    "FMOV": "fd = fmov(fs)",
+    "FITOF": "fd = fitof(rs)",
+    # FSUB, FMUL, FDIV, FSQRT, FCMP, FFTOI, FLD, FST: no automatic
+    # translation; the table inserts NOPs unless hand-patched.
+    # Privileged.
+    "IN": "rd = sys(in)",
+    "OUT": "sys(out)",
+    "TLBWR": "sys(tlbwr)",
+    "TLBFLUSH": "sys(tlbflush)",
+    "MOVSR": "sys(movsr)",
+    "MOVRS": "rd = sys(movrs)",
+}
+
+# Hand-written patches the paper mentions ("inserted into the table by
+# hand").  Users can extend this via MicrocodeTable.hand_patch().
+HAND_PATCHES: Dict[str, str] = {}
+
+
+def semantics_for(name: str) -> Optional[str]:
+    """Return the DSL source for *name*, or ``None`` if untranslated."""
+    return SEMANTICS.get(name)
+
+
+def untranslated_opcodes() -> List[str]:
+    """Opcode names with no automatic semantics (the NOP fallbacks)."""
+    from repro.isa.opcodes import OPCODES
+
+    return sorted(name for name in OPCODES if name not in SEMANTICS)

@@ -1,0 +1,144 @@
+"""Micro-op (µop) definitions.
+
+Like virtually all modern x86 implementations, the simulated target
+cracks each CISC instruction into RISC-like micro-ops (section 4.3 of
+the paper).  A µop names its destination and source registers in a
+*unified register namespace* so the rename stage can track dependencies
+uniformly:
+
+* 0-7    general-purpose registers R0-R7
+* 8-15   floating point registers F0-F7
+* 16     the flags register
+* 17-20  microcode temporaries (architecturally invisible)
+* -1     "no register"
+"""
+
+from __future__ import annotations
+
+GPR_BASE = 0
+FPR_BASE = 8
+FLAGS_REG = 16
+TEMP_BASE = 17
+NUM_TEMPS = 4
+NUM_UOP_REGS = TEMP_BASE + NUM_TEMPS
+NO_REG = -1
+
+# µop kinds.
+UOP_ALU = "alu"
+UOP_MULDIV = "muldiv"
+UOP_FP = "fp"
+UOP_LOAD = "load"
+UOP_STORE = "store"
+UOP_BRANCH = "branch"
+UOP_JUMP = "jump"
+UOP_SYS = "sys"
+UOP_NOP = "nop"
+
+# Functional units in the timing model.
+UNIT_ALU = "alu"
+UNIT_BRU = "bru"
+UNIT_LSU = "lsu"
+UNIT_FPU = "fpu"
+
+KIND_TO_UNIT = {
+    UOP_ALU: UNIT_ALU,
+    UOP_MULDIV: UNIT_ALU,
+    UOP_FP: UNIT_FPU,
+    UOP_LOAD: UNIT_LSU,
+    UOP_STORE: UNIT_LSU,
+    UOP_BRANCH: UNIT_BRU,
+    UOP_JUMP: UNIT_BRU,
+    UOP_SYS: UNIT_ALU,
+    UOP_NOP: UNIT_ALU,
+}
+
+
+class Uop:
+    """One micro-op.
+
+    ``__slots__`` keeps these small: the timing model allocates one per
+    dynamic µop and the simulator executes millions of them.
+    """
+
+    __slots__ = ("kind", "op", "dst", "src1", "src2", "lat", "wflags", "rflags")
+
+    def __init__(
+        self,
+        kind: str,
+        op: str = "",
+        dst: int = NO_REG,
+        src1: int = NO_REG,
+        src2: int = NO_REG,
+        lat: int = 1,
+        wflags: bool = False,
+        rflags: bool = False,
+    ):
+        self.kind = kind
+        self.op = op
+        self.dst = dst
+        self.src1 = src1
+        self.src2 = src2
+        self.lat = lat
+        self.wflags = wflags
+        self.rflags = rflags
+
+    @property
+    def unit(self) -> str:
+        return KIND_TO_UNIT[self.kind]
+
+    @property
+    def is_mem(self) -> bool:
+        return self.kind in (UOP_LOAD, UOP_STORE)
+
+    def sources(self):
+        """Yield source register ids (including flags when read)."""
+        if self.src1 != NO_REG:
+            yield self.src1
+        if self.src2 != NO_REG:
+            yield self.src2
+        if self.rflags:
+            yield FLAGS_REG
+
+    def destinations(self):
+        """Yield destination register ids (including flags when written)."""
+        if self.dst != NO_REG:
+            yield self.dst
+        if self.wflags:
+            yield FLAGS_REG
+
+    def __repr__(self) -> str:
+        return "Uop(%s/%s d=%d s1=%d s2=%d lat=%d%s%s)" % (
+            self.kind,
+            self.op,
+            self.dst,
+            self.src1,
+            self.src2,
+            self.lat,
+            " WF" if self.wflags else "",
+            " RF" if self.rflags else "",
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Uop):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(getattr(self, slot) for slot in self.__slots__))
+
+
+def fpr(index: int) -> int:
+    """Unified id of floating point register *index*."""
+    return FPR_BASE + index
+
+
+def temp(index: int) -> int:
+    """Unified id of microcode temporary *index*."""
+    if index >= NUM_TEMPS:
+        raise ValueError("microcode temporary %d out of range" % index)
+    return TEMP_BASE + index
+
+
+NOP_UOP = Uop(UOP_NOP, "nop")

@@ -1,0 +1,54 @@
+"""Full-system substrate: memory, MMU, and peripherals.
+
+The functional model runs FastOS and workloads against these.  Devices
+are deterministic and snapshot-able so the FAST rollback protocol works
+across I/O operations.
+"""
+
+from repro.system.bus import IOBus, PORT_POWER, build_standard_system
+from repro.system.console import Console
+from repro.system.devices import Device
+from repro.system.disk_timing import RotationalDiskModel
+from repro.system.disk import Disk
+from repro.system.interrupt_controller import (
+    IRQ_CONSOLE,
+    IRQ_DISK,
+    IRQ_TIMER,
+    InterruptController,
+)
+from repro.system.memory import PhysicalMemory
+from repro.system.mmu import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PTE_VALID,
+    PTE_WRITE,
+    ProtectionFault,
+    SoftwareTLB,
+    TLBEntry,
+    TLBMiss,
+)
+from repro.system.timer import Timer
+
+__all__ = [
+    "Console",
+    "Device",
+    "Disk",
+    "IOBus",
+    "IRQ_CONSOLE",
+    "IRQ_DISK",
+    "IRQ_TIMER",
+    "InterruptController",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PORT_POWER",
+    "PTE_VALID",
+    "PTE_WRITE",
+    "PhysicalMemory",
+    "RotationalDiskModel",
+    "ProtectionFault",
+    "SoftwareTLB",
+    "TLBEntry",
+    "TLBMiss",
+    "Timer",
+    "build_standard_system",
+]

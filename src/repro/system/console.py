@@ -1,0 +1,62 @@
+"""Console (serial) device: byte output buffer plus scripted input."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.system.devices import Device
+from repro.system.interrupt_controller import IRQ_CONSOLE, InterruptController
+
+PORT_DATA = 0x10  # OUT: write byte; IN: read next input byte (0 if none)
+PORT_STATUS = 0x11  # IN: bit 0 = input available
+
+
+class Console(Device):
+    name = "console"
+    irq_line = IRQ_CONSOLE
+
+    def __init__(self, intctrl: Optional[InterruptController] = None,
+                 input_bytes: bytes = b""):
+        self._intctrl = intctrl
+        self.output = bytearray()
+        self._input = bytearray(input_bytes)
+        self._input_pos = 0
+
+    def ports(self):
+        return (PORT_DATA, PORT_STATUS)
+
+    def read_port(self, port: int) -> int:
+        if port == PORT_DATA:
+            if self._input_pos < len(self._input):
+                value = self._input[self._input_pos]
+                self._input_pos += 1
+                return value
+            return 0
+        if port == PORT_STATUS:
+            return 1 if self._input_pos < len(self._input) else 0
+        return 0
+
+    def write_port(self, port: int, value: int) -> None:
+        if port == PORT_DATA:
+            self.output.append(value & 0xFF)
+
+    def text(self) -> str:
+        """Console output decoded as latin-1 (never fails)."""
+        return self.output.decode("latin-1")
+
+    def feed(self, data: bytes) -> None:
+        """Append scripted input (visible to subsequent reads)."""
+        self._input += data
+        if self._intctrl is not None:
+            self._intctrl.raise_irq(IRQ_CONSOLE)
+
+    def snapshot(self):
+        # Output and input buffers are append-only (scripted input must
+        # be fed before boot for rollback determinism), so a snapshot is
+        # just the lengths -- O(1) regardless of how much was printed.
+        return (len(self.output), len(self._input), self._input_pos)
+
+    def restore(self, state) -> None:
+        output_len, input_len, self._input_pos = state
+        del self.output[output_len:]
+        del self._input[input_len:]

@@ -1,0 +1,42 @@
+"""Device model base class.
+
+Devices hang off the :class:`~repro.system.bus.IOBus` and are visible to
+software through IN/OUT ports.  Every device must be snapshot-able so
+the functional model can roll back "including across I/O operations"
+(paper section 3.2), and deterministic so re-execution after a rollback
+reproduces identical device responses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Device:
+    """Base class for all simulated devices."""
+
+    name = "device"
+    irq_line: Optional[int] = None  # bit index in the interrupt controller
+
+    def ports(self):
+        """Return the iterable of port numbers this device answers."""
+        raise NotImplementedError
+
+    def read_port(self, port: int) -> int:
+        """Handle an IN instruction; returns a 32-bit value."""
+        raise NotImplementedError
+
+    def write_port(self, port: int, value: int) -> None:
+        """Handle an OUT instruction."""
+        raise NotImplementedError
+
+    def tick(self, units: int) -> None:
+        """Advance device time.  The driver defines the unit (committed
+        instructions or target cycles); devices only count."""
+
+    def snapshot(self):
+        """Immutable state for checkpoint/rollback."""
+        return None
+
+    def restore(self, state) -> None:
+        pass

@@ -1,0 +1,150 @@
+"""Disk device with DMA and a completion interrupt.
+
+Reads/writes one 512-byte sector per command.  A command takes a fixed
+number of time units before the DMA happens and IRQ 1 fires, so disk
+waits interleave with computation exactly as on a real system -- this is
+what makes "full system" interesting for the simulator: device events
+arrive asynchronously relative to the instruction stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.system.devices import Device
+from repro.system.interrupt_controller import IRQ_DISK, InterruptController
+from repro.system.memory import PhysicalMemory
+
+PORT_CMD = 0x30  # OUT: 1 = read sector, 2 = write sector
+PORT_SECTOR = 0x31
+PORT_ADDR = 0x32  # physical DMA address
+PORT_STATUS = 0x33  # IN: 0 idle, 1 busy, 2 done (cleared on read)
+
+SECTOR_SIZE = 512
+
+CMD_READ = 1
+CMD_WRITE = 2
+
+STATUS_IDLE = 0
+STATUS_BUSY = 1
+STATUS_DONE = 2
+
+
+class Disk(Device):
+    name = "disk"
+    irq_line = IRQ_DISK
+
+    def __init__(
+        self,
+        intctrl: InterruptController,
+        memory: PhysicalMemory,
+        num_sectors: int = 1024,
+        latency: int = 2000,
+        image: Optional[bytes] = None,
+        timing_model=None,
+    ):
+        self._intctrl = intctrl
+        self._memory = memory
+        self.latency = latency
+        # Optional mechanical model (section 3.4): seek + rotational
+        # latency instead of the fixed delay.
+        self.timing_model = timing_model
+        self._time = 0
+        self.data = bytearray(num_sectors * SECTOR_SIZE)
+        if image:
+            self.data[: len(image)] = image
+        self.sector = 0
+        self.dma_addr = 0
+        self.status = STATUS_IDLE
+        self._pending_cmd = 0
+        self._countdown = 0
+        self.commands = 0
+        # Sector data changes rarely (only on CMD_WRITE completion), but
+        # checkpoints are frequent; cache the data copy by version so a
+        # snapshot is O(1) when the disk hasn't been written.
+        self._data_version = 0
+        self._snap_cache = (0, bytes(self.data))
+
+    def ports(self):
+        return (PORT_CMD, PORT_SECTOR, PORT_ADDR, PORT_STATUS)
+
+    def read_port(self, port: int) -> int:
+        if port == PORT_STATUS:
+            status = self.status
+            if status == STATUS_DONE:
+                self.status = STATUS_IDLE
+            return status
+        if port == PORT_SECTOR:
+            return self.sector
+        if port == PORT_ADDR:
+            return self.dma_addr
+        return 0
+
+    def write_port(self, port: int, value: int) -> None:
+        if port == PORT_SECTOR:
+            self.sector = value
+        elif port == PORT_ADDR:
+            self.dma_addr = value
+        elif port == PORT_CMD and self.status != STATUS_BUSY:
+            self._pending_cmd = value
+            if self.timing_model is not None:
+                self._countdown = self.timing_model.latency(
+                    self.sector, self._time
+                )
+            else:
+                self._countdown = self.latency
+            self.status = STATUS_BUSY
+            self.commands += 1
+
+    def tick(self, units: int) -> None:
+        self._time += units
+        if self.status != STATUS_BUSY:
+            return
+        self._countdown -= units
+        if self._countdown <= 0:
+            self._complete()
+
+    def _complete(self) -> None:
+        offset = self.sector * SECTOR_SIZE
+        if self._pending_cmd == CMD_READ:
+            self._memory.load_blob(
+                self.dma_addr, bytes(self.data[offset : offset + SECTOR_SIZE])
+            )
+        elif self._pending_cmd == CMD_WRITE:
+            self.data[offset : offset + SECTOR_SIZE] = self._memory.read_blob(
+                self.dma_addr, SECTOR_SIZE
+            )
+            self._data_version += 1
+        self.status = STATUS_DONE
+        self._intctrl.raise_irq(IRQ_DISK)
+
+    def snapshot(self):
+        version, blob = self._snap_cache
+        if version != self._data_version:
+            blob = bytes(self.data)
+            self._snap_cache = (self._data_version, blob)
+        mech = (
+            self.timing_model.snapshot() if self.timing_model is not None
+            else None
+        )
+        return (
+            self._data_version,
+            blob,
+            self.sector,
+            self.dma_addr,
+            self.status,
+            self._pending_cmd,
+            self._countdown,
+            self.commands,
+            self._time,
+            mech,
+        )
+
+    def restore(self, state) -> None:
+        (self._data_version, data, self.sector, self.dma_addr, self.status,
+         self._pending_cmd, self._countdown, self.commands, self._time,
+         mech) = state
+        self.data = bytearray(data)
+        self._snap_cache = (self._data_version, data)
+        if self.timing_model is not None and mech is not None:
+            self.timing_model.restore(mech)

@@ -1,0 +1,74 @@
+"""Disk timing model: rotational position, seek distance, buffering.
+
+"Accurate disk modeling can be achieved by tracking rotational speed,
+head position, buffers, and whether the disk is accelerating or
+decelerating.  Thus, FAST simulators are capable of system
+cycle-accuracy and not just processor cycle-accuracy."  (section 3.4)
+
+This model computes a per-command latency (in device time units) from
+the head's track position and the platter's rotational phase, instead
+of the fixed delay the simple disk uses.  It is deterministic given the
+command sequence, so the FAST/lock-step cycle-equivalence invariant is
+preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RotationalDiskModel:
+    """Seek + rotate + transfer latency, in device time units.
+
+    The default calibration makes a sequential read cost about the
+    simple disk's fixed 2000 units while a worst-case seek costs
+    several times that -- enough spread to matter to workloads.
+    """
+
+    sectors_per_track: int = 16
+    units_per_rev: int = 4000  # rotational period
+    seek_units_per_track: int = 120
+    min_seek_units: int = 300  # head settle time
+    transfer_units_per_sector: int = 250
+    buffer_tracks: int = 1  # track buffer: re-reads are nearly free
+    buffer_hit_units: int = 50
+
+    def __post_init__(self):
+        self._head_track = 0
+        self._phase = 0  # rotational position, in units
+        self._buffered_track = -1
+
+    def track_of(self, sector: int) -> int:
+        return sector // self.sectors_per_track
+
+    def latency(self, sector: int, now: int) -> int:
+        """Latency for a command issued at device time *now*."""
+        track = self.track_of(sector)
+        if track == self._buffered_track:
+            return self.buffer_hit_units
+        # Seek.
+        distance = abs(track - self._head_track)
+        seek = self.min_seek_units + distance * self.seek_units_per_track if (
+            distance
+        ) else 0
+        # Rotation: wait for the target sector to come around.
+        sector_angle = (
+            (sector % self.sectors_per_track)
+            * self.units_per_rev
+            // self.sectors_per_track
+        )
+        arrival = (now + seek) % self.units_per_rev
+        rotate = (sector_angle - arrival) % self.units_per_rev
+        total = seek + rotate + self.transfer_units_per_sector
+        # Update mechanical state deterministically.
+        self._head_track = track
+        self._buffered_track = track
+        self._phase = (arrival + rotate) % self.units_per_rev
+        return total
+
+    def snapshot(self):
+        return (self._head_track, self._phase, self._buffered_track)
+
+    def restore(self, state) -> None:
+        self._head_track, self._phase, self._buffered_track = state

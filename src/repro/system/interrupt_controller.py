@@ -1,0 +1,63 @@
+"""Interrupt controller: collects device IRQ lines into one CPU signal."""
+
+from __future__ import annotations
+
+from repro.system.devices import Device
+
+PORT_PENDING = 0x50  # IN: pending mask; OUT: acknowledge (clear) bits
+PORT_ENABLE = 0x51  # IN/OUT: per-line enable mask
+
+IRQ_TIMER = 0
+IRQ_DISK = 1
+IRQ_CONSOLE = 2
+
+
+class InterruptController(Device):
+    """A tiny PIC: pending/enable masks and level-triggered output."""
+
+    name = "intctrl"
+
+    def __init__(self):
+        self.pending = 0
+        self.enabled = 0
+
+    def ports(self):
+        return (PORT_PENDING, PORT_ENABLE)
+
+    def raise_irq(self, line: int) -> None:
+        self.pending |= 1 << line
+
+    def read_port(self, port: int) -> int:
+        if port == PORT_PENDING:
+            return self.pending
+        if port == PORT_ENABLE:
+            return self.enabled
+        return 0
+
+    def write_port(self, port: int, value: int) -> None:
+        if port == PORT_PENDING:
+            self.pending &= ~value & 0xFFFFFFFF  # write-1-to-ack
+        elif port == PORT_ENABLE:
+            self.enabled = value & 0xFFFFFFFF
+
+    @property
+    def output(self) -> bool:
+        """The CPU-visible interrupt request line."""
+        return bool(self.pending & self.enabled)
+
+    def highest_pending(self) -> int:
+        """Lowest-numbered enabled pending line (priority order)."""
+        active = self.pending & self.enabled
+        line = 0
+        while active:
+            if active & 1:
+                return line
+            active >>= 1
+            line += 1
+        return -1
+
+    def snapshot(self):
+        return (self.pending, self.enabled)
+
+    def restore(self, state) -> None:
+        self.pending, self.enabled = state

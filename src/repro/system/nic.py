@@ -1,0 +1,137 @@
+"""Network interface: scripted RX packets, loopback TX, completion IRQ.
+
+Completes the paper's "we support a full system, including network,
+disk, video, etc." device set.  The NIC is deterministic: received
+packets come from a script keyed by arrival time (device units) or from
+loopback of transmitted frames, so rollback/replay reproduces identical
+traffic.
+
+Port interface::
+
+    OUT NIC_TX_ADDR, paddr     ; frame buffer (physical)
+    OUT NIC_TX_LEN, n          ; send n bytes (DMA read, loopback queue)
+    IN  NIC_RX_STATUS          ; 1 if a frame is waiting
+    OUT NIC_RX_ADDR, paddr     ; where to DMA the next frame
+    OUT NIC_RX_CMD, 1          ; receive it (raises IRQ when done)
+    IN  NIC_RX_LEN             ; length of the last received frame
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.system.devices import Device
+from repro.system.interrupt_controller import InterruptController
+from repro.system.memory import PhysicalMemory
+
+PORT_TX_ADDR = 0x60
+PORT_TX_LEN = 0x61
+PORT_RX_STATUS = 0x62
+PORT_RX_ADDR = 0x63
+PORT_RX_CMD = 0x64
+PORT_RX_LEN = 0x65
+
+IRQ_NIC = 3
+MAX_FRAME = 1536
+
+
+class Nic(Device):
+    name = "nic"
+    irq_line = IRQ_NIC
+
+    def __init__(
+        self,
+        intctrl: InterruptController,
+        memory: PhysicalMemory,
+        scripted_rx: Sequence[Tuple[int, bytes]] = (),
+        loopback: bool = True,
+        latency: int = 400,
+    ):
+        self._intctrl = intctrl
+        self._memory = memory
+        self.loopback = loopback
+        self.latency = latency
+        self._time = 0
+        # Scripted arrivals: (arrival_time, frame), sorted.
+        self._script: List[Tuple[int, bytes]] = sorted(
+            (t, bytes(frame)) for t, frame in scripted_rx
+        )
+        self._rx_queue: Deque[bytes] = deque()
+        self._tx_addr = 0
+        self._rx_addr = 0
+        self._rx_len = 0
+        self._rx_countdown = 0
+        self._rx_inflight: Optional[bytes] = None
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def ports(self):
+        return (PORT_TX_ADDR, PORT_TX_LEN, PORT_RX_STATUS, PORT_RX_ADDR,
+                PORT_RX_CMD, PORT_RX_LEN)
+
+    # -- MMIO -----------------------------------------------------------
+
+    def read_port(self, port: int) -> int:
+        if port == PORT_RX_STATUS:
+            return 1 if self._rx_queue else 0
+        if port == PORT_RX_LEN:
+            return self._rx_len
+        return 0
+
+    def write_port(self, port: int, value: int) -> None:
+        if port == PORT_TX_ADDR:
+            self._tx_addr = value
+        elif port == PORT_TX_LEN:
+            self._transmit(min(value, MAX_FRAME))
+        elif port == PORT_RX_ADDR:
+            self._rx_addr = value
+        elif port == PORT_RX_CMD and value and self._rx_queue:
+            self._rx_inflight = self._rx_queue.popleft()
+            self._rx_countdown = self.latency
+
+    def _transmit(self, length: int) -> None:
+        frame = self._memory.read_blob(self._tx_addr, length)
+        self.frames_sent += 1
+        if self.loopback:
+            self._rx_queue.append(frame)
+
+    # -- time ------------------------------------------------------------
+
+    def tick(self, units: int) -> None:
+        self._time += units
+        while self._script and self._script[0][0] <= self._time:
+            _t, frame = self._script.pop(0)
+            self._rx_queue.append(frame)
+        if self._rx_inflight is not None:
+            self._rx_countdown -= units
+            if self._rx_countdown <= 0:
+                frame = self._rx_inflight
+                self._rx_inflight = None
+                self._memory.load_blob(self._rx_addr, frame)
+                self._rx_len = len(frame)
+                self.frames_received += 1
+                self._intctrl.raise_irq(IRQ_NIC)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self):
+        return (
+            self._time,
+            tuple(self._script),
+            tuple(self._rx_queue),
+            self._tx_addr,
+            self._rx_addr,
+            self._rx_len,
+            self._rx_countdown,
+            self._rx_inflight,
+            self.frames_sent,
+            self.frames_received,
+        )
+
+    def restore(self, state) -> None:
+        (self._time, script, rx_queue, self._tx_addr, self._rx_addr,
+         self._rx_len, self._rx_countdown, self._rx_inflight,
+         self.frames_sent, self.frames_received) = state
+        self._script = list(script)
+        self._rx_queue = deque(rx_queue)

@@ -1,0 +1,70 @@
+"""Programmable interval timer.
+
+FastOS programs the interval and enables the timer during boot; the
+timer raises IRQ 0 each time the interval elapses.  The *unit* of time
+is whatever the simulation driver ticks the bus with -- committed
+instructions for a standalone functional model, target cycles when a
+timing model is attached ("the timing model generates interrupts for
+reproducibility", paper section 3.4).
+"""
+
+from __future__ import annotations
+
+from repro.system.devices import Device
+from repro.system.interrupt_controller import IRQ_TIMER, InterruptController
+
+PORT_CTRL = 0x20  # bit 0: enable
+PORT_INTERVAL = 0x21
+PORT_COUNT = 0x22  # read-only: units since last fire
+
+
+class Timer(Device):
+    name = "timer"
+    irq_line = IRQ_TIMER
+
+    def __init__(self, intctrl: InterruptController, interval: int = 10000,
+                 external: bool = False):
+        self._intctrl = intctrl
+        self.enabled = False
+        self.interval = interval
+        self.count = 0
+        self.fires = 0
+        # External mode: the simulation coordinator fires the timer from
+        # *target cycles* ("the timing model generates interrupts for
+        # reproducibility", paper section 3.4) instead of device ticks.
+        self.external = external
+
+    def ports(self):
+        return (PORT_CTRL, PORT_INTERVAL, PORT_COUNT)
+
+    def read_port(self, port: int) -> int:
+        if port == PORT_CTRL:
+            return 1 if self.enabled else 0
+        if port == PORT_INTERVAL:
+            return self.interval
+        if port == PORT_COUNT:
+            return self.count
+        return 0
+
+    def write_port(self, port: int, value: int) -> None:
+        if port == PORT_CTRL:
+            self.enabled = bool(value & 1)
+        elif port == PORT_INTERVAL:
+            self.interval = max(1, value)
+
+    def tick(self, units: int) -> None:
+        if not self.enabled or self.external:
+            return
+        self.count += units
+        while self.count >= self.interval:
+            self.count -= self.interval
+            self.fires += 1
+            self._intctrl.raise_irq(IRQ_TIMER)
+
+    def snapshot(self):
+        return (self.enabled, self.interval, self.count, self.fires,
+                self.external)
+
+    def restore(self, state) -> None:
+        (self.enabled, self.interval, self.count, self.fires,
+         self.external) = state

@@ -1,0 +1,22 @@
+"""Cycle-accurate timing model: Modules, Connectors and the Figure 3
+out-of-order target pipeline."""
+
+from repro.timing.connector import Connector
+from repro.timing.core import (
+    DeadlockError,
+    TimingConfig,
+    TimingModel,
+    TimingStats,
+)
+from repro.timing.feed import InstructionFeed
+from repro.timing.module import Module
+
+__all__ = [
+    "Connector",
+    "DeadlockError",
+    "InstructionFeed",
+    "Module",
+    "TimingConfig",
+    "TimingModel",
+    "TimingStats",
+]

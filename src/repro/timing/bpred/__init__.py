@@ -1,0 +1,21 @@
+"""Branch prediction modules for the timing model."""
+
+from repro.timing.bpred.base import BranchPredictor
+from repro.timing.bpred.btb import BTB
+from repro.timing.bpred.predictors import (
+    FixedAccuracyPredictor,
+    GsharePredictor,
+    PerfectPredictor,
+    TwoBitPredictor,
+    make_predictor,
+)
+
+__all__ = [
+    "BTB",
+    "BranchPredictor",
+    "FixedAccuracyPredictor",
+    "GsharePredictor",
+    "PerfectPredictor",
+    "TwoBitPredictor",
+    "make_predictor",
+]

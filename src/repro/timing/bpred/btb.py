@@ -1,0 +1,54 @@
+"""Branch target buffer: set-associative, LRU within a set.
+
+The paper's default target uses a "4-way and 8K BTB gshare" predictor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.timing.module import Module
+
+
+class BTB(Module):
+    """Set-associative branch target buffer."""
+
+    def __init__(self, name: str = "btb", entries: int = 8192, ways: int = 4):
+        super().__init__(name)
+        if entries % ways:
+            raise ValueError("entries must be a multiple of ways")
+        self.entries = entries
+        self.ways = ways
+        self.sets = entries // ways
+        # Per-set ordered dict {pc: target}; first key is LRU.
+        self._table: List[Dict[int, int]] = [dict() for _ in range(self.sets)]
+
+    def _set_for(self, pc: int) -> Dict[int, int]:
+        return self._table[(pc >> 1) % self.sets]
+
+    def lookup(self, pc: int) -> Optional[int]:
+        self.bump("lookups")
+        entry_set = self._set_for(pc)
+        target = entry_set.get(pc)
+        if target is None:
+            self.bump("misses")
+            return None
+        # Refresh LRU position.
+        del entry_set[pc]
+        entry_set[pc] = target
+        self.bump("hits")
+        return target
+
+    def install(self, pc: int, target: int) -> None:
+        entry_set = self._set_for(pc)
+        if pc in entry_set:
+            del entry_set[pc]
+        elif len(entry_set) >= self.ways:
+            oldest = next(iter(entry_set))
+            del entry_set[oldest]
+            self.bump("evictions")
+        entry_set[pc] = target
+
+    def resource_estimate(self):
+        # Target + tag storage maps naturally onto block RAMs.
+        return {"luts": 400, "brams": max(1, self.entries // 2048)}

@@ -1,0 +1,193 @@
+"""Concrete branch predictors: perfect, fixed-accuracy, 2-bit, gshare.
+
+These are the paper's stock predictors ("currently perfect, 2b
+saturating and gshare"; the bottleneck analysis also uses count-based
+97%/95% predictors).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Tuple
+
+from repro.functional.trace import TraceEntry
+from repro.timing.bpred.base import BranchPredictor
+from repro.timing.bpred.btb import BTB
+
+_COND = "branch"  # OpSpec.iclass for conditional branches
+
+
+def _actual(entry: TraceEntry) -> Tuple[bool, int]:
+    return entry.taken, entry.next_pc
+
+
+class PerfectPredictor(BranchPredictor):
+    """Oracle: always predicts the architectural outcome.
+
+    The paper notes that perfect-BP studies are possible in FAST but not
+    in timing-directed simulators like Asim -- the trace gives the
+    functional outcome at fetch time.
+    """
+
+    def __init__(self, name: str = "bp_perfect"):
+        super().__init__(name)
+
+    def predict(self, entry: TraceEntry) -> Tuple[bool, int]:
+        return _actual(entry)
+
+    def update(self, entry: TraceEntry, taken: bool, target: int) -> None:
+        pass
+
+
+class FixedAccuracyPredictor(BranchPredictor):
+    """Predicts correctly with a fixed probability (deterministically).
+
+    Correctness of each prediction is a pure hash of ``(pc, IN, seed)``,
+    so replays and different simulator drivers see identical outcomes.
+    Used for the paper's "97% count-based branch predictor" experiments.
+    """
+
+    def __init__(self, accuracy: float, seed: int = 1234, name: str = ""):
+        super().__init__(name or "bp_fixed_%d" % round(accuracy * 100))
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError("accuracy must be within [0, 1]")
+        self.target_accuracy = accuracy
+        self.seed = seed
+
+    def _correct(self, entry: TraceEntry) -> bool:
+        digest = hashlib.blake2b(
+            b"%d:%d:%d" % (entry.pc, entry.in_no, self.seed), digest_size=4
+        ).digest()
+        return int.from_bytes(digest, "little") % 1_000_000 < (
+            self.target_accuracy * 1_000_000
+        )
+
+    def predict(self, entry: TraceEntry) -> Tuple[bool, int]:
+        taken, target = _actual(entry)
+        if self._correct(entry):
+            return taken, target
+        if entry.instr.spec.iclass == _COND:
+            if taken:
+                return False, self.sequential(entry)
+            return True, entry.instr.branch_target(entry.pc)
+        return False, self.sequential(entry)  # indirect: missed target
+
+    def update(self, entry: TraceEntry, taken: bool, target: int) -> None:
+        pass
+
+
+class TwoBitPredictor(BranchPredictor):
+    """Classic 2-bit saturating counters + BTB for targets."""
+
+    def __init__(
+        self,
+        name: str = "bp_2bit",
+        table_size: int = 4096,
+        btb: Optional[BTB] = None,
+    ):
+        super().__init__(name)
+        self.table_size = table_size
+        self._table = [2] * table_size  # weakly taken
+        self.btb = btb or BTB()
+        self.add_child(self.btb)
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 1) % self.table_size
+
+    def _direction(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def predict(self, entry: TraceEntry) -> Tuple[bool, int]:
+        iclass = entry.instr.spec.iclass
+        if iclass == _COND:
+            taken = self._direction(entry.pc)
+        else:
+            taken = True  # unconditional control
+        if not taken:
+            return False, self.sequential(entry)
+        target = self.btb.lookup(entry.pc)
+        if target is None:
+            return False, self.sequential(entry)  # no target: fall through
+        return True, target
+
+    def update(self, entry: TraceEntry, taken: bool, target: int) -> None:
+        if entry.instr.spec.iclass == _COND:
+            index = self._index(entry.pc)
+            counter = self._table[index]
+            if taken:
+                self._table[index] = min(3, counter + 1)
+            else:
+                self._table[index] = max(0, counter - 1)
+        if taken:
+            self.btb.install(entry.pc, target)
+
+    def resource_estimate(self):
+        return {"luts": 200, "brams": max(1, self.table_size // 4096)}
+
+
+class GsharePredictor(BranchPredictor):
+    """Gshare: global history XOR PC indexing a 2-bit counter table.
+
+    Matches the paper's default: 8K-entry table, 4-way 8K-entry BTB,
+    history trained at commit.
+    """
+
+    def __init__(
+        self,
+        name: str = "bp_gshare",
+        table_size: int = 8192,
+        history_bits: int = 12,
+        btb: Optional[BTB] = None,
+    ):
+        super().__init__(name)
+        self.table_size = table_size
+        self.history_bits = history_bits
+        self._history = 0
+        self._table = [2] * table_size
+        self.btb = btb or BTB()
+        self.add_child(self.btb)
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 1) ^ self._history) % self.table_size
+
+    def predict(self, entry: TraceEntry) -> Tuple[bool, int]:
+        iclass = entry.instr.spec.iclass
+        if iclass == _COND:
+            taken = self._table[self._index(entry.pc)] >= 2
+        else:
+            taken = True
+        if not taken:
+            return False, self.sequential(entry)
+        target = self.btb.lookup(entry.pc)
+        if target is None:
+            return False, self.sequential(entry)
+        return True, target
+
+    def update(self, entry: TraceEntry, taken: bool, target: int) -> None:
+        if entry.instr.spec.iclass == _COND:
+            index = self._index(entry.pc)
+            counter = self._table[index]
+            if taken:
+                self._table[index] = min(3, counter + 1)
+            else:
+                self._table[index] = max(0, counter - 1)
+            mask = (1 << self.history_bits) - 1
+            self._history = ((self._history << 1) | (1 if taken else 0)) & mask
+        if taken:
+            self.btb.install(entry.pc, target)
+
+    def resource_estimate(self):
+        return {"luts": 300, "brams": max(1, self.table_size // 4096)}
+
+
+def make_predictor(spec: str) -> BranchPredictor:
+    """Factory: ``"perfect"``, ``"gshare"``, ``"2bit"`` or ``"fixed:0.97"``."""
+    if spec == "perfect":
+        return PerfectPredictor()
+    if spec == "gshare":
+        return GsharePredictor()
+    if spec == "2bit":
+        return TwoBitPredictor()
+    if spec.startswith("fixed:"):
+        return FixedAccuracyPredictor(float(spec.split(":", 1)[1]))
+    raise ValueError("unknown predictor spec %r" % spec)

@@ -1,0 +1,7 @@
+"""Cache and TLB timing models."""
+
+from repro.timing.cache.cache import SetAssocCache
+from repro.timing.cache.hierarchy import CacheGeometry, CacheHierarchy
+from repro.timing.cache.itlb import ITLBModel
+
+__all__ = ["CacheGeometry", "CacheHierarchy", "ITLBModel", "SetAssocCache"]

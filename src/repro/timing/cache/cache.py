@@ -1,0 +1,86 @@
+"""Set-associative cache timing model (state only, no data).
+
+"Because data values are often not required to predict performance,
+data path components such as ... cache values are generally not
+included in the timing model."  (paper section 2) -- so this tracks
+tags and replacement state only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.timing.module import Module
+
+
+class SetAssocCache(Module):
+    """An LRU set-associative cache of tags."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        line_bytes: int = 64,
+    ):
+        super().__init__(name)
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("size must be a multiple of ways*line")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (ways * line_bytes)
+        self._line_shift = line_bytes.bit_length() - 1
+        # Per-set ordered dict of tags (LRU first).
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.num_sets)]
+
+    def line_of(self, paddr: int) -> int:
+        return paddr >> self._line_shift
+
+    def access(self, paddr: int, is_write: bool = False) -> bool:
+        """Access the line containing *paddr*.  Returns hit/miss and
+        updates tag + LRU state (allocate-on-miss, write-allocate)."""
+        line = paddr >> self._line_shift
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        cache_set = self._sets[index]
+        self.bump("accesses")
+        if is_write:
+            self.bump("writes")
+        hit = tag in cache_set
+        if hit:
+            dirty = cache_set.pop(tag) or is_write
+            cache_set[tag] = dirty
+            self.bump("hits")
+        else:
+            self.bump("misses")
+            if len(cache_set) >= self.ways:
+                _evicted_tag, dirty = next(iter(cache_set.items()))
+                del cache_set[_evicted_tag]
+                self.bump("evictions")
+                if dirty:
+                    self.bump("writebacks")
+            cache_set[tag] = is_write
+        return hit
+
+    def probe(self, paddr: int) -> bool:
+        """Non-allocating, non-LRU-updating lookup."""
+        line = paddr >> self._line_shift
+        return (line // self.num_sets) in self._sets[line % self.num_sets]
+
+    def invalidate_all(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        accesses = self.counter("accesses")
+        if not accesses:
+            return 1.0
+        return self.counter("hits") / accesses
+
+    def resource_estimate(self):
+        # Tag array in BRAM: ~one 18 Kb BRAM per 2K lines of tags, plus
+        # comparators per way.
+        lines = self.size_bytes // self.line_bytes
+        return {"luts": 120 * self.ways, "brams": max(1, lines // 2048)}

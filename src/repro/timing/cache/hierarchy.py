@@ -1,0 +1,59 @@
+"""The memory hierarchy of the Figure 3 target.
+
+Default geometry (paper section 4): 8-way 32 KB split L1 I/D caches, an
+8-way 256 KB shared L2, and a fixed-delay DRAM.  Connector delays from
+Figure 3: L1<->L2 = 8 cycles, L2<->MEM = 25 cycles.  Caches are
+*blocking*, a stated prototype limitation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timing.cache.cache import SetAssocCache
+from repro.timing.module import Module
+
+
+@dataclass
+class CacheGeometry:
+    l1i_bytes: int = 32 * 1024
+    l1d_bytes: int = 32 * 1024
+    l1_ways: int = 8
+    l2_bytes: int = 256 * 1024
+    l2_ways: int = 8
+    line_bytes: int = 64
+    l1_hit_latency: int = 1
+    l2_latency: int = 8  # Figure 3: L1 <-> L2 connector delay
+    mem_latency: int = 25  # Figure 3: L2 <-> MEM connector delay
+
+
+class CacheHierarchy(Module):
+    """L1i + L1d + shared L2 + fixed-delay memory."""
+
+    def __init__(self, geometry: CacheGeometry = None, name: str = "memhier"):
+        super().__init__(name)
+        self.geometry = geometry or CacheGeometry()
+        g = self.geometry
+        self.l1i = SetAssocCache("iL1", g.l1i_bytes, g.l1_ways, g.line_bytes)
+        self.l1d = SetAssocCache("dL1", g.l1d_bytes, g.l1_ways, g.line_bytes)
+        self.l2 = SetAssocCache("L2", g.l2_bytes, g.l2_ways, g.line_bytes)
+        for cache in (self.l1i, self.l1d, self.l2):
+            self.add_child(cache)
+
+    def access_instr(self, paddr: int) -> int:
+        """Instruction fetch: returns total latency in cycles."""
+        g = self.geometry
+        if self.l1i.access(paddr):
+            return g.l1_hit_latency
+        if self.l2.access(paddr):
+            return g.l1_hit_latency + g.l2_latency
+        return g.l1_hit_latency + g.l2_latency + g.mem_latency
+
+    def access_data(self, paddr: int, is_write: bool = False) -> int:
+        """Data access: returns total latency in cycles."""
+        g = self.geometry
+        if self.l1d.access(paddr, is_write):
+            return g.l1_hit_latency
+        if self.l2.access(paddr, is_write):
+            return g.l1_hit_latency + g.l2_latency
+        return g.l1_hit_latency + g.l2_latency + g.mem_latency

@@ -1,0 +1,173 @@
+"""Connectors: parameterized FIFOs joining timing-model Modules.
+
+"Modules are connected by Connectors which are FIFOs that enforce
+timing and throughput constraints.  Connectors can be configured for
+input throughput, output throughput, minimum latency and maximum
+transactions ...  By specifying parameters to a Connector, one can ...
+reconfigure a target from a single issue machine to a multi-issue
+machine."  (paper section 4)
+
+A Connector is clocked by the timing model: producers ``push`` up to
+``input_throughput`` items per cycle; items become visible to the
+consumer ``min_latency`` cycles later; consumers ``pop`` up to
+``output_throughput`` items per cycle; at most ``max_transactions``
+items are in flight.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from repro.timing.module import Module
+
+
+class Connector(Module):
+    """A latency/throughput-constrained FIFO between two Modules."""
+
+    def __init__(
+        self,
+        name: str,
+        input_throughput: int = 1,
+        output_throughput: int = 1,
+        min_latency: int = 1,
+        max_transactions: int = 4,
+    ):
+        super().__init__(name)
+        if min_latency < 0:
+            raise ValueError("min_latency must be >= 0")
+        if max_transactions < 1:
+            raise ValueError("max_transactions must be >= 1")
+        self.input_throughput = input_throughput
+        self.output_throughput = output_throughput
+        self.min_latency = min_latency
+        self.max_transactions = max_transactions
+        self._queue: Deque[Tuple[int, Any]] = deque()  # (visible_cycle, item)
+        self._now = 0
+        self._pushed_this_cycle = 0
+        self._popped_this_cycle = 0
+        # Optional event tracing with triggering (the paper's planned
+        # "logging/tracing statistics support with triggering (start,
+        # stop and dump logs/traces based on user-specified criteria)",
+        # section 4.7).  Disabled by default: tracing is free in FPGA
+        # hardware but not on this host.
+        self._trace_log: Optional[list] = None
+        self._trace_limit = 0
+        self._trigger = None
+
+    # -- clocking -----------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Advance to *cycle*; resets per-cycle throughput budgets."""
+        self._now = cycle
+        self._pushed_this_cycle = 0
+        self._popped_this_cycle = 0
+
+    # -- producer side --------------------------------------------------------
+
+    def can_push(self) -> bool:
+        return (
+            self._pushed_this_cycle < self.input_throughput
+            and len(self._queue) < self.max_transactions
+        )
+
+    def push(self, item: Any) -> bool:
+        """Push one item; returns False if throughput/capacity exhausted."""
+        if not self.can_push():
+            self.bump("push_stalls")
+            return False
+        self._queue.append((self._now + self.min_latency, item))
+        self._pushed_this_cycle += 1
+        self.bump("pushes")
+        if self._trace_log is not None and (
+            self._trigger is None or self._trigger(self._now, item)
+        ):
+            if len(self._trace_log) < self._trace_limit:
+                self._trace_log.append((self._now, item))
+        return True
+
+    # -- tracing with triggering (section 4.7) -------------------------
+
+    def start_trace(self, limit: int = 4096, trigger=None) -> None:
+        """Begin logging pushed transactions.
+
+        *trigger*, if given, is a ``(cycle, item) -> bool`` predicate
+        that selects which transactions to log (the "user-specified
+        criteria").  At most *limit* events are retained.
+        """
+        self._trace_log = []
+        self._trace_limit = limit
+        self._trigger = trigger
+
+    def stop_trace(self) -> list:
+        """Stop logging and return the captured ``(cycle, item)`` events."""
+        log = self._trace_log or []
+        self._trace_log = None
+        self._trigger = None
+        return log
+
+    @property
+    def tracing(self) -> bool:
+        return self._trace_log is not None
+
+    # -- consumer side ----------------------------------------------------------
+
+    def can_pop(self) -> bool:
+        if self._popped_this_cycle >= self.output_throughput:
+            return False
+        if not self._queue:
+            return False
+        visible, _item = self._queue[0]
+        return visible <= self._now
+
+    def peek(self) -> Optional[Any]:
+        if not self._queue:
+            return None
+        visible, item = self._queue[0]
+        return item if visible <= self._now else None
+
+    def pop(self) -> Optional[Any]:
+        """Pop the oldest visible item, or None."""
+        if not self.can_pop():
+            return None
+        self._popped_this_cycle += 1
+        self.bump("pops")
+        return self._queue.popleft()[1]
+
+    # -- management ---------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Drop everything in flight (pipeline squash).  Returns count."""
+        dropped = len(self._queue)
+        self._queue.clear()
+        self.bump("flushes")
+        return dropped
+
+    def drop_if(self, predicate) -> int:
+        """Selectively squash items (e.g. wrong-path entries)."""
+        kept = deque(
+            (visible, item)
+            for visible, item in self._queue
+            if not predicate(item)
+        )
+        dropped = len(self._queue) - len(kept)
+        self._queue = kept
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+    def resource_estimate(self):
+        # FIFO storage maps to distributed RAM / small BRAMs; the paper
+        # notes Connectors are BRAM-hungry before optimization.
+        brams = 0
+        if self.max_transactions > 4:
+            brams = 1 + self.max_transactions // 8
+        return {
+            "luts": 80 + 10 * self.max_transactions,
+            "brams": brams,
+        }

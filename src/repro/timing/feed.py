@@ -1,0 +1,65 @@
+"""The instruction-feed interface between functional and timing models.
+
+The timing model consumes trace entries *in fetch order* through this
+interface and drives path changes through it.  The two concrete feeds
+are the point of the paper:
+
+* :class:`~repro.baselines.timing_directed.LockStepFeed` executes the
+  functional model exactly when the timing model fetches (the
+  Asim/Timing-First structure: a round trip per fetch), and
+* :class:`~repro.fast.trace_buffer.TraceBufferFeed` lets the functional
+  model run ahead speculatively through a trace buffer, paying
+  round-trips only on mis-speculation and resolution (the FAST
+  structure).
+
+Both wrap the same functional model and must deliver identical streams;
+the cycle-equivalence tests rely on that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.functional.trace import TraceEntry
+
+
+class InstructionFeed:
+    """What the timing model needs from the functional side."""
+
+    def peek(self) -> Optional[TraceEntry]:
+        """Next fetch-order entry, or None (CPU halted / shut down)."""
+        raise NotImplementedError
+
+    def consume(self) -> TraceEntry:
+        """Consume the entry last returned by :meth:`peek`."""
+        raise NotImplementedError
+
+    def force_wrong_path(self, branch_in_no: int, wrong_pc: int) -> None:
+        """The fetched branch was mispredicted: produce wrong-path
+        instructions starting at *wrong_pc* (paper: ``set_pc``)."""
+        raise NotImplementedError
+
+    def resolve_wrong_path(self, branch_in_no: int, actual_pc: int) -> None:
+        """The branch resolved: resume the correct path at *actual_pc*."""
+        raise NotImplementedError
+
+    def commit(self, in_no: int) -> None:
+        """Instruction *in_no* committed: rollback resources may be
+        released."""
+        raise NotImplementedError
+
+    def interrupt_delivery(self, after_in: int, line: int):
+        """A timing-model-generated interrupt arrives at the commit
+        boundary after *after_in* (cycle-driven interrupt mode,
+        section 3.4).  Returns ``(taken, replayed)`` from the FM."""
+        raise NotImplementedError
+
+    def idle_tick(self) -> None:
+        """One target cycle passed with nothing to fetch (HALT): let
+        device time advance so an interrupt can eventually arrive."""
+        raise NotImplementedError
+
+    @property
+    def finished(self) -> bool:
+        """True once the simulated system has shut down."""
+        raise NotImplementedError

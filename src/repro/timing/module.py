@@ -1,0 +1,88 @@
+"""Module: the base building block of the timing model.
+
+"The timing model ... is constructed from configurable hierarchical
+Modules.  The base Modules consist of structures such as CAMs, FIFOs,
+memories, registers and arbiters ... from which are built caches and
+load/store queues, from which are built branch predictors ... from which
+are built our top-level modules."  (paper section 4)
+
+Modules register named statistics counters; the statistics network
+(:mod:`repro.timing.stats`) aggregates them, and the FPGA host model
+(:mod:`repro.host.resources`) estimates slice/BRAM usage from the
+module tree (Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Module:
+    """Base class: named, hierarchical, with statistics counters.
+
+    Subclasses call :meth:`add_child` for sub-modules and
+    :meth:`counter`/:meth:`bump` for statistics.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._children: List["Module"] = []
+        self._counters: Dict[str, int] = {}
+
+    # -- hierarchy -------------------------------------------------------
+
+    def add_child(self, child: "Module") -> "Module":
+        self._children.append(child)
+        return child
+
+    @property
+    def children(self) -> Tuple["Module", ...]:
+        return tuple(self._children)
+
+    def walk(self) -> Iterator["Module"]:
+        """Depth-first iteration over this module and all descendants."""
+        yield self
+        for child in self._children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Module"]:
+        for module in self.walk():
+            if module.name == name:
+                return module
+        return None
+
+    # -- statistics ---------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counters(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def all_counters(self, prefix: str = "") -> Dict[str, int]:
+        """Flattened ``module.path/counter`` -> value map for the tree."""
+        path = prefix + self.name
+        out = {path + "/" + key: value for key, value in self._counters.items()}
+        for child in self._children:
+            out.update(child.all_counters(path + "/"))
+        return out
+
+    def reset_counters(self) -> None:
+        for module in self.walk():
+            module._counters.clear()
+
+    # -- host resource estimation (overridden where meaningful) --------------
+
+    def resource_estimate(self) -> Dict[str, int]:
+        """Rough FPGA cost of this module alone: ``{"luts": n, "brams": m}``.
+
+        Subclasses with real storage override this; the default charges a
+        small fixed control cost.
+        """
+        return {"luts": 50, "brams": 0}
+
+    def __repr__(self) -> str:
+        return "<%s %r>" % (type(self).__name__, self.name)

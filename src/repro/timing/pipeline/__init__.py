@@ -1,0 +1,7 @@
+"""Pipeline stages of the Figure 3 target."""
+
+from repro.timing.pipeline.backend import Backend
+from repro.timing.pipeline.dynamic import DynInstr, DynUop
+from repro.timing.pipeline.frontend import Frontend, is_barrier
+
+__all__ = ["Backend", "DynInstr", "DynUop", "Frontend", "is_barrier"]

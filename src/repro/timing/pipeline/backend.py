@@ -1,0 +1,384 @@
+"""Back end of the timing model: Rename/ROB, reservation stations,
+functional units, the load/store queue and commit.
+
+Microarchitecture matches the paper's Figure 3 target: a shared pool of
+reservation stations feeding n general-purpose ALUs, b branch units,
+one load/store unit and an FPU pool, writing back over a result bus
+into a ROB that commits in order.  Caches are blocking; resolving a
+misprediction flushes the pipeline through the ROB (stated prototype
+limitations we reproduce deliberately).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.microcode.uop import (
+    UOP_BRANCH,
+    UOP_JUMP,
+    UOP_LOAD,
+    UOP_STORE,
+    UNIT_ALU,
+    UNIT_BRU,
+    UNIT_FPU,
+    UNIT_LSU,
+)
+from repro.timing.cache.hierarchy import CacheHierarchy
+from repro.timing.module import Module
+from repro.timing.pipeline.dynamic import (
+    DynInstr,
+    DynUop,
+    U_DONE,
+    U_ISSUED,
+    U_SQUASHED,
+    U_WAITING,
+)
+from repro.timing.pipeline.frontend import (
+    DRAIN_EXCEPTION,
+    DRAIN_INTERRUPT,
+    DRAIN_MISPREDICT,
+    DRAIN_SERIALIZE,
+    Frontend,
+)
+
+# µop ops that occupy their unit for the full latency (not pipelined).
+UNPIPELINED = frozenset({"div", "fdiv", "fsqrt"})
+
+
+class Backend(Module):
+    def __init__(
+        self,
+        frontend: Frontend,
+        hierarchy: CacheHierarchy,
+        feed,
+        rob_entries: int = 64,
+        rs_entries: int = 16,
+        lsq_entries: int = 16,
+        num_alus: int = 8,
+        num_brus: int = 2,
+        num_fpus: int = 2,
+        num_lsus: int = 1,
+        dispatch_width: int = 4,
+        commit_width: int = 2,
+        result_bus_width: int = 4,
+    ):
+        super().__init__("backend")
+        self.frontend = frontend
+        self.hierarchy = hierarchy
+        self.feed = feed
+        self.rob_entries = rob_entries
+        self.rs_entries = rs_entries
+        self.lsq_entries = lsq_entries
+        self.dispatch_width = dispatch_width
+        self.commit_width = commit_width
+        self.result_bus_width = result_bus_width
+
+        self.rob: deque = deque()
+        self.rs: List[DynUop] = []
+        self.lsq: List[DynUop] = []
+        self.in_flight: List[DynUop] = []
+        self.reg_producer: Dict[int, DynUop] = {}
+        self._units: Dict[str, List[int]] = {  # busy-until cycle per unit
+            UNIT_ALU: [0] * num_alus,
+            UNIT_BRU: [0] * num_brus,
+            UNIT_FPU: [0] * num_fpus,
+            UNIT_LSU: [0] * num_lsus,
+        }
+        self._seq = 0
+        self._dispatching: Optional[Tuple[DynInstr, int]] = None
+        self.committed_instructions = 0
+        self.committed_uops = 0
+        self.last_commit_cycle = 0
+        self.on_instr_commit = None  # optional (dyn_instr, cycle) hook
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def rob_empty(self) -> bool:
+        return not self.rob
+
+    def count_unresolved_controls(self) -> int:
+        """Distinct in-flight control instructions not yet resolved."""
+        seen = set()
+        count = 0
+        for uop in self.rob:
+            di = uop.instr
+            if id(di) in seen:
+                continue
+            seen.add(id(di))
+            if di.is_control and not di.resolved and not di.squashed:
+                count += 1
+        return count
+
+    @property
+    def rob_occupancy(self) -> int:
+        return len(self.rob)
+
+    # -- per-cycle operation: writeback -> commit -> issue -> dispatch ----
+
+    def tick(self, cycle: int) -> None:
+        self._writeback(cycle)
+        self._commit(cycle)
+        self._issue(cycle)
+        self._dispatch(cycle)
+        if not self.rob:
+            # Empty ROB: every architectural value is in the register
+            # file, so the rename map resets (this is why flushing
+            # through the ROB makes recovery simple -- and slow).
+            self.reg_producer.clear()
+
+    # -- writeback ---------------------------------------------------------
+
+    def _writeback(self, cycle: int) -> None:
+        if not self.in_flight:
+            return
+        finishing = [u for u in self.in_flight if u.done_cycle <= cycle]
+        if not finishing:
+            return
+        finishing.sort(key=lambda u: u.seq)
+        granted = finishing[: self.result_bus_width]
+        for uop in finishing[self.result_bus_width :]:
+            uop.done_cycle = cycle + 1  # result bus conflict: retry
+            self.bump("result_bus_conflicts")
+        for uop in granted:
+            if uop.state == U_SQUASHED:
+                continue  # squashed by a resolution earlier this cycle
+            self.in_flight.remove(uop)
+            uop.state = U_DONE
+            uop.done_cycle = cycle
+            self.bump("writebacks")
+            if uop.uop.kind in (UOP_BRANCH, UOP_JUMP):
+                self._resolve_control(uop, cycle)
+
+    def _resolve_control(self, uop: DynUop, cycle: int) -> None:
+        di = uop.instr
+        if di.resolved or di.squashed:
+            return
+        di.resolved = True
+        self.frontend.branch_resolved()
+        if di.mispredicted and not di.wrong_path:
+            self.bump("mispredict_resolutions")
+            self.squash_younger(di, cycle)
+            self.feed.resolve_wrong_path(di.in_no, di.entry.next_pc)
+            self.frontend.begin_drain(di.entry.next_pc, DRAIN_MISPREDICT)
+
+    # -- commit ----------------------------------------------------------------
+
+    def _commit(self, cycle: int) -> None:
+        committed = 0
+        while self.rob and committed < self.commit_width:
+            uop: DynUop = self.rob[0]
+            if uop.state != U_DONE or uop.done_cycle >= cycle:
+                break
+            self.rob.popleft()
+            committed += 1
+            self.committed_uops += 1
+            self.last_commit_cycle = cycle
+            di = uop.instr
+            if uop.uop.kind == UOP_STORE:
+                self.hierarchy.access_data(uop.mem_paddr, is_write=True)
+                if uop in self.lsq:
+                    self.lsq.remove(uop)
+            elif uop.uop.kind == UOP_LOAD and uop in self.lsq:
+                self.lsq.remove(uop)
+            di.uops_committed += 1
+            if uop.is_last:
+                self._commit_instruction(di, cycle)
+        if committed:
+            self.bump("commit_cycles")
+
+    def _commit_instruction(self, di: DynInstr, cycle: int) -> None:
+        entry = di.entry
+        self.committed_instructions += 1
+        self.bump("instructions")
+        if di.is_control:
+            self.frontend.predictor.update(entry, entry.taken, entry.next_pc)
+            self.frontend.predictor.record_outcome(not di.mispredicted)
+            self.bump("branches")
+            if di.mispredicted:
+                self.bump("mispredicts")
+        if entry.exception:
+            self.bump("exception_redirects")
+        self.feed.commit(entry.in_no)
+        if di.is_barrier:
+            reason = DRAIN_EXCEPTION if entry.exception else DRAIN_SERIALIZE
+            self.frontend.begin_drain(entry.next_pc, reason)
+        if self.on_instr_commit is not None:
+            self.on_instr_commit(di, cycle)
+
+    # -- issue ---------------------------------------------------------------------
+
+    def _free_unit(self, unit: str, cycle: int) -> int:
+        for index, busy_until in enumerate(self._units[unit]):
+            if busy_until <= cycle:
+                return index
+        return -1
+
+    def _issue(self, cycle: int) -> None:
+        if not self.rs:
+            return
+        issued: List[DynUop] = []
+        for uop in self.rs:
+            unit = uop.uop.unit
+            index = self._free_unit(unit, cycle)
+            if index < 0:
+                continue
+            if not uop.ready(cycle):
+                continue
+            latency = uop.uop.lat
+            if uop.uop.kind == UOP_LOAD:
+                latency = self._issue_load(uop)
+            elif uop.uop.kind == UOP_STORE:
+                latency = 1  # cache write happens at commit
+            uop.state = U_ISSUED
+            uop.done_cycle = cycle + latency
+            uop.fu = (unit, index)
+            if uop.uop.op in UNPIPELINED or uop.uop.kind == UOP_LOAD:
+                self._units[unit][index] = cycle + latency
+            else:
+                self._units[unit][index] = cycle + 1
+            self.in_flight.append(uop)
+            issued.append(uop)
+            self.bump("issues")
+        for uop in issued:
+            self.rs.remove(uop)
+
+    def _issue_load(self, uop: DynUop) -> int:
+        """Load execution: store-to-load forwarding, else the blocking
+        data-cache hierarchy."""
+        word = uop.mem_paddr & ~3
+        for other in self.lsq:
+            if other.seq >= uop.seq:
+                break
+            if (
+                other.uop.kind == UOP_STORE
+                and other.mem_paddr >= 0
+                and (other.mem_paddr & ~3) == word
+            ):
+                self.bump("store_forwards")
+                return self.hierarchy.geometry.l1_hit_latency
+        if uop.mem_paddr < 0:
+            return self.hierarchy.geometry.l1_hit_latency
+        latency = self.hierarchy.access_data(uop.mem_paddr)
+        if latency > self.hierarchy.geometry.l1_hit_latency:
+            self.bump("load_misses")
+        return latency
+
+    # -- dispatch (rename + ROB/RS/LSQ allocation) ------------------------------------
+
+    def _dispatch(self, cycle: int) -> None:
+        budget = self.dispatch_width
+        while budget > 0:
+            if self._dispatching is None:
+                di = self.frontend.decode_q.pop()
+                if di is None:
+                    return
+                if di.squashed:
+                    continue
+                if not di.uops_template:
+                    # Degenerate (shouldn't happen: crack returns >= 1 µop)
+                    continue
+                self._dispatching = (di, 0)
+            di, index = self._dispatching
+            if di.squashed:
+                self._dispatching = None
+                continue
+            template = di.uops_template
+            uop = template[index]
+            if len(self.rob) >= self.rob_entries:
+                self.bump("rob_full_stalls")
+                return
+            if len(self.rs) >= self.rs_entries:
+                self.bump("rs_full_stalls")
+                return
+            if uop.is_mem and len(self.lsq) >= self.lsq_entries:
+                self.bump("lsq_full_stalls")
+                return
+            self._seq += 1
+            dyn = DynUop(self._seq, di, uop, is_last=(index + 1 == len(template)))
+            for reg in uop.sources():
+                producer = self.reg_producer.get(reg)
+                if producer is not None and producer.state != U_SQUASHED:
+                    dyn.deps.append(producer)
+            for reg in uop.destinations():
+                self.reg_producer[reg] = dyn
+            di.uops.append(dyn)
+            self.rob.append(dyn)
+            self.rs.append(dyn)
+            if uop.is_mem:
+                self.lsq.append(dyn)
+            self.bump("dispatched_uops")
+            budget -= 1
+            if index + 1 == len(template):
+                self._dispatching = None
+            else:
+                self._dispatching = (di, index + 1)
+
+    # -- squash -----------------------------------------------------------------------
+
+    def squash_all(self, cycle: int) -> None:
+        """Squash every in-flight µop (asynchronous-interrupt flush)."""
+        squashed_controls = 0
+        seen = set()
+        while self.rob:
+            uop: DynUop = self.rob.pop()
+            uop.state = U_SQUASHED
+            victim = uop.instr
+            if id(victim) not in seen:
+                seen.add(id(victim))
+                if not victim.squashed:
+                    victim.squashed = True
+                    if victim.is_control and not victim.resolved:
+                        squashed_controls += 1
+            self.bump("squashed_uops")
+        self.rs = []
+        self.lsq = []
+        for uop in self.in_flight:
+            uop.state = U_SQUASHED
+            if uop.fu is not None:
+                unit, index = uop.fu
+                self._units[unit][index] = cycle
+        self.in_flight = []
+        self.reg_producer.clear()
+        self._dispatching = None
+        self.frontend.branches_squashed(squashed_controls)
+
+    def squash_younger(self, di: DynInstr, cycle: int) -> None:
+        """Remove every µop younger than *di* (mis-speculation recovery)."""
+        boundary = di.uops[-1].seq
+        squashed_controls = 0
+        seen_instrs = set()
+        while self.rob and self.rob[-1].seq > boundary:
+            uop: DynUop = self.rob.pop()
+            uop.state = U_SQUASHED
+            victim = uop.instr
+            if id(victim) not in seen_instrs:
+                seen_instrs.add(id(victim))
+                if not victim.squashed:
+                    victim.squashed = True
+                    if victim.is_control and not victim.resolved:
+                        squashed_controls += 1
+            self.bump("squashed_uops")
+        self.rs = [u for u in self.rs if u.seq <= boundary]
+        self.lsq = [u for u in self.lsq if u.seq <= boundary]
+        for uop in self.in_flight:
+            if uop.seq > boundary:
+                uop.state = U_SQUASHED
+                if uop.fu is not None:
+                    # Release the (possibly long-latency) unit it held.
+                    unit, index = uop.fu
+                    self._units[unit][index] = cycle
+        self.in_flight = [u for u in self.in_flight if u.seq <= boundary]
+        if self._dispatching is not None:
+            # Dispatch is in-order, so anything occupying the partial-
+            # dispatch slot was fetched after the resolving branch (which
+            # is already in the ROB) -- it is wrong-path by construction,
+            # even if none of its µops made it into the ROB yet.
+            pending_di = self._dispatching[0]
+            if not pending_di.squashed:
+                pending_di.squashed = True
+                if pending_di.is_control and not pending_di.resolved:
+                    squashed_controls += 1
+            self._dispatching = None
+        self.frontend.branches_squashed(squashed_controls)

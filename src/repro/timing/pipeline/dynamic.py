@@ -1,0 +1,105 @@
+"""Dynamic (in-flight) instruction and µop records."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.functional.trace import TraceEntry
+from repro.microcode.uop import Uop
+
+# µop lifecycle states.
+U_WAITING = 0  # in the reservation station, operands pending
+U_ISSUED = 1  # executing on a functional unit
+U_DONE = 2  # result written back
+U_SQUASHED = 3
+
+
+class DynInstr:
+    """One fetched dynamic instruction (maybe wrong-path)."""
+
+    __slots__ = (
+        "entry",
+        "fetch_cycle",
+        "uops",
+        "uops_template",
+        "uops_committed",
+        "wrong_path",
+        "mispredicted",
+        "predicted_pc",
+        "is_barrier",
+        "resolved",
+        "squashed",
+    )
+
+    def __init__(self, entry: TraceEntry, fetch_cycle: int, wrong_path: bool):
+        self.entry = entry
+        self.fetch_cycle = fetch_cycle
+        self.uops: List["DynUop"] = []
+        self.uops_template = ()  # set by decode, consumed by dispatch
+        self.uops_committed = 0
+        self.wrong_path = wrong_path
+        self.mispredicted = False
+        self.predicted_pc = -1
+        self.is_barrier = False
+        self.resolved = False
+        self.squashed = False
+
+    @property
+    def is_control(self) -> bool:
+        return self.entry.instr.spec.is_control
+
+    @property
+    def in_no(self) -> int:
+        return self.entry.in_no
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "DynInstr(IN=%d %s%s%s)" % (
+            self.entry.in_no,
+            self.entry.instr.name,
+            " WP" if self.wrong_path else "",
+            " MISP" if self.mispredicted else "",
+        )
+
+
+class DynUop:
+    """One in-flight µop."""
+
+    __slots__ = (
+        "seq",
+        "instr",
+        "uop",
+        "state",
+        "deps",
+        "done_cycle",
+        "is_last",
+        "mem_paddr",
+        "fu",
+    )
+
+    def __init__(self, seq: int, instr: DynInstr, uop: Uop, is_last: bool):
+        self.seq = seq
+        self.instr = instr
+        self.uop = uop
+        self.state = U_WAITING
+        self.deps: List["DynUop"] = []
+        self.done_cycle = -1
+        self.is_last = is_last
+        self.mem_paddr = instr.entry.mem_paddr if uop.is_mem else -1
+        self.fu = None  # (unit_class, index) while issued
+
+    def ready(self, cycle: int) -> bool:
+        """All producers have written back by *cycle*."""
+        for dep in self.deps:
+            if dep.state == U_SQUASHED:
+                continue  # producer squashed: value comes from the map
+            if dep.state != U_DONE or dep.done_cycle > cycle:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "DynUop(#%d %s/%s st=%d)" % (
+            self.seq,
+            self.uop.kind,
+            self.uop.op,
+            self.state,
+        )

@@ -1,0 +1,7 @@
+"""Base timing-model primitives: CAMs, FIFOs and arbiters."""
+
+from repro.timing.primitives.arbiter import Arbiter, LRUArbiter, RoundRobinArbiter
+from repro.timing.primitives.cam import CAM
+from repro.timing.primitives.fifo import Fifo
+
+__all__ = ["Arbiter", "CAM", "Fifo", "LRUArbiter", "RoundRobinArbiter"]

@@ -1,0 +1,60 @@
+"""Arbiters: LRU and round-robin (the paper's two stock policies)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.timing.module import Module
+
+
+class Arbiter(Module):
+    """Base: picks one granted requester per cycle from a request set."""
+
+    def __init__(self, name: str, num_requesters: int):
+        super().__init__(name)
+        if num_requesters < 1:
+            raise ValueError("need at least one requester")
+        self.num_requesters = num_requesters
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        raise NotImplementedError
+
+
+class RoundRobinArbiter(Arbiter):
+    """Grants the next requester after the previously granted one."""
+
+    def __init__(self, name: str, num_requesters: int):
+        super().__init__(name, num_requesters)
+        self._last = num_requesters - 1
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        self.bump("arbitrations")
+        n = self.num_requesters
+        for offset in range(1, n + 1):
+            index = (self._last + offset) % n
+            if requests[index]:
+                self._last = index
+                self.bump("grants")
+                return index
+        return None
+
+
+class LRUArbiter(Arbiter):
+    """Grants the least-recently-granted active requester."""
+
+    def __init__(self, name: str, num_requesters: int):
+        super().__init__(name, num_requesters)
+        self._order: List[int] = list(range(num_requesters))  # LRU first
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        self.bump("arbitrations")
+        for index in self._order:
+            if requests[index]:
+                self._order.remove(index)
+                self._order.append(index)
+                self.bump("grants")
+                return index
+        return None
+
+    def resource_estimate(self):
+        return {"luts": 30 * self.num_requesters, "brams": 0}

@@ -1,0 +1,59 @@
+"""Content-addressable memory primitive.
+
+Used by the BTB, caches and the load/store queue.  On FPGAs a CAM is
+expensive (the paper simulates multi-ported structures with multiple
+host cycles); the host model charges accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.timing.module import Module
+
+
+class CAM(Module):
+    """Fixed-capacity key->value store with FIFO eviction."""
+
+    def __init__(self, name: str, capacity: int):
+        super().__init__(name)
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Dict[Any, Any] = {}  # insertion-ordered
+
+    def lookup(self, key: Any) -> Optional[Any]:
+        self.bump("lookups")
+        value = self._entries.get(key)
+        if value is None:
+            self.bump("misses")
+        else:
+            self.bump("hits")
+        return value
+
+    def insert(self, key: Any, value: Any) -> None:
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.bump("evictions")
+        self._entries[key] = value
+
+    def invalidate(self, key: Any) -> bool:
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def resource_estimate(self):
+        return {"luts": 60 * self.capacity, "brams": 0}

@@ -1,0 +1,64 @@
+"""Bounded FIFO primitive (a base Module of the paper's library)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.timing.module import Module
+
+
+class Fifo(Module):
+    """A plain bounded FIFO with occupancy statistics."""
+
+    def __init__(self, name: str, capacity: int):
+        super().__init__(name)
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._items = deque()
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, item: Any) -> bool:
+        if self.full:
+            self.bump("full_stalls")
+            return False
+        self._items.append(item)
+        self.bump("pushes")
+        return True
+
+    def pop(self) -> Optional[Any]:
+        if not self._items:
+            return None
+        self.bump("pops")
+        return self._items.popleft()
+
+    def peek(self) -> Optional[Any]:
+        return self._items[0] if self._items else None
+
+    def clear(self) -> int:
+        count = len(self._items)
+        self._items.clear()
+        return count
+
+    def remove_if(self, predicate) -> int:
+        kept = deque(item for item in self._items if not predicate(item))
+        removed = len(self._items) - len(kept)
+        self._items = kept
+        return removed
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def resource_estimate(self):
+        return {"luts": 40 + 8 * self.capacity, "brams": 1 if self.capacity > 16 else 0}

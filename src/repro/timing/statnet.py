@@ -1,0 +1,121 @@
+"""Statistics-network routing model (section 4.7).
+
+The paper's lesson: "while developing a unified statistics tracing
+fabric, a temporary mechanism was implemented in each Module to track
+relevant metrics.  Collecting and piping this data out of the FPGA
+required significant global routing resources that limited the number
+of metrics tracked as well as impacted FPGA timing closure.  We are
+developing a tree-based statistics network that will flow back through
+the Connectors, ensuring distributed and easy resource routing."
+
+This module prices both schemes over a real Module tree:
+
+* **flat** -- every counter routed point-to-point to the host
+  interface: global routing cost grows with (counters x tree depth),
+  and timing closure degrades as wires converge on one point;
+* **tree** -- counters aggregate hop-by-hop through the module
+  hierarchy (the Connectors): each link carries one aggregated stream,
+  so routing grows with the number of tree edges.
+
+The shape is what matters: the flat fabric's cost explodes with counter
+count while the tree's stays near-linear in module count -- the reason
+the paper re-architected it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.timing.module import Module
+
+# Cost constants (arbitrary routing-resource units).
+WIRE_PER_HOP = 1.0  # one counter routed across one hierarchy level
+TREE_LINK_COST = 4.0  # one aggregation link between parent and child
+AGGREGATOR_LUTS = 30  # per-node adder/mux for the tree scheme
+# Timing-closure pressure: wires converging on a single endpoint crowd
+# the routing channels near it; model as quadratic in endpoint fan-in.
+CONGESTION_EXPONENT = 2.0
+CONGESTION_SCALE = 1e-3
+
+
+@dataclass
+class StatNetReport:
+    scheme: str
+    counters: int
+    modules: int
+    routing_units: float
+    aggregator_luts: int
+    congestion: float  # timing-closure pressure at the worst endpoint
+
+    @property
+    def total_cost(self) -> float:
+        return self.routing_units + self.aggregator_luts + self.congestion
+
+
+def _depths(root: Module) -> Dict[int, int]:
+    depths: Dict[int, int] = {}
+
+    def walk(module: Module, depth: int) -> None:
+        depths[id(module)] = depth
+        for child in module.children:
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return depths
+
+
+def _counter_count(module: Module) -> int:
+    return len(module.counters())
+
+
+def flat_fabric_cost(root: Module,
+                     extra_counters_per_module: int = 0) -> StatNetReport:
+    """Every counter wired individually to the host interface."""
+    depths = _depths(root)
+    counters = 0
+    routing = 0.0
+    for module in root.walk():
+        count = _counter_count(module) + extra_counters_per_module
+        counters += count
+        routing += count * max(1, depths[id(module)]) * WIRE_PER_HOP
+    congestion = CONGESTION_SCALE * (counters ** CONGESTION_EXPONENT)
+    return StatNetReport(
+        scheme="flat",
+        counters=counters,
+        modules=sum(1 for _ in root.walk()),
+        routing_units=routing,
+        aggregator_luts=0,
+        congestion=congestion,
+    )
+
+
+def tree_network_cost(root: Module,
+                      extra_counters_per_module: int = 0) -> StatNetReport:
+    """Counters aggregate through the module hierarchy (the Connectors)."""
+    modules = list(root.walk())
+    counters = sum(
+        _counter_count(m) + extra_counters_per_module for m in modules
+    )
+    edges = len(modules) - 1
+    # Each edge carries one aggregated stream; each node needs a small
+    # aggregator.  Congestion is bounded by the widest fan-in, which is
+    # the widest child count in the tree rather than the global total.
+    widest = max((len(m.children) for m in modules), default=1)
+    congestion = CONGESTION_SCALE * (max(1, widest) ** CONGESTION_EXPONENT)
+    return StatNetReport(
+        scheme="tree",
+        counters=counters,
+        modules=len(modules),
+        routing_units=edges * TREE_LINK_COST,
+        aggregator_luts=AGGREGATOR_LUTS * len(modules),
+        congestion=congestion,
+    )
+
+
+def compare(root: Module, extra_counters_per_module: int = 0):
+    """Return ``(flat, tree)`` reports for the same module tree."""
+    return (
+        flat_fabric_cost(root, extra_counters_per_module),
+        tree_network_cost(root, extra_counters_per_module),
+    )

@@ -1,0 +1,107 @@
+"""Workload framework: named, scalable FastISA programs.
+
+Each workload bundles one or more user programs with the OS variant it
+runs under and carries metadata describing the behaviour it was built
+to exhibit (the paper's benchmarks are characterized by branch
+predictability, floating-point fraction, system-call behaviour, code
+footprint and memory access pattern -- see Table 1 / Figures 4-5).
+
+Workloads take a ``scale`` parameter so tests can run them in a few
+thousand instructions while benchmarks run them longer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.kernel.image import UserProgram
+from repro.kernel.sources import KernelConfig, linux24_config
+
+
+@dataclass
+class Workload:
+    """One benchmark: programs + OS configuration + metadata."""
+
+    name: str
+    programs: List[UserProgram]
+    kernel_config: KernelConfig = field(default_factory=linux24_config)
+    description: str = ""
+    paper_row: str = ""  # the Table 1 row this models
+
+    def __post_init__(self):
+        if not self.programs:
+            raise ValueError("workload needs at least one program")
+
+
+def seeded(seed: int) -> random.Random:
+    """The deterministic RNG used by all generators."""
+    return random.Random(0xFA57 ^ seed)
+
+
+def data_words(label: str, values: Sequence[int]) -> str:
+    """Emit a labeled .word block (eight values per line)."""
+    lines = [label + ":"]
+    values = list(values)
+    if not values:
+        values = [0]
+    for i in range(0, len(values), 8):
+        chunk = values[i : i + 8]
+        lines.append("    .word " + ", ".join(str(v & 0xFFFFFFFF) for v in chunk))
+    return "\n".join(lines)
+
+
+def data_bytes(label: str, blob: bytes) -> str:
+    """Emit a labeled .byte block."""
+    lines = [label + ":"]
+    if not blob:
+        blob = b"\x00"
+    for i in range(0, len(blob), 16):
+        chunk = blob[i : i + 16]
+        lines.append("    .byte " + ", ".join(str(b) for b in chunk))
+    return "\n".join(lines)
+
+
+EXIT_SNIPPET = """
+    MOVI R0, 0            ; SYS_EXIT
+    SYSCALL
+"""
+
+
+def putchar(char: str) -> str:
+    """Assembly to print one character via SYS_PUTCHAR."""
+    return """
+    MOVI R0, 1
+    MOVI R1, %d
+    SYSCALL
+""" % ord(char)
+
+
+# Registry filled in by the suite module.
+_REGISTRY: Dict[str, Callable[[int], Workload]] = {}
+
+
+def register(name: str):
+    """Decorator: register a ``scale -> Workload`` factory."""
+
+    def wrap(factory: Callable[[int], Workload]):
+        _REGISTRY[name] = factory
+        return factory
+
+    return wrap
+
+
+def workload_names() -> List[str]:
+    return list(_REGISTRY)
+
+
+def build(name: str, scale: int = 1) -> Workload:
+    """Instantiate a registered workload at *scale*."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown workload %r (known: %s)" % (name, ", ".join(_REGISTRY))
+        )
+    return factory(scale)

@@ -1,0 +1,708 @@
+"""SPECINT2000-like synthetic kernels (the 12 rows of Table 1).
+
+Each generator produces a small FastISA program whose *behavioural
+signature* models the corresponding SPEC benchmark as the paper
+describes it: eon's heavy floating point (mostly untranslated
+microcode, hence the 52.32 % Table 1 coverage), perlbmk's sleep/HALT
+system calls that starve the timing model (Figure 4), mcf's pointer
+chasing, gcc's large code footprint, parser's data-dependent control,
+and so on.  They are behavioural models, not ports: what matters for
+the reproduced experiments is branch predictability, FP fraction,
+memory pattern, code footprint and syscall behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.image import UserProgram
+from repro.workloads.generator import (
+    EXIT_SNIPPET,
+    Workload,
+    data_bytes,
+    data_words,
+    register,
+    seeded,
+)
+
+
+def _repeat_wrapper(body: str, scale: int, data: str) -> str:
+    """Wrap *body* so it runs ``scale`` times before exiting."""
+    return """
+main:
+    MOVI R1, %d
+    MOVI R2, iters
+    ST [R2+0], R1
+restart:
+%s
+    MOVI R2, iters
+    LD R1, [R2+0]
+    DEC R1
+    ST [R2+0], R1
+    JNZ restart
+%s
+.align 4
+iters:
+    .word 0
+%s
+""" % (max(1, scale), body, EXIT_SNIPPET, data)
+
+
+@register("164.gzip")
+def gzip(scale: int = 1) -> Workload:
+    rng = seeded(164)
+    # Semi-repetitive buffer: run-length structure like real text.
+    buf = bytearray()
+    while len(buf) < 1536:
+        buf += bytes([rng.randrange(64, 96)]) * rng.randrange(1, 9)
+    buf = buf[:1536]
+    body = """
+    ; histogram pass
+    MOVI R4, buf
+    MOVI R5, %(n)d
+gz_hist:
+    LDB R1, [R4+0]
+    MOV R2, R1
+    SHL R2, 2
+    ADDI R2, hist
+    LD R3, [R2+0]
+    INC R3
+    ST [R2+0], R3
+    INC R4
+    DEC R5
+    JNZ gz_hist
+    ; RLE compression pass
+    MOVI R4, buf
+    MOVI R5, %(n)d
+    MOVI R6, outbuf
+    LDB R2, [R4+0]
+    MOVI R3, 1
+    MOVI SP, 0x43f000
+gz_rle:
+    DEC R5
+    JZ gz_done
+    INC R4
+    LDB R1, [R4+0]
+    CMP R1, R2
+    JZ gz_same
+    CALL gz_emit
+    MOV R2, R1
+    MOVI R3, 1
+    JMP gz_rle
+gz_same:
+    INC R3
+    JMP gz_rle
+gz_emit:                  ; write the (value, count) pair
+    PUSH R1
+    STB [R6+0], R2
+    INC R6
+    STB [R6+0], R3
+    INC R6
+    POP R1
+    RET
+gz_done:
+""" % {"n": len(buf)}
+    data = "\n".join(
+        [
+            data_bytes("buf", bytes(buf)),
+            ".align 4",
+            "hist:\n    .space 1024",
+            "outbuf:\n    .space 4096",
+        ]
+    )
+    return Workload(
+        name="164.gzip",
+        programs=[UserProgram("gzip", _repeat_wrapper(body, scale, data), entry="main")],
+        description="byte histogram + RLE compression over repetitive data",
+        paper_row="164.gzip",
+    )
+
+
+@register("175.vpr")
+def vpr(scale: int = 1) -> Workload:
+    rng = seeded(175)
+    n = 128
+    xs = [rng.randrange(0, 512) for _ in range(n)]
+    ys = [rng.randrange(0, 512) for _ in range(n)]
+    body = """
+    MOVI R5, 600          ; placement moves
+    MOVI R6, 12345        ; LCG state
+vpr_move:
+    ; LCG to pick two cells
+    MOVI R1, 1103515245
+    MUL R6, R1
+    ADDI R6, 12345
+    MOV R1, R6
+    SHR R1, 8
+    ANDI R1, %(mask)d
+    MOV R2, R6
+    SHR R2, 16
+    ANDI R2, %(mask)d
+    ; load coordinates, compute FP cost delta
+    SHL R1, 2
+    ADDI R1, xs
+    LD R3, [R1+0]
+    SHL R2, 2
+    ADDI R2, ys
+    LD R4, [R2+0]
+    FITOF F0, R3
+    FITOF F1, R4
+    FSUB F0, F1           ; untranslated FP (NOP microcode)
+    FMUL F0, F0           ; untranslated FP
+    FADD F2, F0
+    ; accept the move if cost improved (sign of F0 - F3)
+    FCMP F0, F3
+    JL vpr_accept
+    DEC R5
+    JNZ vpr_move
+    JMP vpr_done
+vpr_accept:
+    LD R3, [R1+0]
+    LD R4, [R2+0]
+    ST [R1+0], R4
+    ST [R2+0], R3
+    FMOV F3, F0
+    DEC R5
+    JNZ vpr_move
+vpr_done:
+""" % {"mask": n - 1}
+    data = "\n".join([data_words("xs", xs), data_words("ys", ys)])
+    return Workload(
+        name="175.vpr",
+        programs=[UserProgram("vpr", _repeat_wrapper(body, scale, data), entry="main")],
+        description="FP placement-cost moves; significant untranslated FP",
+        paper_row="175.vpr",
+    )
+
+
+@register("176.gcc")
+def gcc(scale: int = 1) -> Workload:
+    rng = seeded(176)
+    nfuncs = 96
+    funcs = []
+    for i in range(nfuncs):
+        op = rng.choice(["ADD", "XOR", "SUB", "OR"])
+        shift = rng.randrange(1, 5)
+        funcs.append(
+            """
+func_%(i)d:
+    PUSH R3
+    MOV R3, R1
+    SHL R3, %(shift)d
+    %(op)s R1, R3
+    CMPI R1, %(threshold)d
+    JC func_%(i)d_skip
+    XORI R1, %(xor)d
+func_%(i)d_skip:
+    POP R3
+    RET"""
+            % {
+                "i": i,
+                "shift": shift,
+                "op": op,
+                "threshold": rng.randrange(1 << 20),
+                "xor": rng.randrange(1 << 16),
+            }
+        )
+    body = """
+    MOVI R1, 7
+    MOVI R5, %(n)d
+    MOVI R6, functab
+gcc_pass:
+    LD R2, [R6+0]
+    MOVI R4, 4            ; optimizer passes revisit each function
+gcc_rep:
+    CALLR R2
+    DEC R4
+    JNZ gcc_rep
+    ADDI R6, 4
+    DEC R5
+    JNZ gcc_pass
+""" % {"n": nfuncs}
+    table = data_words("functab", [0] * 0) + "\n"
+    table = "functab:\n" + "\n".join("    .word func_%d" % i for i in range(nfuncs))
+    data = "\n".join([table] + funcs)
+    return Workload(
+        name="176.gcc",
+        programs=[UserProgram("gcc", _repeat_wrapper(body, scale, data), entry="main")],
+        description="large code footprint, indirect calls through a table",
+        paper_row="176.gcc",
+    )
+
+
+@register("181.mcf")
+def mcf(scale: int = 1) -> Workload:
+    rng = seeded(181)
+    n = 4096
+    order = list(range(1, n)) + [0]
+    rng.shuffle(order)
+    # node[i] = (next_index*8, value); shuffled to defeat locality.
+    node_words = []
+    perm = list(range(n))
+    rng.shuffle(perm)
+    nxt = {perm[i]: perm[(i + 1) % n] for i in range(n)}
+    for i in range(n):
+        node_words += [nxt[i] * 8, rng.randrange(1 << 16)]
+    body = """
+    MOVI R4, nodes        ; current node
+    MOVI R5, %(steps)d
+    MOVI R6, 0            ; accumulator
+mcf_chase:
+    LD R2, [R4+4]         ; value
+    TEST R2, R2
+    JZ mcf_skip
+    MOV R3, R2
+    ANDI R3, 1
+    JZ mcf_even
+    ADD R6, R2
+    JMP mcf_next
+mcf_even:
+    SUB R6, R2
+    JMP mcf_next
+mcf_skip:
+    INC R6
+mcf_next:
+    LD R4, [R4+0]         ; follow the pointer
+    ADDI R4, nodes
+    DEC R5
+    JNZ mcf_chase
+    MOVI R2, acc
+    ST [R2+0], R6
+""" % {"steps": 2500}
+    data = "\n".join([data_words("nodes", node_words), "acc:\n    .word 0"])
+    return Workload(
+        name="181.mcf",
+        programs=[UserProgram("mcf", _repeat_wrapper(body, scale, data), entry="main")],
+        description="pointer chasing with data-dependent branches",
+        paper_row="181.mcf",
+    )
+
+
+@register("186.crafty")
+def crafty(scale: int = 1) -> Workload:
+    rng = seeded(186)
+    boards = [rng.randrange(1 << 32) for _ in range(64)]
+    body = """
+    MOVI R4, boards
+    MOVI R5, 64
+    MOVI SP, 0x43f000
+cr_board:
+    LD R1, [R4+0]
+    CALL cr_popcount
+    JMP cr_popdone
+cr_popcount:              ; R1 -> R2 = population count
+    PUSH R4
+    MOVI R2, 0
+cr_pop:
+    TEST R1, R1
+    JZ cr_popret
+    MOV R3, R1
+    ANDI R3, 1
+    ADD R2, R3
+    SHR R1, 1
+    JMP cr_pop
+cr_popret:
+    POP R4
+    RET
+cr_popdone:
+    ; fold the count back into the next board (attack map update)
+    LD R1, [R4+0]
+    SHL R1, 1
+    XOR R1, R2
+    ST [R4+0], R1
+    ADDI R4, 4
+    DEC R5
+    JNZ cr_board
+"""
+    data = data_words("boards", boards)
+    return Workload(
+        name="186.crafty",
+        programs=[UserProgram("crafty", _repeat_wrapper(body, scale, data), entry="main")],
+        description="bitboard manipulation, highly predictable branches",
+        paper_row="186.crafty",
+    )
+
+
+@register("197.parser")
+def parser(scale: int = 1) -> Workload:
+    rng = seeded(197)
+    text = bytes(rng.randrange(0, 8) for _ in range(1024))
+    states = []
+    for s in range(8):
+        delta = rng.randrange(1, 7)
+        states.append(
+            """
+state_%(s)d:
+    PUSH R1
+    ADDI R6, %(delta)d
+    ANDI R6, 7
+    POP R1
+    JMP ps_next"""
+            % {"s": s, "delta": delta}
+        )
+    body = """
+    MOVI SP, 0x43f000
+    MOVI R4, text
+    MOVI R5, %(n)d
+    MOVI R6, 0            ; parser state
+ps_loop:
+    LDB R1, [R4+0]
+    ADD R1, R6
+    ANDI R1, 7
+    SHL R1, 2
+    ADDI R1, statetab
+    LD R2, [R1+0]
+    JR R2                 ; indirect dispatch: hard to predict
+ps_next:
+    INC R4
+    DEC R5
+    JNZ ps_loop
+""" % {"n": len(text)}
+    table = "statetab:\n" + "\n".join("    .word state_%d" % s for s in range(8))
+    data = "\n".join([data_bytes("text", text), ".align 4", table] + states)
+    return Workload(
+        name="197.parser",
+        programs=[UserProgram("parser", _repeat_wrapper(body, scale, data), entry="main")],
+        description="table-driven state machine, unpredictable indirect branches",
+        paper_row="197.parser",
+    )
+
+
+@register("252.eon")
+def eon(scale: int = 1) -> Workload:
+    rng = seeded(252)
+    n = 96
+    verts = [rng.randrange(1, 1 << 12) for _ in range(3 * n)]
+    body = """
+    MOVI R4, verts
+    MOVI R5, %(n)d
+    MOVI SP, 0x43f000
+eon_ray:
+    LD R1, [R4+0]
+    LD R2, [R4+4]
+    LD R3, [R4+8]
+    CALL eon_shade
+    ADDI R4, 12
+    DEC R5
+    JNZ eon_ray
+    JMP eon_rays_done
+eon_shade:
+    FITOF F0, R1
+    FITOF F1, R2
+    FITOF F2, R3
+    ; shading: dot products, reflection, normalization -- mostly
+    ; untranslated FP microcode (the Table 1 eon signature)
+    FMUL F0, F1
+    FMUL F1, F2
+    FMUL F2, F0
+    FADD F0, F1
+    FSQRT F3, F0
+    FDIV F0, F3
+    FDIV F1, F3
+    FMUL F2, F0
+    FSUB F1, F2
+    FMUL F1, F1
+    FSUB F2, F1
+    FMUL F3, F2
+    FDIV F2, F3
+    FADD F4, F1
+    RET
+eon_rays_done:
+""" % {"n": n}
+    data = data_words("verts", verts)
+    return Workload(
+        name="252.eon",
+        programs=[UserProgram("eon", _repeat_wrapper(body, scale, data), entry="main")],
+        description="ray-shading FP kernel; most FP microcode untranslated",
+        paper_row="252.eon",
+    )
+
+
+@register("253.perlbmk")
+def perlbmk(scale: int = 1) -> Workload:
+    rng = seeded(253)
+    text = bytes(rng.choice(b"abcdefeegh e\n") for _ in range(768))
+    body = """
+    ; interpreter-style hash loop over the text (the bulk of the work),
+    ; short REP SCASB scans, then sleep -- the HALT behaviour that
+    ; hurts perlbmk in Figure 4.
+    MOVI R4, text
+    MOVI R5, %(n)d
+    MOVI R6, 5381
+pb_hash:
+    LDB R1, [R4+0]
+    MOV R2, R6
+    SHL R2, 5
+    ADD R6, R2
+    ADD R6, R1
+    XORI R6, 0x1505
+    INC R4
+    DEC R5
+    JNZ pb_hash
+    ; scan a slice for 'e' characters with REP SCASB
+    MOVI R0, text
+    MOVI R2, 192
+    MOVI R3, 101          ; 'e'
+pb_scan:
+    REP SCASB
+    JNZ pb_scandone       ; Z clear: ran out without a match
+    MOV R1, R0
+    SUBI R1, text
+    MUL R6, R1
+    ADDI R6, 17
+    CMPI R2, 0
+    JNZ pb_scan
+pb_scandone:
+    MOVI R2, hashv
+    ST [R2+0], R6
+    ; perl's sleep(): block until the timer wakes us
+    MOVI R0, 2            ; SYS_SLEEP
+    MOVI R1, 2
+    SYSCALL
+    ; copy a result string
+    MOVI R0, text
+    MOVI R1, copybuf
+    MOVI R2, 48
+    REP MOVSB
+""" % {"n": len(text)}
+    data = "\n".join(
+        [
+            data_bytes("text", text),
+            ".align 4",
+            "hashv:\n    .word 0",
+            "copybuf:\n    .space %d" % len(text),
+        ]
+    )
+    return Workload(
+        name="253.perlbmk",
+        programs=[UserProgram("perlbmk", _repeat_wrapper(body, scale, data), entry="main")],
+        description="string scanning + sleep system calls (HALT idling)",
+        paper_row="253.perlbmk",
+    )
+
+
+@register("254.gap")
+def gap(scale: int = 1) -> Workload:
+    body = """
+    MOVI R4, 2
+    MOVI R5, 400
+    MOVI SP, 0x43f000
+gap_outer:
+    ; gcd(R4, R5-ish) by repeated division
+    MOV R1, R4
+    MOV R2, R5
+    ADDI R2, 7
+    CALL gap_gcd_fn
+    JMP gap_gcddone
+gap_gcd_fn:
+    PUSH R5
+    CALL gap_gcd_inner
+    POP R5
+    RET
+gap_gcd_inner:
+gap_gcd:
+    TEST R2, R2
+    JZ gap_gcddone
+    MOV R3, R1
+    DIV R3, R2            ; quotient
+    MUL R3, R2
+    SUB R1, R3            ; remainder via r - q*b
+    MOV R6, R1
+    MOV R1, R2
+    MOV R2, R6
+    JMP gap_gcd
+    RET
+gap_gcddone:
+    ; modular product chain
+    MOV R2, R4
+    MUL R2, R5
+    MOVI R3, 65521
+    MOV R6, R2
+    DIV R6, R3
+    MUL R6, R3
+    SUB R2, R6
+    ADD R4, R2
+    ANDI R4, 1023
+    INC R4
+    DEC R5
+    JNZ gap_outer
+"""
+    return Workload(
+        name="254.gap",
+        programs=[UserProgram("gap", _repeat_wrapper(body, scale, ""), entry="main")],
+        description="integer multiply/divide chains (computer algebra)",
+        paper_row="254.gap",
+    )
+
+
+@register("255.vortex")
+def vortex(scale: int = 1) -> Workload:
+    rng = seeded(255)
+    keys = [rng.randrange(1, 1 << 30) for _ in range(256)]
+    body = """
+    ; insert pass
+    MOVI R5, %(n)d
+    MOVI R6, keys
+vx_ins:
+    LD R1, [R6+0]
+    CALL vx_insert
+    ADDI R6, 4
+    DEC R5
+    JNZ vx_ins
+    ; lookup pass
+    MOVI R5, %(n)d
+    MOVI R6, keys
+vx_look:
+    LD R1, [R6+0]
+    CALL vx_lookup
+    ADDI R6, 4
+    DEC R5
+    JNZ vx_look
+    JMP vx_done
+vx_insert:                ; R1 = key; clobbers R2,R3
+    PUSH R1
+    MOV R2, R1
+    SHR R2, 7
+    XOR R2, R1
+    ANDI R2, 511
+    SHL R2, 2
+    ADDI R2, table
+    ST [R2+0], R1
+    POP R1
+    RET
+vx_lookup:                ; R1 = key -> R3 = found?
+    PUSH R1
+    MOV R2, R1
+    SHR R2, 7
+    XOR R2, R1
+    ANDI R2, 511
+    SHL R2, 2
+    ADDI R2, table
+    LD R3, [R2+0]
+    CMP R3, R1
+    JZ vx_hit
+    MOVI R3, 0
+    POP R1
+    RET
+vx_hit:
+    MOVI R3, 1
+    POP R1
+    RET
+vx_done:
+""" % {"n": len(keys)}
+    data = "\n".join([data_words("keys", keys), "table:\n    .space 2048"])
+    return Workload(
+        name="255.vortex",
+        programs=[UserProgram("vortex", _repeat_wrapper(body, scale, data), entry="main")],
+        description="hash-table OODB operations, call/return heavy",
+        paper_row="255.vortex",
+    )
+
+
+@register("256.bzip2")
+def bzip2(scale: int = 1) -> Workload:
+    rng = seeded(256)
+    n = 192
+    arr = [rng.randrange(1 << 16) for _ in range(n)]
+    body = """
+    ; insertion sort (block-sorting stand-in)
+    MOVI SP, 0x43f000
+    MOVI R4, 1
+bz_outer:
+    CMPI R4, %(n)d
+    JGE bz_sorted
+    MOV R5, R4
+    SHL R5, 2
+    ADDI R5, arr
+    LD R6, [R5+0]         ; key
+    MOV R3, R4
+bz_inner:
+    CMPI R3, 0
+    JZ bz_place
+    MOV R5, R3
+    DEC R5
+    SHL R5, 2
+    ADDI R5, arr
+    LD R2, [R5+0]
+    CMP R2, R6
+    JLE bz_place
+    MOV R1, R3
+    SHL R1, 2
+    ADDI R1, arr
+    ST [R1+0], R2
+    DEC R3
+    JMP bz_inner
+bz_place:
+    CALL bz_store
+    INC R4
+    JMP bz_outer
+bz_store:                 ; arr[R3] = R6
+    PUSH R1
+    MOV R1, R3
+    SHL R1, 2
+    ADDI R1, arr
+    ST [R1+0], R6
+    POP R1
+    RET
+bz_sorted:
+""" % {"n": n}
+    data = data_words("arr", arr)
+    return Workload(
+        name="256.bzip2",
+        programs=[UserProgram("bzip2", _repeat_wrapper(body, scale, data), entry="main")],
+        description="insertion sort over pseudo-random data",
+        paper_row="256.bzip2",
+    )
+
+
+@register("300.twolf")
+def twolf(scale: int = 1) -> Workload:
+    rng = seeded(300)
+    n = 128
+    cells = [rng.randrange(0, 1024) for _ in range(n)]
+    body = """
+    MOVI SP, 0x43f000
+    MOVI R5, 500
+    MOVI R6, 99991        ; LCG state
+tw_move:
+    MOVI R1, 69069
+    MUL R6, R1
+    ADDI R6, 1
+    MOV R1, R6
+    SHR R1, 10
+    ANDI R1, %(mask)d
+    SHL R1, 2
+    ADDI R1, cells
+    LD R2, [R1+0]
+    CALL tw_cost
+    JMP tw_cost_done
+tw_cost:                  ; R2 -> R3 = |pos - 512|
+    PUSH R2
+    MOV R3, R2
+    SUBI R3, 512
+    JGE tw_abs_done
+    NEG R3
+tw_abs_done:
+    POP R2
+    RET
+tw_cost_done:
+    CMPI R3, 256
+    JG tw_reject
+    ; accept: nudge the cell toward the center
+    CMPI R2, 512
+    JGE tw_dec
+    ADDI R2, 3
+    JMP tw_store
+tw_dec:
+    SUBI R2, 3
+tw_store:
+    ST [R1+0], R2
+tw_reject:
+    DEC R5
+    JNZ tw_move
+""" % {"mask": n - 1}
+    data = data_words("cells", cells)
+    return Workload(
+        name="300.twolf",
+        programs=[UserProgram("twolf", _repeat_wrapper(body, scale, data), entry="main")],
+        description="simulated-annealing placement moves",
+        paper_row="300.twolf",
+    )

@@ -1,0 +1,52 @@
+"""The full workload suite, ordered as the paper's Table 1."""
+
+from __future__ import annotations
+
+from typing import List
+
+# Importing the generator modules registers their workloads.
+from repro.workloads import boot, database, scientific, specint  # noqa: F401
+from repro.workloads.generator import Workload, build, workload_names
+
+# Table 1 row order.
+SUITE_ORDER = [
+    "linux-2.4",
+    "164.gzip",
+    "175.vpr",
+    "176.gcc",
+    "181.mcf",
+    "186.crafty",
+    "197.parser",
+    "252.eon",
+    "253.perlbmk",
+    "254.gap",
+    "255.vortex",
+    "256.bzip2",
+    "300.twolf",
+    "linux-2.6",
+    "sweep3d",
+    "mysql",
+]
+
+# A cheaper subset for quick runs and smoke tests.
+QUICK_SUITE = ["164.gzip", "181.mcf", "252.eon", "253.perlbmk"]
+
+
+def full_suite(scale: int = 1) -> List[Workload]:
+    """All 16 workloads at *scale*, in Table 1 order."""
+    return [build(name, scale) for name in SUITE_ORDER]
+
+
+def quick_suite(scale: int = 1) -> List[Workload]:
+    return [build(name, scale) for name in QUICK_SUITE]
+
+
+__all__ = [
+    "QUICK_SUITE",
+    "SUITE_ORDER",
+    "Workload",
+    "build",
+    "full_suite",
+    "quick_suite",
+    "workload_names",
+]

@@ -1,0 +1,30 @@
+"""Shared test helpers: bare-metal program execution."""
+
+from __future__ import annotations
+
+from repro.functional.model import FunctionalConfig, FunctionalModel
+from repro.isa.program import ProgramImage
+from repro.system.bus import build_standard_system
+
+
+def run_bare(source: str, max_instructions: int = 100_000,
+             config: FunctionalConfig = None, memory_size: int = 1 << 20,
+             base: int = 0x1000):
+    """Assemble and run *source* in kernel mode (physical addressing).
+
+    The program should end with HALT or a power-off OUT.  Returns the
+    functional model for inspection.
+    """
+    image = ProgramImage.from_assembly("test", source, base=base)
+    memory, bus, _i, _t, console, _d = build_standard_system(
+        memory_size=memory_size
+    )
+    fm = FunctionalModel(memory=memory, bus=bus, config=config)
+    fm.load(image)
+    fm.run(max_instructions=max_instructions)
+    fm.console = console
+    return fm
+
+
+def regs_of(fm) -> list:
+    return list(fm.state.regs)

@@ -1,0 +1,192 @@
+"""Microarchitectural corner cases: structural hazards, forwarding,
+result-bus conflicts, nested-branch limits and squash bookkeeping."""
+
+import pytest
+
+from tests.test_timing_pipeline import run_timing
+from repro.timing.core import TimingConfig
+
+
+class TestStructuralHazards:
+    def test_rob_full_stalls_counted(self):
+        # A slow op at the ROB head with a flood of fast independent
+        # ops behind it fills the 64-entry ROB (commit width 1 keeps
+        # the head draining slowly).
+        # A warm loop so fetch sustains full width (cold I-cache misses
+        # would starve the ROB otherwise).
+        source = (
+            "MOVI R5, 40\nMOVI R2, 3\n"
+            + "big:\n    MOVI R1, 1000000\n    DIV R1, R2\n"
+            + "".join("    MOVI R%d, %d\n" % (3 + i % 2, i) for i in range(8))
+            + "    DEC R5\n    JNZ big\n    HALT\n"
+        )
+        config = TimingConfig(
+            predictor="perfect", issue_width=4, dispatch_width=8,
+            commit_width=1, result_bus_width=8,
+        )
+        stats, tm, _ = run_timing(source, config)
+        assert tm.backend.counter("rob_full_stalls") > 0
+
+    def test_rs_full_with_tiny_rs(self):
+        source = (
+            "MOVI R1, 99999\nMOVI R2, 7\n"
+            + "DIV R1, R2\n" * 6
+            + "ADD R3, R4\n" * 30
+            + "HALT\n"
+        )
+        config = TimingConfig(predictor="perfect", rs_entries=4)
+        stats, tm, _ = run_timing(source, config)
+        assert tm.backend.counter("rs_full_stalls") > 0
+
+    def test_lsq_full_with_tiny_lsq(self):
+        source = (
+            "MOVI R1, 0x9000\nMOVI R2, 99999\nMOVI R3, 3\nDIV R2, R3\n"
+            + "ST [R1+0], R2\n" * 24
+            + "HALT\n"
+        )
+        config = TimingConfig(predictor="perfect", lsq_entries=2)
+        stats, tm, _ = run_timing(source, config)
+        assert tm.backend.counter("lsq_full_stalls") > 0
+
+    def test_single_alu_serializes(self):
+        source = "MOVI R1, 1\nMOVI R2, 2\n" + "ADD R1, R1\nADD R2, R2\n" * 20 + "HALT\n"
+        many, _, _ = run_timing(
+            source, TimingConfig(predictor="perfect", num_alus=8)
+        )
+        one, _, _ = run_timing(
+            source, TimingConfig(predictor="perfect", num_alus=1)
+        )
+        assert one.cycles > many.cycles
+
+    def test_result_bus_conflicts(self):
+        # Many independent 1-cycle ops completing together with a
+        # 1-wide result bus.
+        source = (
+            "\n".join("MOVI R%d, %d" % (i % 7, i) for i in range(40))
+            + "\nHALT\n"
+        )
+        config = TimingConfig(
+            predictor="perfect", result_bus_width=1, dispatch_width=8,
+            issue_width=4, commit_width=4,
+        )
+        stats, tm, _ = run_timing(source, config)
+        assert tm.backend.counter("result_bus_conflicts") > 0
+
+
+class TestForwarding:
+    def test_store_to_load_forwarding(self):
+        source = """
+            MOVI R1, 0x9000
+            MOVI R2, 42
+            ST [R1+0], R2
+            LD R3, [R1+0]
+            HALT
+        """
+        stats, tm, fm = run_timing(source)
+        assert fm.state.regs[3] == 42
+        assert tm.backend.counter("store_forwards") >= 1
+
+    def test_no_forwarding_for_different_addresses(self):
+        source = """
+            MOVI R1, 0x9000
+            MOVI R2, 42
+            ST [R1+0], R2
+            LD R3, [R1+64]
+            HALT
+        """
+        stats, tm, _ = run_timing(source)
+        assert tm.backend.counter("store_forwards") == 0
+
+
+class TestNestedBranchLimit:
+    LOOP = """
+        MOVI R1, 30
+        MOVI R2, 0
+    a:
+        ADD R2, R1
+        CMPI R2, 10000
+        JGE skip1
+        INC R2
+    skip1:
+        CMPI R2, 20000
+        JGE skip2
+        INC R2
+    skip2:
+        DEC R1
+        JNZ a
+        HALT
+    """
+
+    def test_limit_one_slower_than_four(self):
+        four, _, _ = run_timing(
+            self.LOOP, TimingConfig(predictor="perfect", max_nested_branches=4)
+        )
+        one, tm_one, _ = run_timing(
+            self.LOOP, TimingConfig(predictor="perfect", max_nested_branches=1)
+        )
+        assert one.cycles > four.cycles
+        assert tm_one.frontend.counter("branch_limit_stalls") > 0
+
+    def test_outstanding_counter_never_negative(self):
+        stats, tm, _ = run_timing(
+            self.LOOP, TimingConfig(predictor="gshare", max_nested_branches=2)
+        )
+        assert tm.frontend.branches_outstanding >= 0
+        # After a fully drained run, nothing is outstanding.
+        assert tm.backend.count_unresolved_controls() == 0
+
+
+class TestSquashBookkeeping:
+    MISPREDICTY = """
+        MOVI R5, 60
+        MOVI R6, 777
+    top:
+        MOVI R1, 1103515245
+        MUL R6, R1
+        ADDI R6, 12345
+        MOV R1, R6
+        ANDI R1, 3
+        CMPI R1, 1
+        JZ odd
+        MOVI R2, 0x9000
+        LD R3, [R2+0]
+        ADD R3, R6
+        ST [R2+0], R3
+        JMP cont
+    odd:
+        XORI R6, 0xFF
+    cont:
+        DEC R5
+        JNZ top
+        HALT
+    """
+
+    def test_squashed_uops_counted(self):
+        stats, tm, _ = run_timing(
+            self.MISPREDICTY, TimingConfig(predictor="gshare")
+        )
+        assert stats.mispredicts > 0
+        assert tm.backend.counter("squashed_uops") > 0
+
+    def test_wrong_path_fetches_counted(self):
+        stats, tm, _ = run_timing(
+            self.MISPREDICTY, TimingConfig(predictor="gshare")
+        )
+        assert tm.frontend.counter("fetched_wrong_path") > 0
+
+    def test_wrong_path_never_commits(self):
+        stats, tm, fm = run_timing(
+            self.MISPREDICTY, TimingConfig(predictor="gshare")
+        )
+        # Committed instructions == functional committed path exactly:
+        # the FM's final IN equals TM commits (nothing speculative
+        # leaked into the architectural count).
+        assert stats.instructions == fm.in_count
+
+    def test_gshare_equals_perfect_architecturally(self):
+        a, _, fm_a = run_timing(self.MISPREDICTY, TimingConfig(predictor="gshare"))
+        b, _, fm_b = run_timing(self.MISPREDICTY, TimingConfig(predictor="perfect"))
+        # Mis-speculation affects cycles, never architectural results.
+        assert list(fm_a.state.regs) == list(fm_b.state.regs)
+        assert a.instructions == b.instructions
+        assert a.cycles >= b.cycles

@@ -1,0 +1,102 @@
+"""Cross-cutting consistency checks: layout invariants, disassembler
+coverage of every opcode, semantics/µop agreement on flag behaviour."""
+
+import pytest
+
+from repro.isa import make
+from repro.isa.disassembler import format_instr
+from repro.isa.opcodes import OPCODES
+from repro.kernel import layout as L
+from repro.microcode import MicrocodeTable
+from repro.microcode.semantics import SEMANTICS
+
+
+class TestKernelLayout:
+    def test_physical_regions_do_not_overlap(self):
+        regions = [
+            ("vector", L.EXC_VECTOR, L.EXC_VECTOR + 8),
+            ("bios", L.BIOS_BASE, L.DECOMP_BASE),
+            ("decomp", L.DECOMP_BASE, L.BOOTINFO),
+            ("bootinfo", L.BOOTINFO,
+             L.BOOTINFO + 4 + L.BI_STRIDE * L.MAX_PROCS),
+            ("diskbuf", L.DISK_BUF, L.DISK_BUF + 512),
+            ("kernel", L.KERNEL_BASE, L.MEMTEST_BASE),
+            ("memtest", L.MEMTEST_BASE, L.PT_BASE),
+            ("ptables", L.PT_BASE, L.PT_BASE + 256 * L.MAX_PROCS),
+            ("payload", L.PAYLOAD_BASE, L.USER_PHYS_BASE),
+            ("user", L.USER_PHYS_BASE,
+             L.USER_PHYS_BASE + L.MAX_PROCS * L.USER_PHYS_STRIDE),
+        ]
+        regions.sort(key=lambda r: r[1])
+        for (name_a, _sa, end_a), (name_b, start_b, _eb) in zip(
+            regions, regions[1:]
+        ):
+            assert end_a <= start_b, "%s overlaps %s" % (name_a, name_b)
+
+    def test_user_virtual_window_fits_physical_stride(self):
+        assert L.NPAGES * 4096 <= L.USER_PHYS_STRIDE
+
+    def test_handler_trampoline_offset(self):
+        # kernel_entry is "JMP kmain" (3 bytes); the vector stub jumps
+        # to KERNEL_BASE + 3.
+        assert L.KERNEL_HANDLER_TRAMP == L.KERNEL_BASE + 3
+
+    def test_everything_fits_default_memory(self):
+        top = L.USER_PHYS_BASE + L.MAX_PROCS * L.USER_PHYS_STRIDE
+        assert top <= 16 * 1024 * 1024
+
+
+class TestDisassemblerCoverage:
+    @pytest.mark.parametrize("name", sorted(OPCODES))
+    def test_every_opcode_formats(self, name):
+        text = format_instr(make(name, dst=1, src=2, imm=4), pc=0x100)
+        assert name in text
+
+    def test_rep_prefix_shown(self):
+        assert format_instr(make("MOVSB", rep=True)).startswith("REP ")
+
+
+class TestSemanticsMicrocodeAgreement:
+    """The functional model's flag behaviour and the µop templates'
+    ``wflags`` markers must agree: the timing model renames the flags
+    register based on the templates, so a mismatch would create (or
+    miss) dependency edges the architecture doesn't have."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return MicrocodeTable()
+
+    @pytest.mark.parametrize("name", sorted(SEMANTICS))
+    def test_flag_writers_match_opcode_spec(self, table, name):
+        spec = OPCODES[name]
+        uops, ok = table.crack(make(name, dst=1, src=2), count=False)
+        assert ok
+        template_writes_flags = any(uop.wflags for uop in uops)
+        if spec.writes_flags:
+            assert template_writes_flags, (
+                "%s architecturally writes flags but its microcode "
+                "template does not" % name
+            )
+
+    @pytest.mark.parametrize(
+        "name", [n for n, s in OPCODES.items()
+                 if s.reads_flags and n in SEMANTICS]
+    )
+    def test_flag_readers_marked(self, table, name):
+        uops, _ = table.crack(make(name, dst=1, src=2), count=False)
+        assert any(uop.rflags for uop in uops), name
+
+    def test_control_templates_have_control_uop(self, table):
+        for name, spec in OPCODES.items():
+            if not spec.is_control or name not in SEMANTICS:
+                continue
+            uops, _ = table.crack(make(name, dst=1, src=2), count=False)
+            kinds = {uop.kind for uop in uops}
+            assert kinds & {"branch", "jump"}, name
+
+    def test_memory_templates_have_memory_uop(self, table):
+        for name, spec in OPCODES.items():
+            if spec.iclass not in ("load", "store") or name not in SEMANTICS:
+                continue
+            uops, _ = table.crack(make(name, dst=1, src=2), count=False)
+            assert any(uop.is_mem for uop in uops), name

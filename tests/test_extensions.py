@@ -1,0 +1,96 @@
+"""Extension features: FP microcode hand-patching, configuration
+serialization, the statistics report, and end-to-end determinism."""
+
+import pytest
+
+from repro.experiments.fp_extension import (
+    FP_HAND_PATCHES,
+    compute as fp_compute,
+    patched_table,
+)
+from repro.fast import FastSimulator
+from repro.kernel import UserProgram
+from repro.timing.cache.hierarchy import CacheGeometry
+from repro.timing.core import TimingConfig
+
+
+class TestFpExtension:
+    def test_patched_table_fully_translated(self):
+        table = patched_table()
+        assert not table.untranslated_opcodes
+        assert set(FP_HAND_PATCHES) <= table.hand_patched
+
+    def test_patched_fp_uops_have_latencies(self):
+        from repro.isa import make
+
+        table = patched_table()
+        uops, ok = table.crack(make("FDIV", dst=1, src=2), count=False)
+        assert ok
+        assert uops[0].lat == table.target.fp_div_latency
+
+    def test_fld_fst_agen_folded(self):
+        from repro.isa import make
+        from repro.microcode.uop import UOP_LOAD, UOP_STORE
+
+        table = patched_table()
+        ld, _ = table.crack(make("FLD", dst=1, src=2, imm=8), count=False)
+        st, _ = table.crack(make("FST", dst=1, src=2, imm=8), count=False)
+        assert len(ld) == 1 and ld[0].kind == UOP_LOAD
+        assert len(st) == 1 and st[0].kind == UOP_STORE
+
+    def test_enforcing_fp_deps_slows_target(self):
+        rows = fp_compute(names=("252.eon",), scale=1)
+        row = rows[0]
+        assert row.coverage_after > row.coverage_before
+        assert row.cycles_after > row.cycles_before
+        assert row.ipc_after < row.ipc_before
+
+
+class TestConfigSerialization:
+    def test_roundtrip(self):
+        config = TimingConfig.with_issue_width(
+            4, predictor="fixed:0.97",
+            caches=CacheGeometry(l1d_bytes=8 * 1024),
+        )
+        assert TimingConfig.from_dict(config.to_dict()) == config
+
+    def test_dict_is_plain_data(self):
+        import json
+
+        text = json.dumps(TimingConfig().to_dict())
+        assert "gshare" in text
+
+
+PROGRAM = UserProgram("d", """
+main:
+    MOVI R5, 8
+loop:
+    MOVI R0, 1
+    MOVI R1, 100
+    SYSCALL
+    DEC R5
+    JNZ loop
+    MOVI R0, 0
+    SYSCALL
+""", entry="main")
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        """Two fresh simulations of the same system must agree on every
+        statistic -- the reproducibility property the paper stresses."""
+        reports = []
+        for _ in range(2):
+            sim = FastSimulator.from_programs([PROGRAM])
+            sim.run()
+            reports.append(sim.tm.stats_report())
+        assert reports[0] == reports[1]
+
+    def test_stats_report_contents(self):
+        sim = FastSimulator.from_programs([PROGRAM])
+        sim.run()
+        report = sim.tm.stats_report()
+        assert report["timing_model/cycles"] > 0
+        assert report["timing_model/committed_instructions"] > 0
+        assert any("iL1" in key for key in report)
+        assert any("bp_" in key for key in report)

@@ -1,0 +1,298 @@
+"""THE core correctness invariant of FAST (paper section 2/3): the
+speculative trace-buffer coupling must produce *exactly* the same
+cycle-accurate results as the lock-step (timing-directed) reference,
+despite the functional model running ahead, being forced down wrong
+paths and rolling back.
+
+These tests run the same workload under both couplings and compare
+cycle counts, instruction counts, branch statistics and console output
+bit for bit -- across branch predictors, target configurations, full-OS
+workloads and randomly generated programs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.lockstep import LockStepFeed
+from repro.fast.trace_buffer import TraceBufferFeed
+from repro.functional.model import FunctionalConfig, FunctionalModel
+from repro.isa.program import ProgramImage
+from repro.kernel import KernelConfig, UserProgram, build_os_image
+from repro.system.bus import build_standard_system
+from repro.timing.core import TimingConfig, TimingModel
+from repro.workloads import build as build_workload
+from repro.workloads import make_disk_image
+
+
+def _fingerprint(stats, console_text, fm):
+    return {
+        "cycles": stats.cycles,
+        "instructions": stats.instructions,
+        "uops": stats.uops,
+        "branches": stats.branches,
+        "mispredicts": stats.mispredicts,
+        "drain_mispredict": stats.drain_mispredict,
+        "drain_interrupt": stats.drain_interrupt,
+        "icache_hits": stats.icache_hits,
+        "dcache_hits": stats.dcache_hits,
+        "console": console_text,
+        "regs": list(fm.state.regs),
+    }
+
+
+def run_coupled(image_factory, feed_cls, timing_config, disk_image=None,
+                max_cycles=3_000_000, fm_config=None, **feed_kwargs):
+    memory, bus, _i, _t, console, _d = build_standard_system(
+        memory_size=1 << 22, disk_image=disk_image
+    )
+    fm = FunctionalModel(memory=memory, bus=bus, config=fm_config)
+    fm.load(image_factory())
+    feed = feed_cls(fm, **feed_kwargs)
+    tm = TimingModel(feed, microcode=fm.microcode, config=timing_config)
+    stats = tm.run(max_cycles=max_cycles)
+    return _fingerprint(stats, console.text(), fm), fm
+
+
+def assert_equivalent(image_factory, timing_config, disk_image=None,
+                      fm_config=None, **kwargs):
+    fast, fast_fm = run_coupled(
+        image_factory, TraceBufferFeed, timing_config,
+        disk_image=disk_image, fm_config=fm_config, **kwargs
+    )
+    lock, _ = run_coupled(
+        image_factory, LockStepFeed, timing_config, disk_image=disk_image,
+        fm_config=fm_config,
+    )
+    assert fast == lock
+    return fast, fast_fm
+
+
+def os_image_factory(programs, config=None):
+    def factory():
+        image, _ = build_os_image(programs, config=config)
+        return image
+
+    return factory
+
+
+LOOPY_PROGRAM = UserProgram("loopy", """
+main:
+    MOVI R5, 30
+outer:
+    MOV R1, R5
+    ANDI R1, 3
+    CMPI R1, 2
+    JZ special
+    MOVI R6, 80
+spin:
+    DEC R6
+    JNZ spin
+    JMP next
+special:
+    MOVI R0, 1
+    MOVI R1, 42
+    SYSCALL
+next:
+    DEC R5
+    JNZ outer
+    MOVI R0, 0
+    SYSCALL
+""", entry="main")
+
+
+class TestOSEquivalence:
+    @pytest.mark.parametrize("predictor", ["gshare", "2bit", "fixed:0.9",
+                                           "perfect"])
+    def test_predictors(self, predictor):
+        fast, fm = assert_equivalent(
+            os_image_factory([LOOPY_PROGRAM]),
+            TimingConfig(predictor=predictor),
+        )
+        if predictor != "perfect":
+            assert fast["mispredicts"] > 0
+            assert fm.stats.rollbacks > 0  # speculation really happened
+
+    def test_narrow_and_wide_targets(self):
+        for width in (1, 4):
+            assert_equivalent(
+                os_image_factory([LOOPY_PROGRAM]),
+                TimingConfig.with_issue_width(width, predictor="gshare"),
+            )
+
+    def test_multiprocess_with_timer_preemption(self):
+        programs = [LOOPY_PROGRAM,
+                    UserProgram("sleeper", """
+main:
+    MOVI R5, 3
+loop:
+    MOVI R0, 2
+    MOVI R1, 1
+    SYSCALL
+    DEC R5
+    JNZ loop
+    MOVI R0, 0
+    SYSCALL
+""", entry="main")]
+        config = KernelConfig(timer_interval=1500)
+        fast, _ = assert_equivalent(
+            os_image_factory(programs, config),
+            TimingConfig(predictor="gshare"),
+        )
+        assert fast["drain_interrupt"] > 0  # interrupts really modeled
+
+    def test_disk_workload(self):
+        workload = build_workload("mysql", 1)
+        fast, _ = assert_equivalent(
+            os_image_factory(workload.programs, workload.kernel_config),
+            TimingConfig(predictor="gshare"),
+            disk_image=make_disk_image(),
+        )
+        assert fast["cycles"] > 10_000
+
+    def test_trace_buffer_depth_does_not_change_cycles(self):
+        results = []
+        for depth, lookahead in ((128, 8), (512, 32), (2048, 256)):
+            fingerprint, _ = run_coupled(
+                os_image_factory([LOOPY_PROGRAM]),
+                TraceBufferFeed,
+                TimingConfig(predictor="gshare"),
+                depth=depth,
+                lookahead=lookahead,
+            )
+            results.append(fingerprint)
+        assert results[0] == results[1] == results[2]
+
+    def test_checkpoint_interval_does_not_change_cycles(self):
+        results = []
+        for interval in (8, 64, 256):
+            fingerprint, _ = run_coupled(
+                os_image_factory([LOOPY_PROGRAM]),
+                TraceBufferFeed,
+                TimingConfig(predictor="gshare"),
+                fm_config=FunctionalConfig(checkpoint_interval=interval),
+            )
+            results.append(fingerprint)
+        assert results[0] == results[1] == results[2]
+
+
+def bare_image_factory(source):
+    def factory():
+        return ProgramImage.from_assembly("t", source, base=0x1000)
+
+    return factory
+
+
+BARE_TIMING = TimingConfig(predictor="gshare")
+
+
+class TestBareMetalEquivalence:
+    def test_branchy_kernel_mode(self):
+        source = """
+            MOVI R5, 50
+            MOVI R6, 12345
+        top:
+            MOVI R1, 1103515245
+            MUL R6, R1
+            ADDI R6, 12345
+            MOV R1, R6
+            ANDI R1, 7
+            CMPI R1, 3
+            JL low
+            XORI R6, 0xFF
+            JMP next
+        low:
+            ADDI R6, 13
+        next:
+            DEC R5
+            JNZ top
+            MOVI R1, 0
+            OUT 0x40, R1
+            HALT
+        """
+        assert_equivalent(bare_image_factory(source), BARE_TIMING)
+
+
+@st.composite
+def random_branchy_program(draw):
+    """Random terminating program with data-dependent branches, memory
+    traffic and calls -- the stress case for speculation equivalence."""
+    lines = ["MOVI SP, 0x9F00", "MOVI R6, %d" % draw(st.integers(1, 99999))]
+    n_blocks = draw(st.integers(2, 5))
+    for b in range(n_blocks):
+        lines.append("MOVI R5, %d" % draw(st.integers(2, 12)))
+        lines.append("blk_%d:" % b)
+        for _ in range(draw(st.integers(1, 5))):
+            kind = draw(st.integers(0, 7))
+            reg = draw(st.integers(1, 4))
+            if kind == 0:
+                lines.append("MOVI R%d, %d" % (reg, draw(st.integers(0, 9999))))
+            elif kind == 1:
+                lines.append("MUL R6, R%d" % reg)
+                lines.append("ADDI R6, %d" % draw(st.integers(1, 999)))
+            elif kind == 2:
+                lines.append("MOV R1, R6")
+                lines.append("ANDI R1, 0x1FC")
+                lines.append("ADDI R1, 0x9000")
+                lines.append("ST [R1+0], R6")
+            elif kind == 3:
+                lines.append("MOV R1, R6")
+                lines.append("ANDI R1, 0x1FC")
+                lines.append("ADDI R1, 0x9000")
+                lines.append("LD R%d, [R1+0]" % reg)
+            elif kind == 4:
+                cc = draw(st.sampled_from(["JZ", "JNZ", "JC", "JGE"]))
+                lines.append("CMPI R6, %d" % draw(st.integers(0, 1 << 16)))
+                lines.append("%s blk_%d_skip%d" % (cc, b, len(lines)))
+                lines.append("XORI R6, %d" % draw(st.integers(1, 255)))
+                lines.append("blk_%d_skip%d:" % (b, len(lines) - 2))
+            elif kind == 5:
+                lines.append("PUSH R6")
+                lines.append("POP R%d" % reg)
+            elif kind == 6:
+                lines.append("OUT 0x10, R%d" % reg)
+            else:
+                lines.append("SHR R6, %d" % draw(st.integers(0, 2)))
+                lines.append("ADDI R6, 7")
+        lines.append("DEC R5")
+        lines.append("JNZ blk_%d" % b)
+    lines.append("MOVI R1, 0")
+    lines.append("OUT 0x40, R1")
+    lines.append("HALT")
+    return "\n".join(lines)
+
+
+class TestRandomProgramEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(random_branchy_program(),
+           st.sampled_from(["gshare", "2bit", "fixed:0.85"]))
+    def test_fast_equals_lockstep(self, source, predictor):
+        assert_equivalent(
+            bare_image_factory(source), TimingConfig(predictor=predictor)
+        )
+
+
+class TestRotationalDiskEquivalence:
+    def test_mechanical_disk_preserves_equivalence(self):
+        """Variable (seek+rotation) disk latencies are still a pure
+        function of the committed stream, so FAST == lock-step holds."""
+        from repro.system.disk_timing import RotationalDiskModel
+        from repro.workloads import build as build_wl
+
+        workload = build_wl("mysql", 1)
+
+        def run(feed_cls):
+            memory, bus, _i, _t, console, disk = build_standard_system(
+                memory_size=1 << 22,
+                disk_image=make_disk_image(),
+                disk_timing_model=RotationalDiskModel(),
+            )
+            image, _ = build_os_image(workload.programs,
+                                      config=workload.kernel_config)
+            fm = FunctionalModel(memory=memory, bus=bus)
+            fm.load(image)
+            tm = TimingModel(feed_cls(fm), microcode=fm.microcode,
+                             config=TimingConfig(predictor="gshare"))
+            stats = tm.run(max_cycles=5_000_000)
+            return _fingerprint(stats, console.text(), fm)
+
+        assert run(TraceBufferFeed) == run(LockStepFeed)

@@ -1,0 +1,160 @@
+"""FastSimulator facade, trace buffer and host-time composition tests."""
+
+import pytest
+
+from repro.fast import FastSimulator
+from repro.fast.parallel import fast_host_time
+from repro.fast.trace_buffer import TraceBufferFeed
+from repro.functional.model import FunctionalModel
+from repro.host.platforms import (
+    DRC_COHERENT_PLATFORM,
+    DRC_PLATFORM,
+    DRC_PROTOTYPE_PLATFORM,
+    XUP_PLATFORM,
+)
+from repro.isa.program import ProgramImage
+from repro.kernel import UserProgram
+from repro.system.bus import build_standard_system
+
+SMALL = UserProgram("small", """
+main:
+    MOVI R5, 10
+loop:
+    MOVI R0, 1
+    MOVI R1, 46
+    SYSCALL
+    DEC R5
+    JNZ loop
+    MOVI R0, 0
+    SYSCALL
+""", entry="main")
+
+
+@pytest.fixture(scope="module")
+def finished_sim():
+    sim = FastSimulator.from_programs([SMALL])
+    sim.run()
+    return sim
+
+
+class TestTraceBuffer:
+    def _fm(self):
+        memory, bus, *_ = build_standard_system()
+        fm = FunctionalModel(memory=memory, bus=bus)
+        fm.load(ProgramImage.from_assembly(
+            "t", "MOVI R1, 1\nMOVI R2, 2\nMOVI R3, 3\nHALT\n", base=0x1000))
+        return fm
+
+    def test_peek_consume_order(self):
+        feed = TraceBufferFeed(self._fm())
+        first = feed.peek()
+        assert first.in_no == 1
+        assert feed.consume() is first
+        assert feed.peek().in_no == 2
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            TraceBufferFeed(self._fm(), depth=16)
+
+    def test_runahead_bounded_by_depth(self):
+        fm = self._fm()
+        feed = TraceBufferFeed(fm, depth=128, lookahead=512)
+        feed.peek()
+        assert fm.in_count <= 128
+
+    def test_commit_releases(self):
+        fm = self._fm()
+        feed = TraceBufferFeed(fm)
+        feed.peek()
+        feed.consume()
+        feed.commit(1)
+        assert feed.protocol.commit_messages == 1
+        assert feed._last_committed == 1
+
+    def test_finished_requires_empty_buffer(self):
+        fm = self._fm()
+        feed = TraceBufferFeed(fm)
+        feed.peek()
+        fm.bus.shutdown_requested = True
+        assert not feed.finished  # entries still buffered
+        while feed.peek() is not None:
+            feed.consume()
+        assert feed.finished
+
+
+class TestFastSimulator:
+    def test_run_produces_result(self, finished_sim):
+        result = finished_sim._result
+        assert result.timing.instructions > 1000
+        assert "FastOS" in result.console_text
+        assert "." * 10 in result.console_text
+        assert 0 < result.microcode_coverage <= 1.0
+        assert result.uops_per_instruction >= 1.0
+
+    def test_summary_text(self, finished_sim):
+        text = finished_sim._result.summary()
+        assert "cycles=" in text and "ipc=" in text
+
+    def test_host_time_before_run_rejected(self):
+        sim = FastSimulator.from_programs([SMALL])
+        with pytest.raises(RuntimeError):
+            sim.host_time()
+
+    def test_host_modes_ordered(self, finished_sim):
+        """Less polling -> more MIPS: prototype <= mispredict-only."""
+        modes = finished_sim.host_time_all_modes()
+        assert modes["prototype"].mips <= modes["mispredict-only"].mips
+
+    def test_mips_in_paper_band(self, finished_sim):
+        """The measured prototype averaged 1.2 MIPS, range ~0.5-3.2."""
+        mips = finished_sim.host_time(
+            protocol_mode="prototype",
+            platform=DRC_PROTOTYPE_PLATFORM,
+        ).mips
+        assert 0.3 < mips < 4.0
+
+    def test_software_timing_much_slower(self, finished_sim):
+        hw = finished_sim.host_time().mips
+        sw = finished_sim.host_time(software_timing=True).mips
+        assert sw < hw
+
+    def test_breakdown_components_positive(self, finished_sim):
+        ht = finished_sim.host_time()
+        assert ht.fm_seconds > 0
+        assert ht.tm_seconds > 0
+        assert ht.trace_seconds > 0
+        assert ht.total_seconds >= max(ht.producer_seconds, ht.tm_seconds)
+
+    def test_bottleneck_label(self, finished_sim):
+        ht = finished_sim.host_time(platform=DRC_PROTOTYPE_PLATFORM)
+        assert ht.bottleneck in ("timing-model", "functional-model")
+        # The unoptimized prototype's TM is the paper's stated bottleneck.
+        assert ht.bottleneck == "timing-model"
+
+    def test_xup_platform_slower_than_drc(self, finished_sim):
+        drc = finished_sim.host_time(platform=DRC_PLATFORM).mips
+        xup = finished_sim.host_time(platform=XUP_PLATFORM).mips
+        assert xup < drc
+
+    def test_coherent_platform_helps(self, finished_sim):
+        drc = finished_sim.host_time(
+            protocol_mode="coherent", platform=DRC_COHERENT_PLATFORM
+        ).mips
+        proto = finished_sim.host_time(
+            protocol_mode="prototype", platform=DRC_PLATFORM
+        ).mips
+        assert drc > proto
+
+    def test_invalid_protocol_mode(self, finished_sim):
+        with pytest.raises(ValueError):
+            finished_sim.host_time(protocol_mode="telepathy")
+
+    def test_from_image_bare_metal(self):
+        image = ProgramImage.from_assembly(
+            "bare", "MOVI R1, 7\nMOVI R2, 0\nOUT 0x40, R2\nHALT\n",
+            base=0x1000,
+        )
+        sim = FastSimulator.from_image(image)
+        result = sim.run()
+        assert result.timing.instructions == 3
+        assert sim.fm.state.regs[1] == 7

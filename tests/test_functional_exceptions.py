@@ -1,0 +1,276 @@
+"""Exceptions, interrupts, privilege and full-system behaviour."""
+
+import pytest
+
+from repro.functional.model import VECTOR_BASE, FunctionalModel
+from repro.isa.causes import (
+    CAUSE_DIV_ZERO,
+    CAUSE_PROTECTION,
+    CAUSE_SYSCALL,
+    CAUSE_TIMER_IRQ,
+)
+from repro.isa.program import ProgramImage
+from repro.isa.registers import SR_CAUSE, SR_EPC
+from repro.system.bus import build_standard_system
+from tests.helpers import run_bare
+
+# A minimal handler at the vector that records CAUSE and either skips
+# the faulting instruction or halts.
+HANDLER_PREFIX = """
+    JMP body_start
+.org 0x40
+    JMP handler
+.org 0x1000
+body_start:
+"""
+
+
+def run_with_handler(body: str, handler: str, max_instructions=50_000):
+    source = HANDLER_PREFIX + body + "\nhandler:\n" + handler
+    return run_bare(source, base=0, max_instructions=max_instructions)
+
+
+class TestExceptions:
+    def test_div_zero_vectors_to_handler(self):
+        fm = run_with_handler(
+            """
+            MOVI R1, 9
+            MOVI R2, 0
+            DIV R1, R2
+            MOVI R5, 1          ; skipped: handler halts
+            HALT
+            """,
+            """
+            MOVRS R4, CAUSE
+            HALT
+            """,
+        )
+        assert fm.state.regs[4] == CAUSE_DIV_ZERO
+        assert fm.state.regs[5] == 0
+
+    def test_div_zero_epc_points_at_faulting_instruction(self):
+        fm = run_with_handler(
+            """
+            MOVI R1, 9
+            MOVI R2, 0
+        fault_here:
+            DIV R1, R2
+            HALT
+            """,
+            """
+            MOVRS R4, EPC
+            HALT
+            """,
+        )
+        # EPC = address of the DIV (re-executable after a fix).
+        assert fm.state.regs[4] == fm.state.srs[SR_EPC]
+        from repro.isa.assembler import assemble
+
+        program = assemble(
+            HANDLER_PREFIX
+            + """
+            MOVI R1, 9
+            MOVI R2, 0
+        fault_here:
+            DIV R1, R2
+            HALT
+            """
+            + "\nhandler:\n    MOVRS R4, EPC\n    HALT\n",
+            base=0,
+        )
+        assert fm.state.regs[4] == program.symbols["fault_here"]
+
+    def test_syscall_epc_is_next_instruction(self):
+        fm = run_with_handler(
+            """
+            SYSCALL
+            MOVI R5, 77       ; resumed here by IRET
+            HALT
+            """,
+            """
+            MOVRS R4, CAUSE
+            IRET
+            """,
+        )
+        assert fm.state.regs[4] == CAUSE_SYSCALL
+        assert fm.state.regs[5] == 77
+
+    def test_int_imm_in_cause_high_bits(self):
+        fm = run_with_handler(
+            "INT 42\nHALT\n",
+            """
+            MOVRS R4, CAUSE
+            HALT
+            """,
+        )
+        assert fm.state.regs[4] & 0xFF == 8  # CAUSE_SOFT_INT
+        assert (fm.state.regs[4] >> 8) & 0xFF == 42
+
+    def test_invalid_opcode(self):
+        # 0xEE is not a valid opcode; put it in memory via .byte.
+        fm = run_with_handler(
+            ".byte 0xEE\nHALT\n",
+            """
+            MOVRS R4, CAUSE
+            HALT
+            """,
+        )
+        assert fm.state.regs[4] == 6  # CAUSE_INVALID_OPCODE
+
+
+class TestPrivilege:
+    def _user_mode_program(self, user_body: str):
+        """Set up a user page then drop to user mode."""
+        return (
+            HANDLER_PREFIX
+            + """
+            ; map user page: vpn 0x400 -> pfn 0x30, valid+write
+            MOVI R1, 0x400
+            MOVI R2, 0x30003
+            TLBWR R1, R2
+            ; copy user code to 0x30000
+            MOVI R0, user_code
+            MOVI R1, 0x30000
+            MOVI R2, 64
+            REP MOVSB
+            ; IRET to user mode at 0x400000
+            MOVI R1, 0x400000
+            MOVSR EPC, R1
+            MOVI R1, 2          ; KERNEL=1 now; PREV_IE=0, PREV_KERNEL=0
+            MOVSR STATUS, R1
+            IRET
+        user_code:
+            """
+            + user_body
+            + """
+        handler:
+            MOVRS R4, CAUSE
+            HALT
+            """
+        )
+
+    def test_user_mode_privileged_instruction_faults(self):
+        fm = run_bare(self._user_mode_program("HALT\n"), base=0)
+        assert fm.state.regs[4] == CAUSE_PROTECTION
+
+    def test_user_mode_runs_and_syscalls(self):
+        fm = run_bare(
+            self._user_mode_program("MOVI R6, 5\nSYSCALL\n"), base=0
+        )
+        assert fm.state.regs[4] == CAUSE_SYSCALL
+        assert fm.state.regs[6] == 5
+
+    def test_user_tlb_miss_faults(self):
+        fm = run_bare(
+            self._user_mode_program(
+                "MOVI R1, 0x500000\nLD R2, [R1+0]\nHALT\n"
+            ),
+            base=0,
+        )
+        assert fm.state.regs[4] == 1  # CAUSE_TLB_MISS
+        from repro.isa.registers import SR_BADVADDR
+
+        assert fm.state.srs[SR_BADVADDR] == 0x500000
+
+
+class TestInterrupts:
+    def test_timer_interrupt_delivery(self):
+        fm = run_with_handler(
+            """
+            ; program timer: every 50 units
+            MOVI R1, 50
+            OUT 0x21, R1
+            MOVI R1, 1
+            OUT 0x20, R1
+            OUT 0x51, R1        ; enable line 0 in the PIC
+            STI
+        spin:
+            JMP spin
+            """,
+            """
+            MOVRS R4, CAUSE
+            MOVI R1, 1
+            OUT 0x50, R1        ; ack
+            HALT
+            """,
+        )
+        assert fm.state.regs[4] == CAUSE_TIMER_IRQ
+        assert fm.stats.interrupts == 1
+
+    def test_interrupts_masked_when_ie_clear(self):
+        fm = run_with_handler(
+            """
+            MOVI R1, 10
+            OUT 0x21, R1
+            MOVI R1, 1
+            OUT 0x20, R1
+            OUT 0x51, R1
+            ; IE stays off: no delivery
+            MOVI R5, 200
+        spin:
+            DEC R5
+            JNZ spin
+            HALT
+            """,
+            "HALT\n",
+        )
+        assert fm.stats.interrupts == 0
+        assert fm.state.regs[5] == 0
+
+    def test_halt_wakes_on_interrupt(self):
+        fm = run_with_handler(
+            """
+            MOVI R1, 30
+            OUT 0x21, R1
+            MOVI R1, 1
+            OUT 0x20, R1
+            OUT 0x51, R1
+            STI
+            HALT
+            MOVI R6, 123       ; never reached: handler HALTs for good
+            """,
+            """
+            MOVI R4, 55
+            CLI
+            HALT
+            """,
+        )
+        assert fm.state.regs[4] == 55
+        assert fm.stats.halted_steps > 0
+
+
+class TestStatsAndTrace:
+    def test_trace_entries_emitted_in_order(self):
+        entries = []
+        from repro.system.bus import build_standard_system
+        from repro.isa.program import ProgramImage
+
+        memory, bus, *_ = build_standard_system()
+        fm = FunctionalModel(memory=memory, bus=bus)
+        fm.load(
+            ProgramImage.from_assembly(
+                "t", "MOVI R1, 1\nMOVI R2, 2\nHALT\n", base=0x1000
+            )
+        )
+        fm.run(max_instructions=10, on_entry=entries.append)
+        assert [e.in_no for e in entries] == [1, 2, 3]
+        assert entries[0].pc == 0x1000
+        assert entries[0].next_pc == entries[1].pc
+
+    def test_basic_block_counting(self):
+        fm = run_bare(
+            """
+            MOVI R1, 3
+        top:
+            DEC R1
+            JNZ top
+            HALT
+            """
+        )
+        # 3 JNZ executions + HALT (sys barrier counts as block end via
+        # exception? HALT is not control) -> 3 control instructions.
+        assert fm.stats.basic_blocks >= 3
+
+    def test_mean_basic_block_size(self):
+        fm = run_bare("MOVI R1, 1\nMOVI R2, 2\nJMP next\nnext:\nHALT\n")
+        assert fm.stats.mean_basic_block > 1

@@ -1,0 +1,313 @@
+"""Checkpoint/rollback tests, including the central property: rolling
+back and re-executing reproduces the exact architectural state, even
+across memory writes, I/O and interrupts."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.functional.checkpoint import CheckpointManager
+from repro.functional.model import (
+    FunctionalConfig,
+    FunctionalModel,
+    RollbackError,
+)
+from repro.isa.program import ProgramImage
+from repro.system.bus import build_standard_system
+
+
+def fresh_model(source: str, interval: int = 8, base: int = 0x1000):
+    memory, bus, *_ = build_standard_system(memory_size=1 << 20)
+    fm = FunctionalModel(
+        memory=memory,
+        bus=bus,
+        config=FunctionalConfig(checkpoint_interval=interval),
+    )
+    fm.load(ProgramImage.from_assembly("t", source, base=base))
+    return fm
+
+
+def full_state(fm):
+    """Architecturally visible state.
+
+    The raw bus snapshot is deliberately excluded: idle (halted) steps
+    tick device time without executing instructions, so a run that
+    idles at a HALT before rolling back legitimately differs from a
+    direct run in pure device-time counters.  Device *behaviour* under
+    rollback is covered by the dedicated console/disk/shutdown tests.
+    """
+    console = [d for d in fm.bus.devices if d.name == "console"][0]
+    return (
+        fm.state.snapshot(),
+        fm.tlb.snapshot(),
+        fm.memory.read_blob(0x9000, 256),
+        console.text(),
+        fm.bus.shutdown_requested,
+        fm.in_count,
+    )
+
+
+MUTATING_PROGRAM = """
+    MOVI SP, 0x9800
+    MOVI R1, 0x9000
+    MOVI R2, 40
+loop:
+    MOV R3, R2
+    MUL R3, R3
+    ST [R1+0], R3
+    ADDI R1, 4
+    PUSH R2
+    POP R4
+    DEC R2
+    JNZ loop
+    MOVI R5, 65
+    OUT 0x10, R5
+    HALT
+"""
+
+
+class TestCheckpointManager:
+    def test_interval_due(self):
+        mgr = CheckpointManager(interval=4)
+        assert mgr.due(0)
+        mgr.take(0, (), (), ())
+        assert not mgr.due(3)
+        assert mgr.due(4)
+
+    def test_monotonic_enforced(self):
+        mgr = CheckpointManager(interval=1)
+        mgr.take(5, (), (), ())
+        with pytest.raises(ValueError):
+            mgr.take(5, (), (), ())
+
+    def test_checkpoint_for_picks_newest_not_after(self):
+        mgr = CheckpointManager(interval=1)
+        for i in (0, 4, 8):
+            mgr.take(i, (i,), (), ())
+        assert mgr.checkpoint_for(6).in_no == 4
+        assert mgr.checkpoint_for(8).in_no == 8
+        assert mgr.checkpoint_for(100).in_no == 8
+
+    def test_release_keeps_cover_checkpoint(self):
+        mgr = CheckpointManager(interval=1)
+        for i in (0, 4, 8, 12):
+            mgr.take(i, (i,), (), ())
+        mgr.release(9)
+        # Rollback to 9 still needs checkpoint 8.
+        assert mgr.checkpoint_for(9).in_no == 8
+        assert mgr.oldest_in == 8
+
+    def test_release_trims_undo_log(self):
+        mgr = CheckpointManager(interval=1)
+        mgr.take(0, (), (), ())
+        mgr.log_write(0, 1)
+        mgr.take(4, (), (), ())
+        mgr.log_write(4, 2)
+        mgr.release(4)
+        assert list(mgr.undo_entries_since(mgr.checkpoint_for(4))) == [(4, 2)]
+
+    def test_truncate(self):
+        mgr = CheckpointManager(interval=1)
+        mgr.take(0, (), (), ())
+        mgr.log_write(0, 1)
+        mgr.take(4, (), (), ())
+        mgr.log_write(4, 2)
+        mgr.truncate_to(mgr.checkpoint_for(0))
+        assert len(mgr.checkpoints) == 1
+        assert list(mgr.undo_entries_since(mgr.checkpoints[0])) == []
+
+
+class TestRollback:
+    def test_rollback_reproduces_state(self):
+        reference = fresh_model(MUTATING_PROGRAM)
+        states = {}
+        reference.run(
+            max_instructions=300,
+            on_entry=lambda e: states.update({e.in_no: None}),
+        )
+
+        for target in (5, 37, 100, 150):
+            fm = fresh_model(MUTATING_PROGRAM)
+            fm.run(max_instructions=target)
+            expected = full_state(fm)
+
+            fm2 = fresh_model(MUTATING_PROGRAM)
+            fm2.run(max_instructions=target + 60)
+            fm2.rollback_to(target)
+            assert full_state(fm2) == expected, "rollback to %d diverged" % target
+
+    def test_rollback_forward_rejected(self):
+        fm = fresh_model(MUTATING_PROGRAM)
+        fm.run(max_instructions=10)
+        with pytest.raises(RollbackError):
+            fm.rollback_to(50)
+
+    def test_rollback_past_released_checkpoint_rejected(self):
+        fm = fresh_model(MUTATING_PROGRAM)
+        fm.run(max_instructions=100)
+        fm.commit(90)
+        with pytest.raises(RollbackError):
+            fm.rollback_to(2)
+
+    def test_set_pc_redirects(self):
+        fm = fresh_model(
+            """
+            MOVI R1, 1
+            MOVI R2, 2
+            MOVI R3, 3
+            HALT
+        alt:
+            MOVI R4, 44
+            HALT
+            """
+        )
+        alt = 0x1000 + len(b"") # resolve via symbols instead:
+        from repro.isa.assembler import assemble
+
+        prog = assemble(
+            """
+            MOVI R1, 1
+            MOVI R2, 2
+            MOVI R3, 3
+            HALT
+        alt:
+            MOVI R4, 44
+            HALT
+            """,
+            base=0x1000,
+        )
+        fm.run(max_instructions=3)
+        assert fm.state.regs[3] == 3
+        fm.set_pc(3, prog.symbols["alt"])  # remove MOVI R3's effects
+        assert fm.state.regs[3] == 0
+        fm.run(max_instructions=5)
+        assert fm.state.regs[4] == 44
+
+    def test_rollback_across_console_io(self):
+        source = """
+            MOVI R1, 65
+            OUT 0x10, R1
+            MOVI R1, 66
+            OUT 0x10, R1
+            MOVI R1, 67
+            OUT 0x10, R1
+            HALT
+        """
+        fm = fresh_model(source, interval=2)
+        memory_console = [d for d in fm.bus.devices if d.name == "console"][0]
+        fm.run(max_instructions=6)
+        assert memory_console.text() == "ABC"
+        fm.rollback_to(2)  # after first OUT
+        assert memory_console.text() == "A"
+        fm.run(max_instructions=4)
+        assert memory_console.text() == "ABC"
+
+    def test_rollback_restores_shutdown_flag(self):
+        source = "MOVI R1, 0\nOUT 0x40, R1\nHALT\n"
+        fm = fresh_model(source, interval=1)
+        fm.run(max_instructions=3)
+        assert fm.bus.shutdown_requested
+        fm.rollback_to(1)
+        assert not fm.bus.shutdown_requested
+
+    def test_wrong_path_execution_and_recovery(self):
+        source = """
+            MOVI R1, 1
+            MOVI R2, 2
+            JMP good
+        bad:
+            MOVI R3, 99
+            MOVI R4, 98
+            HALT
+        good:
+            MOVI R5, 5
+            HALT
+        """
+        from repro.isa.assembler import assemble
+
+        prog = assemble(source, base=0x1000)
+        fm = fresh_model(source, interval=4)
+        entries = []
+        fm.run(max_instructions=4, on_entry=entries.append)
+        # Force the wrong path after the JMP (IN 3).
+        fm.set_pc(4, prog.symbols["bad"])
+        fm.enter_wrong_path()
+        wrong = [fm.execute_next() for _ in range(2)]
+        assert all(e.wrong_path for e in wrong)
+        assert fm.state.regs[3] == 99
+        # Resolve: back to the right path.
+        fm.exit_wrong_path()
+        fm.set_pc(4, prog.symbols["good"])
+        assert fm.state.regs[3] == 0
+        fm.run(max_instructions=3)
+        assert fm.state.regs[5] == 5
+
+    def test_wrong_path_suppresses_faults(self):
+        source = "MOVI R1, 1\nHALT\n"
+        fm = fresh_model(source, interval=1)
+        fm.run(max_instructions=1)
+        fm.set_pc(2, 0xFF0000)  # far beyond the program: garbage
+        fm.enter_wrong_path()
+        entry = fm.execute_next()  # must not raise
+        assert entry is not None and entry.wrong_path
+
+
+@st.composite
+def random_program(draw):
+    """A random but guaranteed-terminating straight-line-ish program."""
+    lines = ["MOVI SP, 0x9800"]
+    n_blocks = draw(st.integers(2, 6))
+    for b in range(n_blocks):
+        n_instr = draw(st.integers(1, 6))
+        for _ in range(n_instr):
+            choice = draw(st.integers(0, 9))
+            reg = draw(st.integers(0, 6))
+            val = draw(st.integers(0, 0xFFFF))
+            if choice == 0:
+                lines.append("MOVI R%d, %d" % (reg, val))
+            elif choice == 1:
+                lines.append("ADDI R%d, %d" % (reg, val))
+            elif choice == 2:
+                lines.append("XORI R%d, %d" % (reg, val))
+            elif choice == 3:
+                lines.append("MOVI R1, 0x9%03x" % (val & 0x7FC,))
+                lines.append("ST [R1+0], R%d" % reg)
+            elif choice == 4:
+                lines.append("MOVI R1, 0x9%03x" % (val & 0x7FC,))
+                lines.append("LD R%d, [R1+0]" % reg)
+            elif choice == 5:
+                lines.append("PUSH R%d" % reg)
+                lines.append("POP R%d" % draw(st.integers(0, 6)))
+            elif choice == 6:
+                lines.append("CMPI R%d, %d" % (reg, val))
+                lines.append("JZ blk_%d_end" % b)
+            elif choice == 7:
+                lines.append("MUL R%d, R%d" % (reg, draw(st.integers(0, 6))))
+            elif choice == 8:
+                lines.append("OUT 0x10, R%d" % reg)
+            else:
+                lines.append("SHL R%d, %d" % (reg, val % 8))
+        lines.append("blk_%d_end:" % b)
+    lines.append("HALT")
+    return "\n".join(lines)
+
+
+class TestRollbackProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(random_program(), st.integers(1, 40), st.integers(1, 30),
+           st.integers(1, 16))
+    def test_rollback_equals_direct_execution(
+        self, source, target, overshoot, interval
+    ):
+        """Run N+k instructions then roll back to N == run N directly."""
+        direct = fresh_model(source, interval=interval)
+        executed = direct.run(max_instructions=target)
+        if executed < target:
+            target = executed
+        if target == 0:
+            return
+        expected = full_state(direct)
+
+        rolled = fresh_model(source, interval=interval)
+        rolled.run(max_instructions=target + overshoot)
+        rolled.rollback_to(target)
+        assert full_state(rolled) == expected

@@ -1,0 +1,423 @@
+"""Instruction semantics tests for the functional model (bare metal)."""
+
+import pytest
+
+from repro.isa.registers import FLAG_C, FLAG_N, FLAG_V, FLAG_Z
+from tests.helpers import run_bare
+
+
+def run(src, **kw):
+    return run_bare(src + "\n    HALT\n", **kw)
+
+
+class TestDataMovement:
+    def test_movi_mov(self):
+        fm = run("MOVI R1, 42\nMOV R2, R1")
+        assert fm.state.regs[1] == 42 and fm.state.regs[2] == 42
+
+    def test_movi_negative_masks(self):
+        fm = run("MOVI R1, -1")
+        assert fm.state.regs[1] == 0xFFFFFFFF
+
+    def test_load_store_word(self):
+        fm = run(
+            """
+            MOVI R1, 0x9000
+            MOVI R2, 0xCAFEBABE
+            ST [R1+4], R2
+            LD R3, [R1+4]
+            """
+        )
+        assert fm.state.regs[3] == 0xCAFEBABE
+        assert fm.memory.read32(0x9004) == 0xCAFEBABE
+
+    def test_load_store_byte(self):
+        fm = run(
+            """
+            MOVI R1, 0x9000
+            MOVI R2, 0x1FF
+            STB [R1+0], R2
+            LDB R3, [R1+0]
+            """
+        )
+        assert fm.state.regs[3] == 0xFF
+
+    def test_negative_displacement(self):
+        fm = run(
+            """
+            MOVI R1, 0x9010
+            MOVI R2, 77
+            ST [R1-8], R2
+            LD R3, [R1-8]
+            """
+        )
+        assert fm.state.regs[3] == 77
+        assert fm.memory.read32(0x9008) == 77
+
+    def test_push_pop(self):
+        fm = run(
+            """
+            MOVI SP, 0x9100
+            MOVI R1, 11
+            MOVI R2, 22
+            PUSH R1
+            PUSH R2
+            POP R3
+            POP R4
+            """
+        )
+        assert fm.state.regs[3] == 22 and fm.state.regs[4] == 11
+        assert fm.state.regs[7] == 0x9100
+
+    def test_lea(self):
+        fm = run("MOVI R2, 0x100\nLEA R1, [R2+36]")
+        assert fm.state.regs[1] == 0x124
+
+
+class TestALU:
+    def test_add_flags(self):
+        fm = run("MOVI R1, 0xFFFFFFFF\nMOVI R2, 1\nADD R1, R2")
+        assert fm.state.regs[1] == 0
+        assert fm.state.flags & FLAG_Z
+        assert fm.state.flags & FLAG_C
+        assert not fm.state.flags & FLAG_V
+
+    def test_signed_overflow(self):
+        fm = run("MOVI R1, 0x7FFFFFFF\nMOVI R2, 1\nADD R1, R2")
+        assert fm.state.flags & FLAG_V
+        assert fm.state.flags & FLAG_N
+
+    def test_sub_borrow(self):
+        fm = run("MOVI R1, 1\nMOVI R2, 2\nSUB R1, R2")
+        assert fm.state.regs[1] == 0xFFFFFFFF
+        assert fm.state.flags & FLAG_C
+
+    def test_cmp_does_not_write(self):
+        fm = run("MOVI R1, 5\nMOVI R2, 5\nCMP R1, R2")
+        assert fm.state.regs[1] == 5
+        assert fm.state.flags & FLAG_Z
+
+    def test_logic_ops(self):
+        fm = run(
+            """
+            MOVI R1, 0xF0F0
+            MOVI R2, 0x0FF0
+            MOV R3, R1
+            AND R3, R2
+            MOV R4, R1
+            OR R4, R2
+            MOV R5, R1
+            XOR R5, R2
+            """
+        )
+        assert fm.state.regs[3] == 0x00F0
+        assert fm.state.regs[4] == 0xFFF0
+        assert fm.state.regs[5] == 0xFF00
+
+    def test_not_neg(self):
+        fm = run("MOVI R1, 0\nNOT R1\nMOVI R2, 5\nNEG R2")
+        assert fm.state.regs[1] == 0xFFFFFFFF
+        assert fm.state.regs[2] == (-5) & 0xFFFFFFFF
+
+    def test_inc_dec(self):
+        fm = run("MOVI R1, 1\nDEC R1")
+        assert fm.state.regs[1] == 0 and fm.state.flags & FLAG_Z
+
+    def test_mul(self):
+        fm = run("MOVI R1, 100000\nMOVI R2, 100000\nMUL R1, R2")
+        assert fm.state.regs[1] == (100000 * 100000) & 0xFFFFFFFF
+        assert fm.state.flags & FLAG_C  # overflowed 32 bits
+
+    def test_div_unsigned(self):
+        fm = run("MOVI R1, 17\nMOVI R2, 5\nDIV R1, R2")
+        assert fm.state.regs[1] == 3
+
+    def test_adc_uses_carry(self):
+        fm = run(
+            """
+            MOVI R1, 0xFFFFFFFF
+            MOVI R2, 1
+            ADD R1, R2        ; sets carry
+            MOVI R3, 10
+            MOVI R4, 20
+            ADC R3, R4
+            """
+        )
+        assert fm.state.regs[3] == 31
+
+    def test_immediates(self):
+        fm = run("MOVI R1, 10\nADDI R1, 5\nSUBI R1, 3\nANDI R1, 0xFF\nORI R1, 0x100\nXORI R1, 1")
+        assert fm.state.regs[1] == ((10 + 5 - 3) & 0xFF | 0x100) ^ 1
+
+    def test_shifts(self):
+        fm = run(
+            """
+            MOVI R1, 0x80000001
+            MOV R2, R1
+            SHL R2, 1
+            MOV R3, R1
+            SHR R3, 1
+            MOV R4, R1
+            SAR R4, 1
+            """
+        )
+        assert fm.state.regs[2] == 2
+        assert fm.state.regs[3] == 0x40000000
+        assert fm.state.regs[4] == 0xC0000000
+
+    def test_shl_carry_out(self):
+        fm = run("MOVI R1, 0x80000000\nSHL R1, 1")
+        assert fm.state.flags & FLAG_C
+
+
+class TestControlFlow:
+    def test_conditional_taken_and_not(self):
+        fm = run(
+            """
+            MOVI R1, 0
+            MOVI R2, 1
+            CMP R1, R2
+            JZ wrong
+            MOVI R3, 1
+            JMP done
+        wrong:
+            MOVI R3, 2
+        done:
+            """
+        )
+        assert fm.state.regs[3] == 1
+
+    def test_signed_conditions(self):
+        fm = run(
+            """
+            MOVI R1, -5
+            MOVI R2, 3
+            CMP R1, R2
+            JL less
+            MOVI R3, 0
+            JMP done
+        less:
+            MOVI R3, 1
+        done:
+            """
+        )
+        assert fm.state.regs[3] == 1
+
+    def test_loop_instruction(self):
+        fm = run(
+            """
+            MOVI R1, 5
+            MOVI R2, 0
+        top:
+            INC R2
+            LOOP R1, top
+            """
+        )
+        assert fm.state.regs[2] == 5 and fm.state.regs[1] == 0
+
+    def test_call_ret(self):
+        fm = run(
+            """
+            MOVI SP, 0x9100
+            CALL fn
+            MOVI R2, 99
+            JMP done
+        fn:
+            MOVI R1, 7
+            RET
+        done:
+            """
+        )
+        assert fm.state.regs[1] == 7 and fm.state.regs[2] == 99
+        assert fm.state.regs[7] == 0x9100
+
+    def test_callr_jr(self):
+        fm = run(
+            """
+            MOVI SP, 0x9100
+            MOVI R4, fn
+            CALLR R4
+            JMP done
+        fn:
+            MOVI R1, 3
+            RET
+        done:
+            MOVI R5, tgt
+            JR R5
+            MOVI R1, 0
+        tgt:
+            """
+        )
+        assert fm.state.regs[1] == 3
+
+    def test_nested_calls(self):
+        fm = run(
+            """
+            MOVI SP, 0x9100
+            CALL a
+            JMP done
+        a:
+            CALL b
+            ADDI R1, 1
+            RET
+        b:
+            MOVI R1, 10
+            RET
+        done:
+            """
+        )
+        assert fm.state.regs[1] == 11
+
+
+class TestStringOps:
+    def test_rep_movsb(self):
+        fm = run(
+            """
+            MOVI R0, src
+            MOVI R1, 0x9000
+            MOVI R2, 5
+            REP MOVSB
+            JMP done
+        src:
+            .ascii "hello"
+        done:
+            """
+        )
+        assert fm.memory.read_blob(0x9000, 5) == b"hello"
+        assert fm.state.regs[2] == 0
+
+    def test_rep_stosb(self):
+        fm = run(
+            """
+            MOVI R1, 0x9000
+            MOVI R2, 8
+            MOVI R3, 0x41
+            REP STOSB
+            """
+        )
+        assert fm.memory.read_blob(0x9000, 8) == b"A" * 8
+
+    def test_rep_scasb_finds(self):
+        fm = run(
+            """
+            MOVI R0, hay
+            MOVI R2, 10
+            MOVI R3, 0x63      ; 'c'
+            REP SCASB
+            JMP done
+        hay:
+            .ascii "aabacaddaa"
+        done:
+            """
+        )
+        # R0 points one past the found character.
+        assert fm.state.flags & FLAG_Z
+        assert fm.memory.read8(fm.state.regs[0] - 1) == ord("c")
+
+    def test_rep_scasb_not_found(self):
+        fm = run(
+            """
+            MOVI R0, hay
+            MOVI R2, 4
+            MOVI R3, 0x7A
+            REP SCASB
+            JMP done
+        hay:
+            .ascii "aaaa"
+        done:
+            """
+        )
+        assert not fm.state.flags & FLAG_Z
+        assert fm.state.regs[2] == 0
+
+    def test_nonrep_movsb_single(self):
+        fm = run(
+            """
+            MOVI R0, src
+            MOVI R1, 0x9000
+            MOVI R2, 5
+            MOVSB
+            JMP done
+        src:
+            .ascii "xy"
+        done:
+            """
+        )
+        assert fm.memory.read8(0x9000) == ord("x")
+        assert fm.state.regs[2] == 4
+
+
+class TestFloatingPoint:
+    def test_fp_arith(self):
+        fm = run(
+            """
+            MOVI R1, 3
+            MOVI R2, 4
+            FITOF F0, R1
+            FITOF F1, R2
+            FADD F0, F1
+            FFTOI R3, F0
+            """
+        )
+        assert fm.state.regs[3] == 7
+
+    def test_fmul_fdiv_fsqrt(self):
+        fm = run(
+            """
+            MOVI R1, 9
+            FITOF F0, R1
+            FSQRT F1, F0
+            FMUL F1, F1
+            FFTOI R2, F1
+            MOVI R1, 10
+            MOVI R3, 4
+            FITOF F2, R1
+            FITOF F3, R3
+            FDIV F2, F3
+            FFTOI R4, F2
+            """
+        )
+        assert fm.state.regs[2] == 9
+        assert fm.state.regs[4] == 2  # 2.5 truncates
+
+    def test_fdiv_by_zero_gives_inf(self):
+        fm = run(
+            """
+            MOVI R1, 5
+            FITOF F0, R1
+            FDIV F0, F1       ; F1 = 0.0
+            FFTOI R2, F0
+            """
+        )
+        assert fm.state.regs[2] == 0  # inf converts to 0 by our rule
+
+    def test_fld_fst_float32(self):
+        fm = run(
+            """
+            MOVI R1, 7
+            FITOF F0, R1
+            MOVI R2, 0x9000
+            FST [R2+0], F0
+            FLD F3, [R2+0]
+            FFTOI R4, F3
+            """
+        )
+        assert fm.state.regs[4] == 7
+
+    def test_fcmp_flags(self):
+        fm = run(
+            """
+            MOVI R1, 2
+            MOVI R2, 5
+            FITOF F0, R1
+            FITOF F1, R2
+            FCMP F0, F1
+            JL less
+            MOVI R3, 0
+            JMP done
+        less:
+            MOVI R3, 1
+        done:
+            """
+        )
+        assert fm.state.regs[3] == 1

@@ -1,0 +1,141 @@
+"""Encoding/decoding tests, including a property-based roundtrip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import EncodingError, decode, encode, make
+from repro.isa.instructions import Instr
+from repro.isa.opcodes import FORMAT_LENGTHS, OPCODES, REP_PREFIX, lookup
+
+
+class TestFormats:
+    def test_every_opcode_has_known_format(self):
+        for spec in OPCODES.values():
+            assert spec.fmt in FORMAT_LENGTHS
+
+    def test_lengths_match_format_table(self):
+        for spec in OPCODES.values():
+            assert spec.length == FORMAT_LENGTHS[spec.fmt]
+
+    def test_opcode_values_unique(self):
+        values = [spec.value for spec in OPCODES.values()]
+        assert len(values) == len(set(values))
+
+    def test_rep_prefix_not_an_opcode(self):
+        assert all(spec.value != REP_PREFIX for spec in OPCODES.values())
+
+    def test_variable_length_range(self):
+        lengths = {spec.length for spec in OPCODES.values()}
+        assert min(lengths) == 1
+        assert max(lengths) == 6  # 7 with REP prefix
+
+
+class TestEncodeDecode:
+    def test_nop_is_one_byte(self):
+        assert encode(make("NOP")) == bytes([OPCODES["NOP"].value])
+
+    def test_movi_little_endian_imm(self):
+        blob = encode(make("MOVI", dst=3, imm=0x12345678))
+        assert blob[2:6] == bytes([0x78, 0x56, 0x34, 0x12])
+
+    def test_rep_prefix_encoding(self):
+        blob = encode(make("MOVSB", rep=True))
+        assert blob[0] == REP_PREFIX
+        instr, length = decode(blob)
+        assert instr.rep and instr.name == "MOVSB"
+        assert length == 2
+
+    def test_negative_displacement(self):
+        instr, _ = decode(encode(make("LD", dst=1, src=2, imm=-8)))
+        assert instr.imm == -8
+
+    def test_negative_rel16(self):
+        instr, _ = decode(encode(make("JNZ", imm=-5)))
+        assert instr.imm == -5
+
+    def test_invalid_opcode_raises(self):
+        with pytest.raises(EncodingError):
+            decode(bytes([0xEE]))
+
+    def test_truncated_instruction_raises(self):
+        blob = encode(make("MOVI", dst=0, imm=1))
+        with pytest.raises(EncodingError):
+            decode(blob[:3])
+
+    def test_rep_prefix_alone_raises(self):
+        with pytest.raises(EncodingError):
+            decode(bytes([REP_PREFIX]))
+
+    def test_decode_at_offset(self):
+        blob = encode(make("NOP")) + encode(make("HALT"))
+        instr, length = decode(blob, offset=1)
+        assert instr.name == "HALT"
+
+    def test_branch_target(self):
+        instr = make("JMP", imm=10)
+        assert instr.branch_target(100) == 100 + instr.length + 10
+
+
+def _instr_strategy():
+    specs = st.sampled_from(sorted(OPCODES.values(), key=lambda s: s.value))
+
+    def build(spec, dst, src, imm8, imm16s, imm32, rep):
+        fmt = spec.fmt
+        dst &= 0xF
+        src &= 0xF
+        if fmt == "none":
+            return Instr(spec=spec, rep=rep and spec.iclass == "string")
+        if fmt == "r":
+            return Instr(spec=spec, dst=dst, src=src)
+        if fmt == "ri8":
+            return Instr(spec=spec, dst=dst, imm=imm8)
+        if fmt == "i8":
+            return Instr(spec=spec, imm=imm8 & 0xFF)
+        if fmt == "ri32":
+            return Instr(spec=spec, dst=dst, src=src, imm=imm32)
+        if fmt == "m":
+            return Instr(spec=spec, dst=dst, src=src, imm=imm16s)
+        if fmt == "rel16":
+            return Instr(spec=spec, imm=imm16s)
+        return Instr(spec=spec, dst=dst, imm=imm16s & 0xFFFF)  # port
+
+    return st.builds(
+        build,
+        specs,
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(-128, 127),
+        st.integers(-0x8000, 0x7FFF),
+        st.integers(0, 0xFFFFFFFF),
+        st.booleans(),
+    )
+
+
+class TestRoundtripProperty:
+    @given(_instr_strategy())
+    def test_encode_decode_roundtrip(self, instr):
+        blob = encode(instr)
+        decoded, length = decode(blob)
+        assert length == len(blob) == instr.length
+        assert decoded.spec is instr.spec
+        assert decoded.rep == instr.rep
+        fmt = instr.spec.fmt
+        if fmt in ("r", "ri8", "ri32", "m", "port"):
+            assert decoded.dst == instr.dst
+        if fmt in ("r", "ri32", "m"):
+            assert decoded.src == instr.src
+        if fmt == "ri32":
+            assert decoded.imm == instr.imm & 0xFFFFFFFF
+        elif fmt in ("m", "rel16"):
+            assert decoded.imm == instr.imm
+        elif fmt == "ri8":
+            assert decoded.imm == instr.imm
+
+    @given(st.binary(min_size=1, max_size=16))
+    def test_decode_never_crashes_unexpectedly(self, blob):
+        try:
+            instr, length = decode(blob)
+        except EncodingError:
+            return
+        assert 1 <= length <= 7
+        assert instr.spec.value in [s.value for s in OPCODES.values()]

@@ -1,0 +1,293 @@
+"""FastOS kernel tests: boot, scheduling, syscalls, TLB refill, disk."""
+
+import pytest
+
+from repro.kernel import (
+    KernelConfig,
+    UserProgram,
+    boot_system,
+    build_os_image,
+    linux24_config,
+    linux26_config,
+    rle_compress,
+    rle_decompress,
+    windowsxp_config,
+)
+from repro.kernel import layout as L
+from repro.workloads.database import make_disk_image
+
+
+def simple_program(name="p", body="", exit_code=True):
+    source = "main:\n" + body
+    if exit_code:
+        source += "\n    MOVI R0, 0\n    SYSCALL\n"
+    return UserProgram(name, source, entry="main")
+
+
+def run_programs(programs, config=None, max_instructions=3_000_000,
+                 disk_image=None):
+    fm, console = boot_system(programs, config=config, disk_image=disk_image)
+    fm.run(max_instructions=max_instructions)
+    return fm, console
+
+
+class TestCompression:
+    def test_roundtrip_kernel_like_data(self):
+        blob = bytes(range(256)) * 8 + b"\x00" * 5000 + b"ab" * 300
+        assert rle_decompress(rle_compress(blob)) == blob
+
+    def test_empty(self):
+        assert rle_decompress(rle_compress(b"")) == b""
+
+    def test_all_zeros_compress_well(self):
+        blob = b"\x00" * 10000
+        assert len(rle_compress(blob)) < 20
+
+    def test_incompressible_overhead_bounded(self):
+        import random
+
+        rng = random.Random(1)
+        blob = bytes(rng.randrange(256) for _ in range(4096))
+        assert len(rle_compress(blob)) < len(blob) * 1.1
+
+
+class TestImageBuild:
+    def test_image_contains_boot_payload_and_programs(self):
+        image, config = build_os_image([simple_program()])
+        bases = sorted(seg.base for seg in image.segments)
+        assert 0 in bases
+        assert L.PAYLOAD_BASE in bases
+        assert L.BOOTINFO in bases
+        assert L.USER_PHYS_BASE in bases
+
+    def test_too_many_programs_rejected(self):
+        programs = [simple_program(name="p%d" % i) for i in range(9)]
+        with pytest.raises(Exception):
+            build_os_image(programs)
+
+    def test_no_programs_rejected(self):
+        with pytest.raises(Exception):
+            build_os_image([])
+
+    def test_kernel_symbols_exported(self):
+        image, _ = build_os_image([simple_program()])
+        assert "k.kmain" in image.symbols
+        assert "k.khandler" in image.symbols
+        assert image.symbols["k.kernel_entry"] == L.KERNEL_BASE
+
+
+class TestBoot:
+    def test_boot_banner_printed(self):
+        fm, console = run_programs([simple_program()])
+        assert console.text().startswith("FastOS/linux-2.4\n")
+        assert fm.bus.shutdown_requested
+
+    def test_all_variants_boot(self):
+        for config_factory in (linux24_config, linux26_config, windowsxp_config):
+            config = config_factory()
+            fm, console = run_programs([simple_program()], config=config)
+            assert fm.bus.shutdown_requested, config.name
+            assert config.banner.strip() in console.text()
+
+    def test_windows_boot_longer_than_linux(self):
+        fm_linux, _ = run_programs([simple_program()])
+        fm_win, _ = run_programs([simple_program()], config=windowsxp_config())
+        assert fm_win.stats.traced > fm_linux.stats.traced
+
+    def test_user_program_runs_in_user_mode(self):
+        log = []
+        fm, console = boot_system([simple_program(body="""
+    MOVI R0, 6
+    SYSCALL           ; getpid
+    MOV R5, R0
+""")])
+        fm.run(max_instructions=3_000_000,
+               on_entry=lambda e: log.append(e.pc))
+        assert any(pc >= L.VBASE for pc in log)
+
+    def test_tlb_refill_happens(self):
+        fm, console = run_programs([simple_program()])
+        assert fm.tlb.misses > 0
+
+
+class TestSyscalls:
+    def test_putchar(self):
+        fm, console = run_programs(
+            [simple_program(body="""
+    MOVI R0, 1
+    MOVI R1, 90
+    SYSCALL
+""")]
+        )
+        assert "Z" in console.text()
+
+    def test_getpid(self):
+        fm, console = run_programs(
+            [simple_program(body="""
+    MOVI R0, 6
+    SYSCALL
+    ADDI R0, 65
+    MOV R1, R0
+    MOVI R0, 1
+    SYSCALL
+""")]
+        )
+        assert "A" in console.text()  # pid 0 -> 'A'
+
+    def test_time_increases(self):
+        fm, console = run_programs(
+            [simple_program(body="""
+    MOVI R0, 3
+    SYSCALL           ; time -> R0
+    MOV R6, R0
+    MOVI R0, 2
+    MOVI R1, 2
+    SYSCALL           ; sleep 2 ticks
+    MOVI R0, 3
+    SYSCALL
+    SUB R0, R6
+    CMPI R0, 2
+    JGE time_ok
+    MOVI R1, 78       ; 'N'
+    MOVI R0, 1
+    SYSCALL
+    JMP time_done
+time_ok:
+    MOVI R1, 89       ; 'Y'
+    MOVI R0, 1
+    SYSCALL
+time_done:
+""")],
+            config=KernelConfig(timer_interval=2000),
+        )
+        assert "Y" in console.text()
+        assert "N" not in console.text()
+
+    def test_unknown_syscall_returns_minus_one(self):
+        fm, console = run_programs(
+            [simple_program(body="""
+    MOVI R0, 99
+    SYSCALL
+    CMPI R0, 0xFFFFFFFF
+    JNZ bad
+    MOVI R1, 79       ; 'O'
+    MOVI R0, 1
+    SYSCALL
+bad:
+""")]
+        )
+        assert "O" in console.text()
+
+    def test_read_disk(self):
+        image = make_disk_image(num_sectors=4, seed=7)
+        fm, console = run_programs(
+            [simple_program(body="""
+    MOVI R0, 5
+    MOVI R1, 2        ; sector
+    MOVI R2, buf      ; user vaddr
+    SYSCALL
+    MOVI R4, buf
+    LD R5, [R4+0]     ; first key of sector 2
+    MOVI R0, 0
+    SYSCALL
+buf:
+    .space 512
+""", exit_code=False)],
+            disk_image=image,
+        )
+        # The first 4 bytes of sector 2 must have landed in user memory.
+        expect = int.from_bytes(image[2 * 512 : 2 * 512 + 4], "little")
+        assert fm.state.regs[5] == expect or fm.bus.shutdown_requested
+
+    def test_divide_by_zero_kills_process(self):
+        fm, console = run_programs(
+            [simple_program(body="""
+    MOVI R1, 0
+    MOVI R2, 5
+    DIV R2, R1
+""", exit_code=False)]
+        )
+        assert "!" in console.text()  # kernel's kill marker
+        assert fm.bus.shutdown_requested
+
+
+class TestScheduling:
+    def _spinner(self, char, iters, name):
+        return UserProgram(name, """
+main:
+    MOVI R5, %d
+outer:
+    MOVI R0, 1
+    MOVI R1, %d
+    SYSCALL
+    MOVI R6, 1500
+spin:
+    DEC R6
+    JNZ spin
+    DEC R5
+    JNZ outer
+    MOVI R0, 0
+    SYSCALL
+""" % (iters, ord(char)), entry="main")
+
+    def test_two_processes_interleave(self):
+        fm, console = run_programs(
+            [self._spinner("A", 6, "pa"), self._spinner("B", 6, "pb")],
+            config=KernelConfig(timer_interval=2500),
+        )
+        text = console.text().split("\n")[-1]
+        assert "A" in text and "B" in text
+        # Interleaving: neither runs fully before the other starts.
+        assert text.index("B") < text.rindex("A")
+
+    def test_yield_alternates(self):
+        yielder = UserProgram("y", """
+main:
+    MOVI R5, 4
+loop:
+    MOVI R0, 1
+    MOVI R1, 121      ; 'y'
+    SYSCALL
+    MOVI R0, 4
+    SYSCALL           ; yield
+    DEC R5
+    JNZ loop
+    MOVI R0, 0
+    SYSCALL
+""", entry="main")
+        fm, console = run_programs([yielder, self._spinner("Z", 4, "pz")])
+        tail = console.text().split("\n")[-1]
+        assert "y" in tail and "Z" in tail
+
+    def test_sleep_blocks_and_wakes(self):
+        sleeper = UserProgram("s", """
+main:
+    MOVI R0, 1
+    MOVI R1, 83       ; 'S'
+    SYSCALL
+    MOVI R0, 2
+    MOVI R1, 3
+    SYSCALL           ; sleep 3 ticks
+    MOVI R0, 1
+    MOVI R1, 87       ; 'W'
+    SYSCALL
+    MOVI R0, 0
+    SYSCALL
+""", entry="main")
+        fm, console = run_programs(
+            [sleeper], config=KernelConfig(timer_interval=1500)
+        )
+        text = console.text()
+        assert "S" in text and "W" in text
+        assert fm.stats.halted_steps > 0  # the idle HALT loop ran
+
+    def test_eight_processes(self):
+        programs = [self._spinner(chr(65 + i), 2, "p%d" % i) for i in range(8)]
+        fm, console = run_programs(
+            programs, config=KernelConfig(timer_interval=2000),
+            max_instructions=8_000_000,
+        )
+        tail = console.text()
+        for i in range(8):
+            assert chr(65 + i) in tail
+        assert fm.bus.shutdown_requested

@@ -1,0 +1,208 @@
+"""Microcode compiler and table tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import make
+from repro.isa.opcodes import OPCODES
+from repro.microcode import (
+    FLAGS_REG,
+    MicrocodeCompiler,
+    MicrocodeError,
+    MicrocodeTable,
+    MicrocodeTarget,
+    NOP_UOP,
+    TEMP_BASE,
+)
+from repro.microcode.semantics import SEMANTICS, untranslated_opcodes
+from repro.microcode.uop import FPR_BASE, UOP_LOAD, UOP_STORE
+
+
+@pytest.fixture(scope="module")
+def table():
+    return MicrocodeTable()
+
+
+class TestCompiler:
+    def test_simple_alu(self):
+        result = MicrocodeCompiler().compile("rd = add(rd, rs) !")
+        assert len(result.uops) == 1
+        uop = result.uops[0]
+        assert uop.kind == "alu" and uop.wflags
+
+    def test_agen_folding(self):
+        result = MicrocodeCompiler().compile(
+            "t0 = add(rs, imm)\nrd = load(t0, 0)"
+        )
+        assert result.folded_agens == 1
+        assert len(result.uops) == 1
+        assert result.uops[0].kind == UOP_LOAD
+
+    def test_agen_not_folded_when_disabled(self):
+        target = MicrocodeTarget(fold_agen=False)
+        result = MicrocodeCompiler(target).compile(
+            "t0 = add(rs, imm)\nrd = load(t0, 0)"
+        )
+        assert result.folded_agens == 0
+        assert len(result.uops) == 2
+
+    def test_agen_not_folded_if_temp_reused(self):
+        result = MicrocodeCompiler().compile(
+            "t0 = add(rs, imm)\nrd = load(t0, 0)\nr3 = mov(t0)"
+        )
+        assert result.folded_agens == 0
+
+    def test_dead_flag_write_elimination(self):
+        result = MicrocodeCompiler().compile(
+            "t0 = add(rs, 1) !\nrd = sub(rd, rs) !"
+        )
+        assert result.dead_flag_writes == 1
+        assert not result.uops[0].wflags
+        assert result.uops[1].wflags
+
+    def test_flag_write_kept_when_read_between(self):
+        result = MicrocodeCompiler().compile(
+            "t0 = sub(rs, 1) !\nbranch(nz)\nrd = add(rd, rs) !"
+        )
+        assert result.uops[0].wflags  # branch reads it first
+
+    def test_final_flag_write_always_kept(self):
+        result = MicrocodeCompiler().compile("rd = add(rd, rs) !")
+        assert result.uops[0].wflags
+
+    def test_store_operands(self):
+        result = MicrocodeCompiler().compile("store(sp, 0, rd)")
+        uop = result.uops[0]
+        assert uop.kind == UOP_STORE
+        assert uop.src1 == 7  # SP
+
+    def test_latencies_from_target(self):
+        target = MicrocodeTarget(div_latency=20)
+        result = MicrocodeCompiler(target).compile("rd = div(rd, rs) !")
+        assert result.uops[0].lat == 20
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(MicrocodeError):
+            MicrocodeCompiler().compile("rd = add(bogus, 1)")
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(MicrocodeError):
+            MicrocodeCompiler().compile("rd = frobnicate(rs)")
+
+    def test_temp_limit_enforced(self):
+        with pytest.raises(MicrocodeError):
+            MicrocodeCompiler().compile("t9 = add(rs, 1)")
+
+    def test_malformed_statement(self):
+        with pytest.raises(MicrocodeError):
+            MicrocodeCompiler().compile("this is not a statement")
+
+
+class TestTable:
+    def test_every_semantic_opcode_compiles(self, table):
+        for name in SEMANTICS:
+            assert table.is_translated(name)
+
+    def test_untranslated_fp_fallback(self, table):
+        for name in ("FDIV", "FSQRT", "FMUL", "FSUB", "FLD", "FST"):
+            assert not table.is_translated(name)
+            uops, ok = table.crack(make(name), count=False)
+            assert not ok
+            assert uops == (NOP_UOP,)
+
+    def test_untranslated_list_matches(self, table):
+        assert set(table.untranslated_opcodes) == set(untranslated_opcodes())
+
+    def test_crack_substitutes_registers(self, table):
+        uops, ok = table.crack(make("ADD", dst=3, src=5), count=False)
+        assert ok
+        assert uops[0].dst == 3 and uops[0].src2 == 5
+
+    def test_crack_fp_register_space(self, table):
+        uops, _ = table.crack(make("FADD", dst=2, src=6), count=False)
+        assert uops[0].dst == FPR_BASE + 2
+        assert uops[0].src2 == FPR_BASE + 6
+
+    def test_fitof_mixes_register_spaces(self, table):
+        uops, _ = table.crack(make("FITOF", dst=1, src=4), count=False)
+        assert uops[0].dst == FPR_BASE + 1
+        assert uops[0].src1 == 4  # integer source stays a GPR
+
+    def test_push_is_two_uops(self, table):
+        uops, _ = table.crack(make("PUSH", dst=3), count=False)
+        assert len(uops) == 2
+
+    def test_call_is_three_uops(self, table):
+        uops, _ = table.crack(make("CALL", imm=0), count=False)
+        assert len(uops) == 3
+
+    def test_ld_folds_to_single_uop(self, table):
+        uops, _ = table.crack(make("LD", dst=1, src=2, imm=4), count=False)
+        assert len(uops) == 1 and uops[0].kind == UOP_LOAD
+
+    def test_crack_rep_scales_with_iterations(self, table):
+        base, _ = table.crack(make("MOVSB", rep=True), count=False)
+        uops, _ = table.crack_rep(make("MOVSB", rep=True), 7, count=False)
+        assert len(uops) == 7 * len(base)
+
+    def test_crack_rep_zero_iterations(self, table):
+        uops, _ = table.crack_rep(make("MOVSB", rep=True), 0, count=False)
+        assert uops == (NOP_UOP,)
+
+    def test_coverage_counting(self):
+        fresh = MicrocodeTable()
+        fresh.crack(make("ADD"))
+        fresh.crack(make("FDIV"))
+        cov = fresh.coverage
+        assert cov.translated == 1 and cov.untranslated == 1
+        assert cov.fraction_translated == 0.5
+        fresh.reset_coverage()
+        assert fresh.coverage.total == 0
+
+    def test_hand_patch(self):
+        fresh = MicrocodeTable()
+        assert not fresh.is_translated("FSUB")
+        fresh.hand_patch("FSUB", "fd = fsub(fd, fs)")
+        assert fresh.is_translated("FSUB")
+        assert "FSUB" in fresh.hand_patched
+        uops, ok = fresh.crack(make("FSUB", dst=1, src=2), count=False)
+        assert ok and uops[0].op == "fsub"
+
+    def test_hand_patch_unknown_opcode(self):
+        with pytest.raises(KeyError):
+            MicrocodeTable().hand_patch("NOPE", "rd = mov(rs)")
+
+    def test_static_uop_count_positive(self, table):
+        assert table.static_uop_count() > len(SEMANTICS) * 0.9
+
+    def test_crack_cache_consistency(self, table):
+        a1, _ = table.crack(make("ADD", dst=1, src=2), count=False)
+        a2, _ = table.crack(make("ADD", dst=1, src=2, imm=99), count=False)
+        assert a1 is a2  # immediate is irrelevant to the template
+
+    def test_different_microcode_targets_differ(self):
+        fast_div = MicrocodeTable(MicrocodeTarget(div_latency=4))
+        slow_div = MicrocodeTable(MicrocodeTarget(div_latency=40))
+        fast_uops, _ = fast_div.crack(make("DIV", dst=0, src=1), count=False)
+        slow_uops, _ = slow_div.crack(make("DIV", dst=0, src=1), count=False)
+        assert fast_uops[0].lat == 4 and slow_uops[0].lat == 40
+
+
+class TestUopInvariants:
+    @given(st.sampled_from(sorted(SEMANTICS)))
+    def test_all_templates_have_valid_register_ids(self, name):
+        table = MicrocodeTable()
+        spec = OPCODES[name]
+        instr = make(name, dst=3, src=5)
+        uops, ok = table.crack(instr, count=False)
+        assert ok
+        for uop in uops:
+            for reg in list(uop.sources()) + list(uop.destinations()):
+                assert 0 <= reg < TEMP_BASE + 4 or reg == FLAGS_REG
+
+    @given(st.sampled_from(sorted(SEMANTICS)), st.integers(0, 7), st.integers(0, 7))
+    def test_cracking_deterministic(self, name, dst, src):
+        table = MicrocodeTable()
+        a, _ = table.crack(make(name, dst=dst, src=src), count=False)
+        b, _ = table.crack(make(name, dst=dst, src=src), count=False)
+        assert a == b

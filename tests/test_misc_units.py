@@ -1,0 +1,189 @@
+"""Smaller unit tests: registers, causes, trace entries, program images,
+host-time breakdown arithmetic, and experiment CLI smoke tests."""
+
+import pytest
+
+from repro.fast.parallel import HostTimeBreakdown
+from repro.functional.trace import TraceEntry, format_trace
+from repro.isa import causes, registers
+from repro.isa.encoding import make
+from repro.isa.program import ProgramImage, Segment
+
+
+class TestRegisters:
+    def test_gpr_lookup(self):
+        assert registers.gpr_index("R0") == 0
+        assert registers.gpr_index("r5") == 5
+        assert registers.gpr_index("SP") == 7
+        assert registers.gpr_index("FP") == 6
+
+    def test_gpr_unknown(self):
+        with pytest.raises(ValueError):
+            registers.gpr_index("R9")
+
+    def test_fpr_lookup(self):
+        assert registers.fpr_index("F3") == 3
+        with pytest.raises(ValueError):
+            registers.fpr_index("F9")
+
+    def test_sr_lookup(self):
+        assert registers.sr_index("EPC") == registers.SR_EPC
+        assert registers.sr_index("flags") == registers.SR_FLAGS
+        with pytest.raises(ValueError):
+            registers.sr_index("NOPE")
+
+    def test_sr_names_cover_file(self):
+        assert len(registers.SR_NAMES) == registers.NUM_SRS
+
+
+class TestCauses:
+    def test_interrupts_vs_exceptions(self):
+        assert causes.is_interrupt(causes.CAUSE_TIMER_IRQ)
+        assert causes.is_interrupt(causes.CAUSE_DEVICE_IRQ)
+        assert not causes.is_interrupt(causes.CAUSE_SYSCALL)
+        assert not causes.is_interrupt(causes.CAUSE_TLB_MISS)
+
+    def test_soft_int_payload_ignored(self):
+        assert not causes.is_interrupt(causes.CAUSE_SOFT_INT | (42 << 8))
+
+    def test_names_table(self):
+        assert causes.CAUSE_NAMES[causes.CAUSE_SYSCALL] == "syscall"
+
+
+class TestTraceEntry:
+    def _entry(self, **kw):
+        defaults = dict(
+            in_no=1, pc=0x100, ppc=0x100, instr=make("JNZ", imm=8),
+            next_pc=0x10B,
+        )
+        defaults.update(kw)
+        return TraceEntry(**defaults)
+
+    def test_taken_detection(self):
+        taken = self._entry(next_pc=0x10B)
+        not_taken = self._entry(next_pc=0x103)  # JNZ is 3 bytes
+        assert taken.taken
+        assert not not_taken.taken
+
+    def test_is_control_classification(self):
+        assert self._entry().is_cond_branch
+        jmp = self._entry(instr=make("JMP", imm=4), next_pc=0x107)
+        assert jmp.is_control and not jmp.is_cond_branch
+        alu = self._entry(instr=make("ADD", dst=1, src=2), next_pc=0x102)
+        assert not alu.is_control
+
+    def test_trace_words_full_vs_bb(self):
+        plain = self._entry()
+        assert plain.trace_words("full") == 4
+        assert plain.trace_words("bb") == 2
+        mem = self._entry(mem_vaddr=0x9000, mem_paddr=0x9000)
+        assert mem.trace_words("full") == 5
+        tlb = self._entry(tlb_vpn=5, tlb_pte=0x7003)
+        assert tlb.trace_words("full") == 6
+
+    def test_format_trace_text(self):
+        text = format_trace([self._entry()])
+        assert "IN1" in text and "JNZ" in text
+
+
+class TestProgramImage:
+    def test_from_assembly_entry_label(self):
+        image = ProgramImage.from_assembly(
+            "t", "start:\nNOP\nmain:\nHALT\n", base=0x100, entry="main"
+        )
+        assert image.entry == image.symbol("main") == 0x101
+        assert image.total_bytes == 2
+
+    def test_default_entry_is_base(self):
+        image = ProgramImage.from_assembly("t", "NOP\n", base=0x200)
+        assert image.entry == 0x200
+
+    def test_segments(self):
+        image = ProgramImage("multi")
+        image.add_segment(0, b"ab")
+        image.add_segment(0x100, b"cdef")
+        assert image.total_bytes == 6
+        assert image.segments[1].end == 0x104
+
+    def test_segment_end(self):
+        assert Segment(0x10, b"1234").end == 0x14
+
+
+class TestHostTimeBreakdown:
+    def _breakdown(self, **kw):
+        defaults = dict(
+            fm_seconds=1.0, trace_seconds=0.5, tm_seconds=2.0,
+            poll_seconds=0.2, roundtrip_seconds=0.1, rollback_seconds=0.2,
+            target_instructions=10_000_000, target_cycles=20_000_000,
+        )
+        defaults.update(kw)
+        return HostTimeBreakdown(**defaults)
+
+    def test_parallel_composition(self):
+        b = self._breakdown()
+        # max(1.5 producer, 2.0 tm) + 0.5 serial
+        assert b.total_seconds == pytest.approx(2.5)
+        assert b.bottleneck == "timing-model"
+
+    def test_fm_bound(self):
+        b = self._breakdown(fm_seconds=5.0)
+        assert b.bottleneck == "functional-model"
+        assert b.total_seconds == pytest.approx(5.5 + 0.5)
+
+    def test_mips(self):
+        b = self._breakdown()
+        assert b.mips == pytest.approx(10_000_000 / 2.5 / 1e6)
+
+    def test_zero_time_guard(self):
+        b = self._breakdown(fm_seconds=0, trace_seconds=0, tm_seconds=0,
+                            poll_seconds=0, roundtrip_seconds=0,
+                            rollback_seconds=0)
+        assert b.mips == 0.0
+
+
+class TestExperimentCLIs:
+    """Each experiment module's main() renders without blowing up."""
+
+    def test_table2_main(self):
+        from repro.experiments import table2
+
+        text = table2.main()
+        assert "Issue" in text and "32." in text
+
+    def test_bottleneck_main_fast_parts(self):
+        from repro.experiments.bottleneck import compute, drc_latency_table
+
+        assert len(compute()) >= 8
+        assert len(drc_latency_table()) == 7
+
+    def test_table1_single_row_render(self):
+        from repro.experiments import table1
+
+        text = table1.main.__doc__ or ""  # main() is slow; render a row
+        row = table1.measure_workload("186.crafty")
+        assert row.paper_fraction == pytest.approx(0.9896)
+
+
+class TestFig3Description:
+    def test_describe_target_renders(self):
+        from repro.experiments.fig3 import describe_target
+
+        text = describe_target()
+        assert "8 ALUs" in text
+        assert "gshare" in text
+        assert "Module tree" in text
+        assert "iL1" in text
+
+    def test_build_time_scales_with_modules(self):
+        from repro.experiments.fig3 import build_time_hours
+        from repro.experiments.table2 import build_timing_model
+
+        fresh, incremental = build_time_hours(build_timing_model(2))
+        assert 1.0 < fresh < 4.0  # paper: ~2 hours
+        assert incremental < fresh
+
+    def test_cli_lists_fig3(self, capsys):
+        from repro.__main__ import main
+
+        main(["repro"])
+        assert "fig3" in capsys.readouterr().out

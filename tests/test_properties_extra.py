@@ -1,0 +1,135 @@
+"""Additional property-based tests: ALU flag semantics against a
+reference model, assembler/disassembler consistency, and the CLI."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.registers import FLAG_C, FLAG_N, FLAG_V, FLAG_Z
+from tests.helpers import run_bare
+
+U32 = st.integers(0, 0xFFFFFFFF)
+
+
+def _flags_of(fm):
+    f = fm.state.flags
+    return (
+        bool(f & FLAG_Z),
+        bool(f & FLAG_N),
+        bool(f & FLAG_C),
+        bool(f & FLAG_V),
+    )
+
+
+def _signed(x):
+    return x - (1 << 32) if x & 0x80000000 else x
+
+
+class TestAluFlagsProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(U32, U32)
+    def test_add_matches_reference(self, a, b):
+        fm = run_bare(
+            "MOVI R1, %d\nMOVI R2, %d\nADD R1, R2\nHALT\n" % (a, b)
+        )
+        result = (a + b) & 0xFFFFFFFF
+        assert fm.state.regs[1] == result
+        z, n, c, v = _flags_of(fm)
+        assert z == (result == 0)
+        assert n == bool(result & 0x80000000)
+        assert c == (a + b > 0xFFFFFFFF)
+        signed_sum = _signed(a) + _signed(b)
+        assert v == not_in_range(signed_sum)
+
+    @settings(max_examples=40, deadline=None)
+    @given(U32, U32)
+    def test_sub_matches_reference(self, a, b):
+        fm = run_bare(
+            "MOVI R1, %d\nMOVI R2, %d\nSUB R1, R2\nHALT\n" % (a, b)
+        )
+        result = (a - b) & 0xFFFFFFFF
+        assert fm.state.regs[1] == result
+        z, n, c, v = _flags_of(fm)
+        assert z == (result == 0)
+        assert n == bool(result & 0x80000000)
+        assert c == (a < b)
+        signed_diff = _signed(a) - _signed(b)
+        assert v == not_in_range(signed_diff)
+
+    @settings(max_examples=25, deadline=None)
+    @given(U32, st.integers(0, 31))
+    def test_shifts_match_reference(self, a, sh):
+        fm = run_bare(
+            "MOVI R1, %d\nMOVI R2, %d\nMOVI R3, %d\n"
+            "SHL R1, %d\nSHR R2, %d\nSAR R3, %d\nHALT\n"
+            % (a, a, a, sh, sh, sh)
+        )
+        assert fm.state.regs[1] == (a << sh) & 0xFFFFFFFF
+        assert fm.state.regs[2] == a >> sh
+        assert fm.state.regs[3] == (_signed(a) >> sh) & 0xFFFFFFFF
+
+    @settings(max_examples=25, deadline=None)
+    @given(U32, st.integers(1, 0xFFFFFFFF))
+    def test_div_matches_reference(self, a, b):
+        fm = run_bare(
+            "MOVI R1, %d\nMOVI R2, %d\nDIV R1, R2\nHALT\n" % (a, b)
+        )
+        assert fm.state.regs[1] == a // b
+
+
+def not_in_range(signed_value):
+    return not (-(1 << 31) <= signed_value < (1 << 31))
+
+
+class TestConditionConsistency:
+    """Every signed/unsigned comparison outcome must match Python's."""
+
+    CONDITIONS = {
+        "JZ": lambda a, b: a == b,
+        "JNZ": lambda a, b: a != b,
+        "JC": lambda a, b: a < b,  # unsigned <
+        "JNC": lambda a, b: a >= b,  # unsigned >=
+        "JL": lambda a, b: _signed(a) < _signed(b),
+        "JGE": lambda a, b: _signed(a) >= _signed(b),
+        "JG": lambda a, b: _signed(a) > _signed(b),
+        "JLE": lambda a, b: _signed(a) <= _signed(b),
+    }
+
+    @settings(max_examples=30, deadline=None)
+    @given(U32, U32, st.sampled_from(sorted(CONDITIONS)))
+    def test_branch_condition(self, a, b, cc):
+        fm = run_bare(
+            """
+            MOVI R1, %d
+            MOVI R2, %d
+            CMP R1, R2
+            %s taken
+            MOVI R3, 0
+            HALT
+        taken:
+            MOVI R3, 1
+            HALT
+            """ % (a, b, cc)
+        )
+        expected = 1 if self.CONDITIONS[cc](a, b) else 0
+        assert fm.state.regs[3] == expected, (a, b, cc)
+
+
+class TestCLI:
+    def test_listing(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["repro"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig6" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["repro", "nope"]) == 1
+
+    def test_run_table2(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["repro", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Issue" in out

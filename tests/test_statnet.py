@@ -1,0 +1,67 @@
+"""Statistics-network routing model tests (section 4.7)."""
+
+import pytest
+
+from repro.timing.module import Module
+from repro.timing.statnet import compare, flat_fabric_cost, tree_network_cost
+
+
+def build_tree(breadth=4, depth=3, counters_per_module=6):
+    root = Module("root")
+
+    def grow(node, level):
+        if level == 0:
+            return
+        for i in range(breadth):
+            child = node.add_child(Module("%s_c%d" % (node.name, i)))
+            for k in range(counters_per_module):
+                child.bump("stat%d" % k)
+            grow(child, level - 1)
+
+    grow(root, depth)
+    return root
+
+
+class TestStatNet:
+    def test_flat_explodes_with_counters(self):
+        few = flat_fabric_cost(build_tree(counters_per_module=2))
+        many = flat_fabric_cost(build_tree(counters_per_module=20))
+        # Congestion is superlinear in counter count.
+        ratio_counters = many.counters / few.counters
+        ratio_cost = many.total_cost / few.total_cost
+        assert ratio_cost > ratio_counters
+
+    def test_tree_scales_with_modules_not_counters(self):
+        few = tree_network_cost(build_tree(counters_per_module=2))
+        many = tree_network_cost(build_tree(counters_per_module=20))
+        assert many.routing_units == few.routing_units
+        assert many.congestion == few.congestion
+
+    def test_tree_wins_at_scale(self):
+        """The paper's conclusion: the tree-based network is the only
+        scheme that survives a heavily-instrumented design."""
+        root = build_tree(breadth=4, depth=3, counters_per_module=12)
+        flat, tree = compare(root)
+        assert tree.total_cost < flat.total_cost
+
+    def test_flat_can_win_tiny_designs(self):
+        """Per the paper, the temporary flat fabric was fine early on:
+        for a couple of modules it is cheaper than tree aggregators."""
+        root = Module("root")
+        child = root.add_child(Module("only"))
+        child.bump("one")
+        flat, tree = compare(root)
+        assert flat.total_cost < tree.total_cost
+
+    def test_real_timing_model_comparison(self):
+        from repro.experiments.table2 import build_timing_model
+
+        tm = build_timing_model(2)
+        # Populate counters as a real run would.
+        for module in tm.walk():
+            for k in range(8):
+                module.bump("m%d" % k)
+        flat, tree = compare(tm, extra_counters_per_module=4)
+        assert flat.counters == tree.counters
+        assert tree.total_cost < flat.total_cost * 2  # sane magnitudes
+        assert flat.modules == tree.modules

@@ -1,0 +1,381 @@
+"""Memory, MMU/TLB, bus and device tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.system.bus import IOBus, PORT_POWER, build_standard_system
+from repro.system.console import PORT_DATA, PORT_STATUS, Console
+from repro.system.disk import (
+    CMD_READ,
+    CMD_WRITE,
+    PORT_ADDR,
+    PORT_CMD,
+    PORT_SECTOR,
+    PORT_STATUS as DISK_STATUS,
+    SECTOR_SIZE,
+    STATUS_BUSY,
+    STATUS_DONE,
+    STATUS_IDLE,
+    Disk,
+)
+from repro.system.interrupt_controller import (
+    IRQ_DISK,
+    IRQ_TIMER,
+    PORT_ENABLE,
+    PORT_PENDING,
+    InterruptController,
+)
+from repro.system.memory import MemoryError_, PhysicalMemory
+from repro.system.mmu import (
+    PAGE_SIZE,
+    PTE_VALID,
+    PTE_WRITE,
+    ProtectionFault,
+    SoftwareTLB,
+    TLBMiss,
+)
+from repro.system.timer import PORT_CTRL, PORT_INTERVAL, Timer
+
+
+class TestPhysicalMemory:
+    def test_read_write_roundtrip(self):
+        mem = PhysicalMemory(4096)
+        mem.write32(0, 0xDEADBEEF)
+        assert mem.read32(0) == 0xDEADBEEF
+        mem.write8(100, 0xAB)
+        assert mem.read8(100) == 0xAB
+        mem.write16(200, 0x1234)
+        assert mem.read16(200) == 0x1234
+
+    def test_little_endian(self):
+        mem = PhysicalMemory(64)
+        mem.write32(0, 0x11223344)
+        assert mem.read8(0) == 0x44
+        assert mem.read8(3) == 0x11
+
+    def test_out_of_range(self):
+        mem = PhysicalMemory(16)
+        with pytest.raises(MemoryError_):
+            mem.read32(14)
+        with pytest.raises(MemoryError_):
+            mem.write8(16, 1)
+        with pytest.raises(MemoryError_):
+            mem.load_blob(10, b"1234567")
+
+    def test_blob_roundtrip(self):
+        mem = PhysicalMemory(64)
+        mem.load_blob(8, b"hello")
+        assert mem.read_blob(8, 5) == b"hello"
+
+    def test_undo(self):
+        mem = PhysicalMemory(64)
+        mem.write32(0, 1)
+        old = mem.read32(0)
+        mem.write32(0, 2)
+        mem.apply_undo([(0, old)])
+        assert mem.read32(0) == 1
+
+    def test_value_masking(self):
+        mem = PhysicalMemory(16)
+        mem.write32(0, 0x1_FFFF_FFFF)
+        assert mem.read32(0) == 0xFFFFFFFF
+
+
+class TestSoftwareTLB:
+    def test_miss_then_fill_then_hit(self):
+        tlb = SoftwareTLB()
+        with pytest.raises(TLBMiss):
+            tlb.translate(0x400123, False)
+        tlb.write(0x400, (0x7 << 12) | PTE_VALID | PTE_WRITE)
+        assert tlb.translate(0x400123, False) == 0x7123
+        assert tlb.translate(0x400123, True) == 0x7123
+
+    def test_write_protection(self):
+        tlb = SoftwareTLB()
+        tlb.write(5, (9 << 12) | PTE_VALID)
+        assert tlb.translate(5 * PAGE_SIZE, False) == 9 * PAGE_SIZE
+        with pytest.raises(ProtectionFault):
+            tlb.translate(5 * PAGE_SIZE, True)
+
+    def test_fifo_eviction(self):
+        tlb = SoftwareTLB(capacity=2)
+        tlb.write(1, (1 << 12) | PTE_VALID)
+        tlb.write(2, (2 << 12) | PTE_VALID)
+        tlb.write(3, (3 << 12) | PTE_VALID)
+        with pytest.raises(TLBMiss):
+            tlb.translate(1 * PAGE_SIZE, False)  # oldest evicted
+        assert tlb.translate(3 * PAGE_SIZE, False)
+
+    def test_flush(self):
+        tlb = SoftwareTLB()
+        tlb.write(1, (1 << 12) | PTE_VALID)
+        tlb.flush()
+        with pytest.raises(TLBMiss):
+            tlb.translate(PAGE_SIZE, False)
+
+    def test_snapshot_restore(self):
+        tlb = SoftwareTLB()
+        tlb.write(1, (1 << 12) | PTE_VALID)
+        snap = tlb.snapshot()
+        tlb.write(2, (2 << 12) | PTE_VALID)
+        tlb.flush()
+        tlb.restore(snap)
+        assert tlb.translate(PAGE_SIZE, False) == PAGE_SIZE
+
+    def test_statistics(self):
+        tlb = SoftwareTLB()
+        tlb.write(0, PTE_VALID)
+        tlb.translate(0, False)
+        try:
+            tlb.translate(PAGE_SIZE, False)
+        except TLBMiss:
+            pass
+        assert tlb.lookups == 2 and tlb.misses == 1
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(1, 255)),
+                    min_size=1, max_size=200))
+    def test_matches_reference_dict(self, ops):
+        """TLB with unlimited capacity behaves like a plain dict."""
+        tlb = SoftwareTLB(capacity=10_000)
+        reference = {}
+        for vpn, pfn in ops:
+            pte = (pfn << 12) | PTE_VALID | PTE_WRITE
+            tlb.write(vpn, pte)
+            reference[vpn] = pfn
+        for vpn, pfn in reference.items():
+            assert tlb.translate(vpn * PAGE_SIZE + 5, True) == pfn * PAGE_SIZE + 5
+
+
+class TestInterruptController:
+    def test_pending_and_enable(self):
+        pic = InterruptController()
+        pic.raise_irq(IRQ_TIMER)
+        assert not pic.output  # not enabled yet
+        pic.write_port(PORT_ENABLE, 1 << IRQ_TIMER)
+        assert pic.output
+        assert pic.highest_pending() == IRQ_TIMER
+
+    def test_ack_clears(self):
+        pic = InterruptController()
+        pic.write_port(PORT_ENABLE, 0xFF)
+        pic.raise_irq(IRQ_TIMER)
+        pic.raise_irq(IRQ_DISK)
+        pic.write_port(PORT_PENDING, 1 << IRQ_TIMER)
+        assert pic.highest_pending() == IRQ_DISK
+
+    def test_priority_order(self):
+        pic = InterruptController()
+        pic.write_port(PORT_ENABLE, 0xFF)
+        pic.raise_irq(IRQ_DISK)
+        pic.raise_irq(IRQ_TIMER)
+        assert pic.highest_pending() == IRQ_TIMER  # lowest line wins
+
+    def test_snapshot_restore(self):
+        pic = InterruptController()
+        pic.write_port(PORT_ENABLE, 3)
+        pic.raise_irq(0)
+        snap = pic.snapshot()
+        pic.write_port(PORT_PENDING, 1)
+        pic.restore(snap)
+        assert pic.output
+
+
+class TestTimer:
+    def _timer(self, interval=10):
+        pic = InterruptController()
+        pic.write_port(PORT_ENABLE, 1 << IRQ_TIMER)
+        return pic, Timer(pic, interval=interval)
+
+    def test_disabled_timer_never_fires(self):
+        pic, timer = self._timer()
+        timer.tick(100)
+        assert not pic.output
+
+    def test_fires_every_interval(self):
+        pic, timer = self._timer(interval=10)
+        timer.write_port(PORT_CTRL, 1)
+        timer.tick(9)
+        assert timer.fires == 0
+        timer.tick(1)
+        assert timer.fires == 1 and pic.output
+        timer.tick(25)
+        assert timer.fires == 3
+
+    def test_interval_programmable(self):
+        pic, timer = self._timer()
+        timer.write_port(PORT_INTERVAL, 3)
+        timer.write_port(PORT_CTRL, 1)
+        timer.tick(3)
+        assert timer.fires == 1
+
+    def test_snapshot_restore(self):
+        pic, timer = self._timer(interval=10)
+        timer.write_port(PORT_CTRL, 1)
+        timer.tick(7)
+        snap = timer.snapshot()
+        timer.tick(5)
+        assert timer.fires == 1
+        timer.restore(snap)
+        assert timer.count == 7 and timer.fires == 0
+
+
+class TestConsole:
+    def test_output_capture(self):
+        console = Console()
+        for byte in b"hi":
+            console.write_port(PORT_DATA, byte)
+        assert console.text() == "hi"
+
+    def test_scripted_input(self):
+        console = Console(input_bytes=b"ab")
+        assert console.read_port(PORT_STATUS) == 1
+        assert console.read_port(PORT_DATA) == ord("a")
+        assert console.read_port(PORT_DATA) == ord("b")
+        assert console.read_port(PORT_STATUS) == 0
+        assert console.read_port(PORT_DATA) == 0
+
+    def test_snapshot_restore_truncates_output(self):
+        console = Console()
+        console.write_port(PORT_DATA, ord("a"))
+        snap = console.snapshot()
+        console.write_port(PORT_DATA, ord("b"))
+        console.restore(snap)
+        assert console.text() == "a"
+
+
+class TestDisk:
+    def _disk(self, latency=5):
+        mem = PhysicalMemory(8192)
+        pic = InterruptController()
+        pic.write_port(PORT_ENABLE, 1 << IRQ_DISK)
+        disk = Disk(pic, mem, num_sectors=4, latency=latency,
+                    image=b"X" * SECTOR_SIZE + b"Y" * SECTOR_SIZE)
+        return mem, pic, disk
+
+    def test_read_sector_dma(self):
+        mem, pic, disk = self._disk()
+        disk.write_port(PORT_SECTOR, 1)
+        disk.write_port(PORT_ADDR, 0x100)
+        disk.write_port(PORT_CMD, CMD_READ)
+        assert disk.read_port(DISK_STATUS) == STATUS_BUSY
+        disk.tick(5)
+        assert disk.read_port(DISK_STATUS) == STATUS_DONE
+        assert disk.read_port(DISK_STATUS) == STATUS_IDLE  # cleared on read
+        assert mem.read_blob(0x100, SECTOR_SIZE) == b"Y" * SECTOR_SIZE
+        assert pic.output
+
+    def test_write_sector(self):
+        mem, pic, disk = self._disk()
+        mem.load_blob(0x200, b"Z" * SECTOR_SIZE)
+        disk.write_port(PORT_SECTOR, 3)
+        disk.write_port(PORT_ADDR, 0x200)
+        disk.write_port(PORT_CMD, CMD_WRITE)
+        disk.tick(5)
+        assert bytes(disk.data[3 * SECTOR_SIZE : 4 * SECTOR_SIZE]) == b"Z" * SECTOR_SIZE
+
+    def test_latency_respected(self):
+        mem, pic, disk = self._disk(latency=100)
+        disk.write_port(PORT_CMD, CMD_READ)
+        disk.tick(99)
+        assert disk.read_port(DISK_STATUS) == STATUS_BUSY
+        disk.tick(1)
+        assert disk.read_port(DISK_STATUS) == STATUS_DONE
+
+    def test_snapshot_restore_mid_command(self):
+        mem, pic, disk = self._disk(latency=10)
+        disk.write_port(PORT_SECTOR, 1)
+        disk.write_port(PORT_ADDR, 0x100)
+        disk.write_port(PORT_CMD, CMD_READ)
+        disk.tick(4)
+        snap = disk.snapshot()
+        disk.tick(6)
+        assert disk.status == STATUS_DONE
+        disk.restore(snap)
+        assert disk.status == STATUS_BUSY
+        disk.tick(6)
+        assert disk.status == STATUS_DONE
+
+
+class TestBus:
+    def test_power_port_requests_shutdown(self):
+        bus = IOBus()
+        bus.write(PORT_POWER, 3)
+        assert bus.shutdown_requested and bus.shutdown_code == 3
+
+    def test_unclaimed_port_reads_zero(self):
+        bus = IOBus()
+        assert bus.read(0x99) == 0
+
+    def test_port_conflict_rejected(self):
+        bus = IOBus()
+        bus.attach(InterruptController())
+        with pytest.raises(ValueError):
+            bus.attach(InterruptController())
+
+    def test_standard_system_wiring(self):
+        mem, bus, pic, timer, console, disk = build_standard_system()
+        assert bus.read(PORT_CTRL) == 0  # timer disabled at reset
+        bus.write(PORT_DATA, ord("x"))
+        assert console.text() == "x"
+
+    def test_snapshot_restore_covers_shutdown(self):
+        mem, bus, *_ = build_standard_system()
+        snap = bus.snapshot()
+        bus.write(PORT_POWER, 1)
+        assert bus.shutdown_requested
+        bus.restore(snap)
+        assert not bus.shutdown_requested
+
+
+class TestRotationalDisk:
+    """Section 3.4: seek + rotational latency instead of a fixed delay."""
+
+    def _disk(self):
+        from repro.system.disk_timing import RotationalDiskModel
+
+        mem = PhysicalMemory(8192)
+        pic = InterruptController()
+        model = RotationalDiskModel()
+        disk = Disk(pic, mem, num_sectors=1024, timing_model=model)
+        return mem, disk, model
+
+    def _read(self, disk, sector):
+        disk.write_port(PORT_SECTOR, sector)
+        disk.write_port(PORT_ADDR, 0x100)
+        disk.write_port(PORT_CMD, CMD_READ)
+        units = 0
+        while disk.read_port(DISK_STATUS) != STATUS_DONE:
+            disk.tick(10)
+            units += 10
+        return units
+
+    def test_far_seek_slower_than_sequential(self):
+        mem, disk, model = self._disk()
+        self._read(disk, 0)  # position the head
+        near = self._read(disk, 1)
+        mem2, disk2, model2 = self._disk()
+        self._read(disk2, 0)
+        far = self._read(disk2, 1000)
+        assert far > near
+
+    def test_track_buffer_hit_is_fast(self):
+        mem, disk, model = self._disk()
+        self._read(disk, 100)
+        rehit = self._read(disk, 100)
+        assert rehit <= model.buffer_hit_units + 10
+
+    def test_deterministic_given_sequence(self):
+        seq = [5, 900, 12, 300, 12]
+        runs = []
+        for _ in range(2):
+            mem, disk, model = self._disk()
+            runs.append([self._read(disk, s) for s in seq])
+        assert runs[0] == runs[1]
+
+    def test_snapshot_restores_mechanical_state(self):
+        mem, disk, model = self._disk()
+        self._read(disk, 500)
+        snap = disk.snapshot()
+        lat_after = self._read(disk, 800)
+        disk.restore(snap)
+        assert self._read(disk, 800) == lat_after

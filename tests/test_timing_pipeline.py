@@ -1,0 +1,233 @@
+"""Timing-model pipeline behaviour tests (bare-metal programs).
+
+These check that the cycle-accurate model responds to microarchitectural
+effects the way the Figure 3 target should: dependences serialize,
+wider issue helps independent code, cache misses stall, mispredicts
+drain the pipeline, long-latency units block, and so on.
+"""
+
+import pytest
+
+from repro.baselines.lockstep import LockStepFeed
+from repro.functional.model import FunctionalModel
+from repro.isa.program import ProgramImage
+from repro.system.bus import build_standard_system
+from repro.timing.core import TimingConfig, TimingModel
+
+
+def run_timing(source, config=None, base=0x1000, max_cycles=2_000_000):
+    memory, bus, *_ = build_standard_system(memory_size=1 << 22)
+    fm = FunctionalModel(memory=memory, bus=bus)
+    fm.load(ProgramImage.from_assembly("t", source, base=base))
+    tm = TimingModel(LockStepFeed(fm), microcode=fm.microcode,
+                     config=config or TimingConfig(predictor="perfect"))
+    # Bare programs end in HALT with interrupts off; run until the
+    # pipeline drains after the HALT commits.
+    while tm.cycle < max_cycles:
+        tm.tick()
+        if fm.state.halted and tm.drained:
+            break
+        if tm.feed.finished and tm.drained:
+            break
+    return tm.stats(), tm, fm
+
+
+PAD = "\n".join(["    NOP"] * 4)
+
+
+def chain_program(n, dependent):
+    """n ADDs, either a dependency chain or fully independent."""
+    lines = ["MOVI R1, 1", "MOVI R2, 2", "MOVI R3, 3"]
+    for i in range(n):
+        if dependent:
+            lines.append("ADD R1, R1")
+        else:
+            lines.append("ADD R%d, R%d" % (1 + i % 3, 1 + i % 3))
+    lines.append("HALT")
+    return "\n".join(lines)
+
+
+class TestBasicExecution:
+    def test_counts_instructions(self):
+        stats, tm, fm = run_timing("MOVI R1, 1\nMOVI R2, 2\nHALT\n")
+        assert stats.instructions == 3
+
+    def test_cycles_reasonable_for_straight_line(self):
+        n = 64
+        stats, _, _ = run_timing(chain_program(n, dependent=False))
+        # 2-wide issue: must beat 1 IPC on independent code after warmup,
+        # and cannot be faster than n/2 cycles.
+        assert stats.cycles < n * 1.5 + 60
+        assert stats.cycles > n / 2
+
+    def test_dependent_chain_is_slower(self):
+        fast, _, _ = run_timing(chain_program(60, dependent=False))
+        slow, _, _ = run_timing(chain_program(60, dependent=True))
+        assert slow.cycles > fast.cycles
+
+    def test_uops_exceed_instructions_with_cracking(self):
+        stats, _, _ = run_timing(
+            "MOVI SP, 0x9000\nPUSH R1\nPUSH R2\nPOP R2\nPOP R1\nHALT\n"
+        )
+        assert stats.uops > stats.instructions
+
+
+class TestLatency:
+    def test_div_slower_than_add(self):
+        add, _, _ = run_timing(
+            "MOVI R1, 100\nMOVI R2, 7\n" + "ADD R1, R2\n" * 10 + "HALT\n"
+        )
+        div, _, _ = run_timing(
+            "MOVI R1, 100\nMOVI R2, 7\n" + "DIV R1, R2\n" * 10 + "HALT\n"
+        )
+        assert div.cycles > add.cycles + 50  # divides serialize, lat 12
+
+    def test_load_use_latency(self):
+        # A chain of dependent loads is limited by the L1 hit latency.
+        source = (
+            "MOVI R1, 0x9000\nMOVI R2, 0x9000\nST [R1+0], R2\n"
+            + "LD R1, [R1+0]\n" * 16
+            + "HALT\n"
+        )
+        stats, tm, _ = run_timing(source)
+        assert stats.cycles > 16 * 2  # at least hit latency per load
+
+
+class TestIssueWidth:
+    def test_wider_issue_helps_independent_code(self):
+        source = chain_program(120, dependent=False)
+        narrow, _, _ = run_timing(
+            source, TimingConfig.with_issue_width(1, predictor="perfect")
+        )
+        wide, _, _ = run_timing(
+            source, TimingConfig.with_issue_width(4, predictor="perfect")
+        )
+        assert wide.cycles < narrow.cycles * 0.7
+
+    def test_width_does_not_change_instruction_count(self):
+        source = chain_program(50, dependent=False)
+        a, _, _ = run_timing(source, TimingConfig.with_issue_width(1, predictor="perfect"))
+        b, _, _ = run_timing(source, TimingConfig.with_issue_width(8, predictor="perfect"))
+        assert a.instructions == b.instructions
+
+
+class TestBranches:
+    LOOP = """
+        MOVI R1, 40
+        MOVI R2, 0
+    top:
+        ADD R2, R1
+        DEC R1
+        JNZ top
+        HALT
+    """
+
+    def test_perfect_faster_than_gshare(self):
+        perfect, _, _ = run_timing(self.LOOP, TimingConfig(predictor="perfect"))
+        gshare, _, _ = run_timing(self.LOOP, TimingConfig(predictor="gshare"))
+        assert perfect.cycles <= gshare.cycles
+        assert gshare.mispredicts > 0
+        assert perfect.mispredicts == 0
+
+    def test_mispredict_drains_counted(self):
+        stats, _, _ = run_timing(self.LOOP, TimingConfig(predictor="gshare"))
+        assert stats.drain_mispredict > 0
+
+    def test_gshare_learns_the_loop(self):
+        # A long loop should end with high accuracy despite cold start.
+        source = self.LOOP.replace("MOVI R1, 40", "MOVI R1, 200")
+        stats, _, _ = run_timing(source, TimingConfig(predictor="gshare"))
+        assert stats.bp_accuracy > 0.9
+
+    def test_branch_stats_counted(self):
+        stats, _, _ = run_timing(self.LOOP)
+        assert stats.branches >= 40
+
+
+class TestCaches:
+    def test_icache_miss_on_cold_start(self):
+        stats, tm, _ = run_timing(chain_program(8, dependent=False))
+        assert stats.icache_accesses > 0
+        assert stats.icache_hits < stats.icache_accesses
+
+    def test_dcache_pressure(self):
+        # Stride through 64KB: every load a new line, exceeding 32KB L1D.
+        source = """
+            MOVI R1, 0x10000
+            MOVI R2, 1024
+        top:
+            LD R3, [R1+0]
+            ADDI R1, 64
+            DEC R2
+            JNZ top
+            HALT
+        """
+        stats, tm, _ = run_timing(source)
+        assert tm.hierarchy.l1d.counter("misses") >= 1024
+
+    def test_small_cache_worse_than_big(self):
+        source = """
+            MOVI R5, 4
+        rep:
+            MOVI R1, 0x10000
+            MOVI R2, 256
+        top:
+            LD R3, [R1+0]
+            ADDI R1, 64
+            DEC R2
+            JNZ top
+            DEC R5
+            JNZ rep
+            HALT
+        """
+        from repro.timing.cache.hierarchy import CacheGeometry
+
+        big = TimingConfig(predictor="perfect")
+        small = TimingConfig(
+            predictor="perfect",
+            caches=CacheGeometry(l1d_bytes=4096, l1i_bytes=32 * 1024),
+        )
+        big_stats, _, _ = run_timing(source, big)
+        small_stats, _, _ = run_timing(source, small)
+        assert small_stats.cycles > big_stats.cycles
+
+
+class TestSerialization:
+    def test_sys_barrier_drains(self):
+        stats, _, _ = run_timing(
+            "MOVI R1, 1\nCLI\nSTI\nMOVI R2, 2\nHALT\n"
+        )
+        assert stats.drain_serialize > 0
+
+    def test_exception_redirect(self):
+        source = """
+            JMP start
+        .org 0x40
+            JMP handler
+        .org 0x1000
+        start:
+            MOVI R1, 5
+            MOVI R2, 0
+            DIV R1, R2
+            HALT
+        handler:
+            MOVI R3, 1
+            HALT
+        """
+        stats, tm, fm = run_timing(source, base=0)
+        assert fm.state.regs[3] == 1
+        assert stats.drain_exception > 0
+
+
+class TestStringTiming:
+    def test_rep_movsb_occupies_pipeline(self):
+        source = """
+            MOVI R0, 0x9000
+            MOVI R1, 0xA000
+            MOVI R2, 64
+            REP MOVSB
+            HALT
+        """
+        stats, _, _ = run_timing(source)
+        # 64 iterations x 6 uops each must commit.
+        assert stats.uops > 64 * 5

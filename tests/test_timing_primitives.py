@@ -1,0 +1,290 @@
+"""Connector, FIFO, CAM and arbiter tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.timing.connector import Connector
+from repro.timing.module import Module
+from repro.timing.primitives import CAM, Fifo, LRUArbiter, RoundRobinArbiter
+
+
+class TestModule:
+    def test_hierarchy_walk(self):
+        root = Module("root")
+        child = root.add_child(Module("child"))
+        child.add_child(Module("grandchild"))
+        names = [m.name for m in root.walk()]
+        assert names == ["root", "child", "grandchild"]
+
+    def test_find(self):
+        root = Module("root")
+        root.add_child(Module("a"))
+        assert root.find("a").name == "a"
+        assert root.find("missing") is None
+
+    def test_counters(self):
+        m = Module("m")
+        m.bump("x")
+        m.bump("x", 4)
+        assert m.counter("x") == 5
+        assert m.counter("y") == 0
+
+    def test_all_counters_flattened(self):
+        root = Module("root")
+        child = root.add_child(Module("c"))
+        child.bump("hits")
+        flat = root.all_counters()
+        assert flat == {"root/c/hits": 1}
+
+    def test_reset(self):
+        m = Module("m")
+        m.bump("x")
+        m.reset_counters()
+        assert m.counter("x") == 0
+
+
+class TestConnector:
+    def test_min_latency_hides_items(self):
+        c = Connector("c", min_latency=2)
+        c.tick(0)
+        c.push("a")
+        assert c.peek() is None
+        c.tick(1)
+        assert c.peek() is None
+        c.tick(2)
+        assert c.peek() == "a"
+        assert c.pop() == "a"
+
+    def test_zero_latency(self):
+        c = Connector("c", min_latency=0)
+        c.tick(0)
+        c.push("a")
+        assert c.pop() == "a"
+
+    def test_input_throughput_limit(self):
+        c = Connector("c", input_throughput=2, max_transactions=8)
+        c.tick(0)
+        assert c.push(1) and c.push(2)
+        assert not c.push(3)
+        c.tick(1)
+        assert c.push(3)
+
+    def test_output_throughput_limit(self):
+        c = Connector("c", input_throughput=4, output_throughput=1,
+                      min_latency=0, max_transactions=8)
+        c.tick(0)
+        for i in range(3):
+            c.push(i)
+        assert c.pop() == 0
+        assert c.pop() is None  # throughput exhausted this cycle
+        c.tick(1)
+        assert c.pop() == 1
+
+    def test_max_transactions(self):
+        c = Connector("c", input_throughput=10, max_transactions=2)
+        c.tick(0)
+        assert c.push(1) and c.push(2)
+        assert not c.push(3)
+        assert c.counter("push_stalls") == 1
+
+    def test_fifo_order(self):
+        c = Connector("c", input_throughput=4, output_throughput=4,
+                      min_latency=1, max_transactions=8)
+        c.tick(0)
+        for i in range(4):
+            c.push(i)
+        c.tick(1)
+        assert [c.pop() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_flush(self):
+        c = Connector("c", input_throughput=4, max_transactions=8)
+        c.tick(0)
+        c.push(1)
+        c.push(2)
+        assert c.flush() == 2
+        assert len(c) == 0
+
+    def test_drop_if(self):
+        c = Connector("c", input_throughput=8, max_transactions=8)
+        c.tick(0)
+        for i in range(6):
+            c.push(i)
+        dropped = c.drop_if(lambda x: x % 2 == 0)
+        assert dropped == 3
+        assert len(c) == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Connector("c", min_latency=-1)
+        with pytest.raises(ValueError):
+            Connector("c", max_transactions=0)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=64),
+           st.integers(1, 4), st.integers(1, 4), st.integers(0, 3))
+    def test_conservation_property(self, ops, in_tp, out_tp, latency):
+        """Items pushed == items popped + items still queued."""
+        c = Connector("c", input_throughput=in_tp, output_throughput=out_tp,
+                      min_latency=latency, max_transactions=16)
+        pushed = popped = 0
+        for cycle, op in enumerate(ops):
+            c.tick(cycle)
+            if op and c.can_push():
+                c.push(pushed)
+                pushed += 1
+            elif c.can_pop():
+                value = c.pop()
+                assert value == popped  # FIFO order preserved
+                popped += 1
+        assert pushed == popped + len(c)
+
+
+class TestFifo:
+    def test_capacity(self):
+        f = Fifo("f", capacity=2)
+        assert f.push(1) and f.push(2)
+        assert f.full and not f.push(3)
+
+    def test_order(self):
+        f = Fifo("f", capacity=4)
+        for i in range(3):
+            f.push(i)
+        assert [f.pop() for _ in range(3)] == [0, 1, 2]
+        assert f.pop() is None
+
+    def test_remove_if(self):
+        f = Fifo("f", capacity=8)
+        for i in range(6):
+            f.push(i)
+        assert f.remove_if(lambda x: x >= 3) == 3
+        assert list(f) == [0, 1, 2]
+
+
+class TestCAM:
+    def test_lookup_hit_miss_counting(self):
+        cam = CAM("c", capacity=4)
+        cam.insert("k", 1)
+        assert cam.lookup("k") == 1
+        assert cam.lookup("x") is None
+        assert cam.counter("hits") == 1
+        assert cam.counter("misses") == 1
+
+    def test_fifo_eviction(self):
+        cam = CAM("c", capacity=2)
+        cam.insert("a", 1)
+        cam.insert("b", 2)
+        cam.insert("c", 3)
+        assert "a" not in cam
+        assert cam.counter("evictions") == 1
+
+    def test_reinsert_refreshes(self):
+        cam = CAM("c", capacity=2)
+        cam.insert("a", 1)
+        cam.insert("b", 2)
+        cam.insert("a", 9)  # refresh a
+        cam.insert("c", 3)  # evicts b, not a
+        assert "a" in cam and "b" not in cam
+
+    def test_invalidate(self):
+        cam = CAM("c", capacity=2)
+        cam.insert("a", 1)
+        assert cam.invalidate("a")
+        assert not cam.invalidate("a")
+
+
+class TestArbiters:
+    def test_round_robin_rotates(self):
+        arb = RoundRobinArbiter("rr", 3)
+        grants = [arb.grant([True, True, True]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_skips_idle(self):
+        arb = RoundRobinArbiter("rr", 3)
+        assert arb.grant([False, True, False]) == 1
+        assert arb.grant([True, False, True]) == 2
+        assert arb.grant([True, False, True]) == 0
+
+    def test_round_robin_none_when_no_requests(self):
+        arb = RoundRobinArbiter("rr", 2)
+        assert arb.grant([False, False]) is None
+
+    def test_lru_prefers_least_recent(self):
+        arb = LRUArbiter("lru", 3)
+        assert arb.grant([True, True, True]) == 0
+        assert arb.grant([True, True, True]) == 1
+        assert arb.grant([True, False, True]) == 2
+        assert arb.grant([True, True, True]) == 0
+
+    def test_lru_starvation_freedom(self):
+        arb = LRUArbiter("lru", 4)
+        granted = set()
+        for _ in range(8):
+            granted.add(arb.grant([True] * 4))
+        assert granted == {0, 1, 2, 3}
+
+
+class TestConnectorTracing:
+    """Section 4.7: logging/tracing with user-specified triggering."""
+
+    def _connector(self):
+        c = Connector("c", input_throughput=8, max_transactions=16)
+        c.tick(0)
+        return c
+
+    def test_trace_captures_pushes(self):
+        c = self._connector()
+        c.start_trace()
+        c.push("a")
+        c.tick(1)
+        c.push("b")
+        log = c.stop_trace()
+        assert log == [(0, "a"), (1, "b")]
+        assert not c.tracing
+
+    def test_trigger_filters(self):
+        c = self._connector()
+        c.start_trace(trigger=lambda cycle, item: item % 2 == 0)
+        for i in range(6):
+            c.push(i)
+        assert [item for _, item in c.stop_trace()] == [0, 2, 4]
+
+    def test_limit_bounds_log(self):
+        c = self._connector()
+        c.start_trace(limit=2)
+        for cycle in range(4):
+            c.tick(cycle)
+            c.push(cycle)
+        assert len(c.stop_trace()) == 2
+
+    def test_no_tracing_by_default(self):
+        c = self._connector()
+        c.push("x")
+        assert c.stop_trace() == []
+
+    def test_end_to_end_pipeline_trace(self):
+        """Trace real fetch->decode traffic in a live timing model."""
+        from tests.test_timing_pipeline import run_timing
+
+        from repro.timing.core import TimingConfig
+
+        source = "MOVI R1, 5\ntop:\nDEC R1\nJNZ top\nHALT\n"
+        # run_timing constructs its own model; attach tracing via a tiny
+        # shim around the frontend connector.
+        from repro.baselines.lockstep import LockStepFeed
+        from repro.functional.model import FunctionalModel
+        from repro.isa.program import ProgramImage
+        from repro.system.bus import build_standard_system
+        from repro.timing.core import TimingModel
+
+        memory, bus, *_ = build_standard_system()
+        fm = FunctionalModel(memory=memory, bus=bus)
+        fm.load(ProgramImage.from_assembly("t", source, base=0x1000))
+        tm = TimingModel(LockStepFeed(fm), microcode=fm.microcode,
+                         config=TimingConfig(predictor="perfect"))
+        tm.frontend.fetch_q.start_trace(
+            trigger=lambda cycle, di: di.entry.instr.name == "JNZ"
+        )
+        while not (fm.state.halted and tm.drained) and tm.cycle < 100_000:
+            tm.tick()
+        log = tm.frontend.fetch_q.stop_trace()
+        assert len(log) == 5  # one per loop-back branch fetch
+        assert all(di.entry.instr.name == "JNZ" for _, di in log)

@@ -1,0 +1,238 @@
+"""Cache, TLB-model and branch predictor tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.functional.trace import TraceEntry
+from repro.isa import make
+from repro.timing.bpred import (
+    BTB,
+    FixedAccuracyPredictor,
+    GsharePredictor,
+    PerfectPredictor,
+    TwoBitPredictor,
+    make_predictor,
+)
+from repro.timing.cache import CacheGeometry, CacheHierarchy, ITLBModel, SetAssocCache
+
+
+def entry_for(pc, taken, target=None, name="JNZ", in_no=1):
+    instr = make(name, imm=16)
+    next_pc = target if taken else pc + instr.length
+    return TraceEntry(
+        in_no=in_no, pc=pc, ppc=pc, instr=instr,
+        next_pc=next_pc if next_pc is not None else pc + instr.length,
+    )
+
+
+class TestSetAssocCache:
+    def test_miss_then_hit(self):
+        cache = SetAssocCache("c", 1024, ways=2, line_bytes=64)
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.access(0x13F)  # same line
+        assert not cache.access(0x140)  # next line
+
+    def test_lru_within_set(self):
+        cache = SetAssocCache("c", 2 * 64, ways=2, line_bytes=64)  # 1 set
+        cache.access(0 * 64)
+        cache.access(1 * 64)
+        cache.access(0 * 64)  # refresh 0
+        cache.access(2 * 64)  # evicts 1
+        assert cache.probe(0)
+        assert not cache.probe(64)
+
+    def test_writeback_counting(self):
+        cache = SetAssocCache("c", 2 * 64, ways=2, line_bytes=64)
+        cache.access(0, is_write=True)
+        cache.access(64)
+        cache.access(128)  # evicts dirty line 0
+        assert cache.counter("writebacks") == 1
+
+    def test_invalidate_all(self):
+        cache = SetAssocCache("c", 1024, ways=2)
+        cache.access(0)
+        cache.invalidate_all()
+        assert not cache.probe(0)
+
+    def test_hit_rate(self):
+        cache = SetAssocCache("c", 1024, ways=2)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == 0.5
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            SetAssocCache("c", 1000, ways=3, line_bytes=64)
+
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=300))
+    def test_fully_associative_matches_lru_reference(self, addrs):
+        """A 1-set cache must behave exactly like an LRU list."""
+        ways = 4
+        cache = SetAssocCache("c", ways * 64, ways=ways, line_bytes=64)
+        reference = []
+        for addr in addrs:
+            line = addr >> 6
+            expected_hit = line in reference
+            if expected_hit:
+                reference.remove(line)
+            elif len(reference) >= ways:
+                reference.pop(0)
+            reference.append(line)
+            assert cache.access(addr) == expected_hit
+
+
+class TestHierarchy:
+    def test_latencies_ordered(self):
+        hier = CacheHierarchy()
+        g = hier.geometry
+        l1_miss = hier.access_data(0x10000)
+        l1_hit = hier.access_data(0x10000)
+        assert l1_hit == g.l1_hit_latency
+        assert l1_miss == g.l1_hit_latency + g.l2_latency + g.mem_latency
+
+    def test_l2_shared_between_i_and_d(self):
+        hier = CacheHierarchy()
+        hier.access_instr(0x40000)  # fills L2
+        latency = hier.access_data(0x40000)  # L1D miss, L2 hit
+        assert latency == hier.geometry.l1_hit_latency + hier.geometry.l2_latency
+
+    def test_default_geometry_is_paper_config(self):
+        g = CacheGeometry()
+        assert g.l1i_bytes == 32 * 1024 and g.l1_ways == 8
+        assert g.l2_bytes == 256 * 1024 and g.l2_ways == 8
+        assert g.l2_latency == 8 and g.mem_latency == 25  # Figure 3
+
+
+class TestITLB:
+    def test_miss_allocates(self):
+        itlb = ITLBModel(capacity=2)
+        assert not itlb.lookup(0x1000)
+        assert itlb.lookup(0x1004)  # same page
+
+    def test_capacity_fifo(self):
+        itlb = ITLBModel(capacity=2)
+        itlb.lookup(0x1000)
+        itlb.lookup(0x2000)
+        itlb.lookup(0x3000)
+        assert not itlb.lookup(0x1000)  # evicted
+
+    def test_flush(self):
+        itlb = ITLBModel()
+        itlb.lookup(0x1000)
+        itlb.flush()
+        assert not itlb.lookup(0x1000)
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BTB(entries=64, ways=4)
+        assert btb.lookup(0x100) is None
+        btb.install(0x100, 0x200)
+        assert btb.lookup(0x100) == 0x200
+
+    def test_way_conflict_eviction(self):
+        btb = BTB(entries=8, ways=2)  # 4 sets
+        sets = btb.sets
+        pcs = [2 * (0 + k * sets) for k in range(3)]  # same set
+        for i, pc in enumerate(pcs):
+            btb.install(pc, i)
+        assert btb.lookup(pcs[0]) is None  # LRU evicted
+        assert btb.lookup(pcs[2]) == 2
+
+    def test_entries_must_divide(self):
+        with pytest.raises(ValueError):
+            BTB(entries=10, ways=4)
+
+
+class TestPredictors:
+    def test_perfect_always_right(self):
+        pred = PerfectPredictor()
+        entry = entry_for(0x100, taken=True, target=0x200)
+        assert pred.predict(entry) == (True, 0x200)
+
+    def test_fixed_accuracy_statistical(self):
+        pred = FixedAccuracyPredictor(0.9)
+        correct = 0
+        n = 4000
+        for i in range(n):
+            entry = entry_for(0x100 + 8 * i, taken=i % 3 == 0,
+                              target=0x5000, in_no=i)
+            taken, target = pred.predict(entry)
+            if (taken, target) == (entry.taken, entry.next_pc):
+                correct += 1
+        assert 0.87 < correct / n < 0.93
+
+    def test_fixed_accuracy_deterministic(self):
+        a = FixedAccuracyPredictor(0.5, seed=7)
+        b = FixedAccuracyPredictor(0.5, seed=7)
+        for i in range(50):
+            entry = entry_for(0x100, taken=True, target=0x300, in_no=i)
+            assert a.predict(entry) == b.predict(entry)
+
+    def test_fixed_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            FixedAccuracyPredictor(1.5)
+
+    def test_twobit_learns_bias(self):
+        pred = TwoBitPredictor()
+        entry = entry_for(0x100, taken=True, target=0x200)
+        for _ in range(4):
+            pred.update(entry, True, 0x200)
+        taken, target = pred.predict(entry)
+        assert taken and target == 0x200
+
+    def test_twobit_hysteresis(self):
+        pred = TwoBitPredictor()
+        entry = entry_for(0x100, taken=True, target=0x200)
+        for _ in range(4):
+            pred.update(entry, True, 0x200)
+        pred.update(entry, False, 0)  # one not-taken shouldn't flip it
+        taken, _ = pred.predict(entry)
+        assert taken
+
+    def test_gshare_btb_miss_predicts_sequential(self):
+        pred = GsharePredictor()
+        entry = entry_for(0x100, taken=True, target=0x900)
+        taken, target = pred.predict(entry)
+        # Cold BTB: no target available, must fall through sequential.
+        assert target == 0x100 + entry.instr.length
+
+    def test_gshare_learns_loop(self):
+        pred = GsharePredictor()
+        entry = entry_for(0x100, taken=True, target=0x80)
+        for _ in range(8):
+            pred.update(entry, True, 0x80)
+        taken, target = pred.predict(entry)
+        assert taken and target == 0x80
+
+    def test_gshare_history_commits_only(self):
+        """predict() must not mutate state (wrong-path determinism)."""
+        pred = GsharePredictor()
+        entry = entry_for(0x100, taken=True, target=0x80)
+        pred.update(entry, True, 0x80)
+        first = pred.predict(entry)
+        for _ in range(10):
+            assert pred.predict(entry) == first
+
+    def test_unconditional_jump_prediction(self):
+        pred = GsharePredictor()
+        entry = entry_for(0x100, taken=True, target=0x500, name="JMP")
+        pred.update(entry, True, 0x500)
+        assert pred.predict(entry) == (True, 0x500)
+
+    def test_factory(self):
+        assert isinstance(make_predictor("perfect"), PerfectPredictor)
+        assert isinstance(make_predictor("gshare"), GsharePredictor)
+        assert isinstance(make_predictor("2bit"), TwoBitPredictor)
+        fixed = make_predictor("fixed:0.97")
+        assert isinstance(fixed, FixedAccuracyPredictor)
+        assert fixed.target_accuracy == 0.97
+        with pytest.raises(ValueError):
+            make_predictor("oracle9000")
+
+    def test_accuracy_stat(self):
+        pred = GsharePredictor()
+        pred.record_outcome(True)
+        pred.record_outcome(False)
+        assert pred.accuracy == 0.5
