@@ -5,6 +5,8 @@ Usage::
     python -m repro                 # list available experiments
     python -m repro table1          # regenerate one
     python -m repro all             # regenerate everything (slow)
+    python -m repro lint            # FastLint static verification
+                                    # (exit 0 clean / 1 diagnostics)
 """
 
 from __future__ import annotations
@@ -38,8 +40,13 @@ def main(argv) -> int:
         print("experiments:")
         for key, (title, _) in EXPERIMENTS.items():
             print("  %-13s %s" % (key, title))
+        print("  %-13s %s" % ("lint", "FastLint static verification"))
         return 0
     target = argv[1]
+    if target == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[2:])
     if target == "all":
         for key in EXPERIMENTS:
             print("=" * 72)

@@ -1,0 +1,43 @@
+"""FastLint: static verification for the FAST reproduction.
+
+The paper's timing model is written in Bluespec, whose compiler rejects
+malformed hardware -- dangling FIFOs, combinational loops -- before
+synthesis.  This package is the Python equivalent for our
+Module/Connector timing models, plus two checks Bluespec could not
+give the paper: a microcode/ISA def-use cross-check (hardening the
+Table 1 coverage story) and an AST lint for nondeterminism hazards in
+modelled-time code (protecting the cycle-count-equivalence invariant).
+
+Three passes, one diagnostic model:
+
+* :func:`lint_timing_graph` -- structural rules over the extracted
+  dataflow graph (:mod:`repro.analysis.graph`), rules ``TG001-TG005``;
+* :func:`lint_microcode` -- microcode table vs. ISA opcode table,
+  rules ``MC001-MC005``;
+* :func:`lint_determinism` -- AST scan of simulator sources, rules
+  ``DT001-DT004``.
+
+``python -m repro lint`` runs all three against the default targets.
+The extracted :class:`~repro.analysis.graph.TimingGraph` doubles as the
+substrate for parallel/sharded ticking: its components and zero-latency
+condensation say which modules may be evaluated independently.
+"""
+
+from repro.analysis.determinism import lint_determinism, lint_source
+from repro.analysis.diagnostics import Diagnostic, Report, Severity
+from repro.analysis.graph import Edge, TimingGraph, extract_graph
+from repro.analysis.microcode_rules import lint_microcode
+from repro.analysis.timing_rules import lint_timing_graph
+
+__all__ = [
+    "Diagnostic",
+    "Edge",
+    "Report",
+    "Severity",
+    "TimingGraph",
+    "extract_graph",
+    "lint_determinism",
+    "lint_microcode",
+    "lint_source",
+    "lint_timing_graph",
+]

@@ -1,0 +1,293 @@
+"""FastLint pass 3: nondeterminism hazards in modelled-time code.
+
+The central FAST correctness property is that the same timing model
+driven three ways reports *identical* target cycle counts; any
+nondeterminism in a modelled-time path silently breaks that
+equivalence.  This pass parses the simulator sources (AST only -- no
+imports, no execution) and flags the hazards that have historically
+caused irreproducible cycle counts:
+
+=======  =========  ==========================================================
+rule id  severity   meaning
+=======  =========  ==========================================================
+DT001    warning    iteration directly over a ``set``/``frozenset`` value:
+                    order varies across processes (hash randomization), so
+                    any cycle-count decision fed by it is irreproducible
+DT002    error      wall-clock reads (``time.time`` & friends): modelled
+                    time must never depend on host time
+DT003    error      module-level ``random.*`` calls or an unseeded
+                    ``random.Random()``: global RNG state is shared and
+                    unseeded; use ``random.Random(seed)``
+DT004    warning    ``==``/``!=`` between a float literal and a
+                    modelled-time quantity (cycle/time/latency/... names):
+                    exact float comparison is representation-dependent
+=======  =========  ==========================================================
+
+A finding is suppressed by a ``# fastlint: ignore[DTnnn]`` comment on
+the offending line (the explicit escape hatch for audited code).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Report, Severity
+
+_WALLCLOCK_TIME_FNS = frozenset(
+    {"time", "time_ns", "perf_counter", "perf_counter_ns",
+     "monotonic", "monotonic_ns", "clock"}
+)
+_RANDOM_MODULE_FNS = frozenset(
+    {"random", "randint", "randrange", "choice", "choices", "shuffle",
+     "sample", "uniform", "gauss", "betavariate", "expovariate",
+     "getrandbits", "seed"}
+)
+_TIMEY_TOKENS = frozenset(
+    {"cycle", "cycles", "time", "latency", "latencies", "mips",
+     "seconds", "secs", "ns", "us", "ms", "hz", "mhz", "ghz"}
+)
+_IGNORE_RE = re.compile(r"#\s*fastlint:\s*ignore(?:\[([A-Z]{2}\d{3})\])?")
+
+
+def _ignored_rules(line: str) -> Optional[Set[str]]:
+    """Rules suppressed on *line*; empty set means "all rules"."""
+    match = _IGNORE_RE.search(line)
+    if not match:
+        return None
+    rule = match.group(1)
+    return {rule} if rule else set()
+
+
+def _name_tokens(node: ast.AST) -> Tuple[str, ...]:
+    """Identifier tokens of a Name/Attribute operand, split on ``_``."""
+    if isinstance(node, ast.Name):
+        return tuple(node.id.lower().split("_"))
+    if isinstance(node, ast.Attribute):
+        return tuple(node.attr.lower().split("_"))
+    return ()
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # A negated float literal (-1.0) parses as UnaryOp(USub, Constant).
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and _is_float_literal(node.operand)
+    )
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, filename: str, source_lines: Sequence[str]):
+        self.filename = filename
+        self.lines = source_lines
+        self.report = Report()
+        # Names bound by "from time import perf_counter" style imports.
+        self._time_aliases: Set[str] = set()
+        self._random_aliases: Set[str] = set()
+
+    # -- plumbing --------------------------------------------------------
+
+    def _add(self, rule: str, severity: Severity, node: ast.AST,
+             message: str, hint: str = "") -> None:
+        line_no = getattr(node, "lineno", 0)
+        line = self.lines[line_no - 1] if 0 < line_no <= len(self.lines) else ""
+        ignored = _ignored_rules(line)
+        if ignored is not None and (not ignored or rule in ignored):
+            return
+        self.report.add(
+            rule, severity, "%s:%d" % (self.filename, line_no), message, hint
+        )
+
+    # -- imports ---------------------------------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALLCLOCK_TIME_FNS:
+                    self._time_aliases.add(alias.asname or alias.name)
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in _RANDOM_MODULE_FNS:
+                    self._random_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- DT001: unordered iteration --------------------------------------
+
+    def _check_iterable(self, iter_node: ast.AST) -> None:
+        unordered = isinstance(iter_node, (ast.Set, ast.SetComp))
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id in ("set", "frozenset")
+        ):
+            unordered = True
+        if unordered:
+            self._add(
+                "DT001",
+                Severity.WARNING,
+                iter_node,
+                "iteration over an unordered set: order varies across "
+                "processes under hash randomization",
+                hint="iterate over sorted(...) or an ordered container",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            self._check_iterable(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- DT002 / DT003: wall clock and global RNG -------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            module, attr = func.value.id, func.attr
+            if module == "time" and attr in _WALLCLOCK_TIME_FNS:
+                self._add(
+                    "DT002",
+                    Severity.ERROR,
+                    node,
+                    "wall-clock read time.%s(): modelled time must not "
+                    "depend on host time" % attr,
+                    hint="derive timestamps from target cycles, or take the "
+                    "clock as an injected parameter",
+                )
+            elif module == "datetime" and attr in ("now", "today", "utcnow"):
+                self._add(
+                    "DT002",
+                    Severity.ERROR,
+                    node,
+                    "wall-clock read datetime.%s()" % attr,
+                    hint="derive timestamps from target cycles",
+                )
+            elif module == "random" and attr in _RANDOM_MODULE_FNS:
+                self._add(
+                    "DT003",
+                    Severity.ERROR,
+                    node,
+                    "module-level random.%s() uses shared, unseeded global "
+                    "RNG state" % attr,
+                    hint="use a random.Random(seed) instance",
+                )
+            elif module == "random" and attr == "Random" and not node.args:
+                self._add(
+                    "DT003",
+                    Severity.ERROR,
+                    node,
+                    "random.Random() without a seed argument is "
+                    "nondeterministic across runs",
+                    hint="pass an explicit seed",
+                )
+        elif isinstance(func, ast.Name):
+            if func.id in self._time_aliases:
+                self._add(
+                    "DT002",
+                    Severity.ERROR,
+                    node,
+                    "wall-clock read %s() (imported from time)" % func.id,
+                    hint="derive timestamps from target cycles",
+                )
+            elif func.id in self._random_aliases:
+                self._add(
+                    "DT003",
+                    Severity.ERROR,
+                    node,
+                    "%s() (imported from random) uses shared, unseeded "
+                    "global RNG state" % func.id,
+                    hint="use a random.Random(seed) instance",
+                )
+        self.generic_visit(node)
+
+    # -- DT004: float equality on modelled-time names ---------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        eq_ops = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+        if eq_ops and any(_is_float_literal(o) for o in operands):
+            for operand in operands:
+                tokens = _name_tokens(operand)
+                if any(token in _TIMEY_TOKENS for token in tokens):
+                    self._add(
+                        "DT004",
+                        Severity.WARNING,
+                        node,
+                        "exact float comparison on modelled-time quantity "
+                        "%r" % "_".join(tokens),
+                        hint="compare integers (cycle counts) or use an "
+                        "explicit tolerance",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+def lint_source(source: str, filename: str = "<string>") -> Report:
+    """Lint one Python source string; *filename* labels diagnostics."""
+    report = Report()
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        report.add(
+            "DT000",
+            Severity.ERROR,
+            "%s:%d" % (filename, exc.lineno or 0),
+            "syntax error: %s" % exc.msg,
+        )
+        return report
+    checker = _Checker(filename, source.splitlines())
+    checker.visit(tree)
+    report.extend(checker.report)
+    return report
+
+
+def _python_files(root: str) -> Iterable[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def lint_determinism(paths: Optional[Sequence[str]] = None) -> Report:
+    """Lint Python files/directories; defaults to the installed
+    ``repro`` package sources."""
+    if paths is None:
+        import repro
+
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    report = Report()
+    for path in paths:
+        files: List[str]
+        if not os.path.exists(path):
+            report.add(
+                "DT000",
+                Severity.ERROR,
+                path,
+                "no such file or directory",
+            )
+            continue
+        if os.path.isdir(path):
+            base = os.path.dirname(os.path.abspath(path))
+            files = list(_python_files(path))
+        else:
+            base = os.path.dirname(os.path.abspath(path)) or "."
+            files = [path]
+        for file_path in files:
+            rel = os.path.relpath(os.path.abspath(file_path), base)
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            report.extend(lint_source(source, rel))
+    return report

@@ -1,0 +1,128 @@
+"""FastLint pass 1: structural rules over the timing-model graph.
+
+Rules (all report through :mod:`repro.analysis.diagnostics`):
+
+=======  =========  ==========================================================
+rule id  severity   meaning
+=======  =========  ==========================================================
+TG001    error      dangling Connector: producer and/or consumer unbound
+TG002    error      zero-``min_latency`` cycle (combinational loop: the
+                    cycle-driven schedule deadlocks or becomes order-dependent)
+TG003    error/     duplicate module path (statistics silently merge) /
+         warning    duplicate module name across branches (``find()`` is
+                    ambiguous)
+TG004    warning    ``input_throughput`` > ``output_throughput`` with bounded
+                    ``max_transactions``: the connector structurally stalls
+                    its producer at steady state
+TG005    error      a bound endpoint module is not part of the analyzed tree
+                    (it is never ticked, so its data never flows)
+=======  =========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Report, Severity
+from repro.analysis.graph import TimingGraph, extract_graph
+from repro.timing.module import Module
+
+
+def lint_timing_graph(root: Module) -> Report:
+    """Run every timing-graph rule over the tree rooted at *root*."""
+    graph = extract_graph(root)
+    report = Report()
+    _check_dangling(graph, report)
+    _check_zero_latency_cycles(graph, report)
+    _check_duplicate_names(graph, report)
+    _check_throughput(graph, report)
+    _check_unreachable_endpoints(graph, report)
+    return report
+
+
+def _check_dangling(graph: TimingGraph, report: Report) -> None:
+    for path, conn in graph.connectors:
+        missing = []
+        if conn.producer is None:
+            missing.append("producer")
+        if conn.consumer is None:
+            missing.append("consumer")
+        if missing:
+            report.add(
+                "TG001",
+                Severity.ERROR,
+                path,
+                "dangling connector: no %s bound" % " or ".join(missing),
+                hint="call bind_endpoints(producer=..., consumer=...) when "
+                "building the target",
+            )
+
+
+def _check_zero_latency_cycles(graph: TimingGraph, report: Report) -> None:
+    for cycle in graph.zero_latency_cycles():
+        report.add(
+            "TG002",
+            Severity.ERROR,
+            graph.path_of(cycle[0].producer),
+            "zero-min_latency cycle: %s" % graph.describe_cycle(cycle),
+            hint="give at least one connector on the cycle min_latency >= 1 "
+            "so the cycle-driven schedule can make progress",
+        )
+
+
+def _check_duplicate_names(graph: TimingGraph, report: Report) -> None:
+    duplicate_paths = graph.duplicate_paths()
+    for path in sorted(duplicate_paths):
+        report.add(
+            "TG003",
+            Severity.ERROR,
+            path,
+            "%d modules share this path: their statistics counters merge "
+            "silently in all_counters()" % duplicate_paths[path],
+            hint="give siblings unique names",
+        )
+    for name, paths in sorted(graph.duplicate_names().items()):
+        # Same-path duplicates were already reported as errors above.
+        if any(duplicate_paths.get(p) for p in paths):
+            continue
+        report.add(
+            "TG003",
+            Severity.WARNING,
+            paths[0],
+            "module name %r appears %d times in the tree (%s); find(%r) "
+            "only ever returns the first" % (name, len(paths),
+                                             ", ".join(paths), name),
+            hint="rename the modules or look them up by path",
+        )
+
+
+def _check_throughput(graph: TimingGraph, report: Report) -> None:
+    for path, conn in graph.connectors:
+        if conn.input_throughput > conn.output_throughput:
+            report.add(
+                "TG004",
+                Severity.WARNING,
+                path,
+                "input_throughput=%d exceeds output_throughput=%d with "
+                "max_transactions=%d: the producer is guaranteed to stall "
+                "once the FIFO fills" % (conn.input_throughput,
+                                         conn.output_throughput,
+                                         conn.max_transactions),
+                hint="match the throughputs or document the intentional "
+                "backpressure",
+            )
+
+
+def _check_unreachable_endpoints(graph: TimingGraph, report: Report) -> None:
+    for path, conn in graph.connectors:
+        for role, module in (("producer", conn.producer),
+                             ("consumer", conn.consumer)):
+            if module is not None and not graph.contains(module):
+                report.add(
+                    "TG005",
+                    Severity.ERROR,
+                    path,
+                    "%s %r is not part of the analyzed module tree: it is "
+                    "never ticked, so this connector can never %s" % (
+                        role, module.name,
+                        "fill" if role == "producer" else "drain"),
+                    hint="add_child() the module somewhere under the root",
+                )

@@ -18,7 +18,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.baselines.fpga_cache import price_fpga_cache_hybrid
 from repro.baselines.monolithic import MonolithicSimulator
@@ -31,7 +31,6 @@ from repro.experiments.harness import (
 from repro.functional.model import FunctionalConfig
 from repro.host.link import DRC_LINK
 from repro.host.platforms import DRC_PLATFORM
-from repro.timing.core import TimingConfig
 from repro.workloads import build as build_workload
 
 

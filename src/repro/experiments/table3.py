@@ -11,7 +11,7 @@ simulation, and the no-speculation FPGA split is capped by round trips.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.baselines.monolithic import MonolithicSimulator
 from repro.baselines.survey import TABLE3_SURVEY

@@ -25,10 +25,10 @@ model's ``trace_words`` size accounting is validated against them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.functional.trace import TraceEntry
-from repro.isa.encoding import decode, encode
+from repro.isa.encoding import encode
 from repro.isa.instructions import Instr
 
 MASK32 = 0xFFFFFFFF

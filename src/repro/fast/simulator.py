@@ -18,8 +18,8 @@ This is the class most users want::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from repro.fast.parallel import HostTimeBreakdown, fast_host_time
 from repro.fast.trace_buffer import ProtocolStats, TraceBufferFeed

@@ -16,7 +16,7 @@ the CPU then re-executes forward to the exact target instruction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 

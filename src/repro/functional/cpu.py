@@ -35,7 +35,6 @@ from repro.isa.registers import (
     STATUS_IE,
     STATUS_KERNEL,
 )
-from repro.system.mmu import ProtectionFault, TLBMiss
 
 MASK32 = 0xFFFFFFFF
 SIGN_BIT = 0x80000000

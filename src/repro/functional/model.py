@@ -21,8 +21,8 @@ of this reproduction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.functional.checkpoint import CheckpointManager
 from repro.functional.cpu import MASK32, CPUMixin, ExecResult, Fault

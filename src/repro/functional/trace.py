@@ -15,7 +15,6 @@ an average of about four 32-bit words.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.isa.instructions import Instr
 

@@ -32,11 +32,10 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 from repro.isa import registers
 from repro.isa.encoding import encode, make
-from repro.isa.instructions import Instr
 from repro.isa.opcodes import OPCODES, lookup
 
 

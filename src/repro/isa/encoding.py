@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.isa.instructions import Instr
-from repro.isa.opcodes import OPCODES_BY_VALUE, REP_PREFIX, OpSpec
+from repro.isa.opcodes import OPCODES_BY_VALUE, REP_PREFIX
 
 
 class EncodingError(ValueError):

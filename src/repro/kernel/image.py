@@ -9,10 +9,10 @@ functional model can load and boot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.isa.assembler import assemble
-from repro.isa.program import ProgramImage, Segment
+from repro.isa.program import ProgramImage
 from repro.kernel import layout as L
 from repro.kernel.sources import (
     KernelConfig,

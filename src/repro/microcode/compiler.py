@@ -22,8 +22,8 @@ MicrocodeTable` substitutes per dynamic instruction.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.microcode.uop import (
     FPR_BASE,

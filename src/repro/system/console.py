@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.system.devices import Device
 from repro.system.interrupt_controller import IRQ_CONSOLE, InterruptController

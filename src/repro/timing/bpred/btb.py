@@ -5,7 +5,7 @@ The paper's default target uses a "4-way and 8K BTB gshare" predictor.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.timing.module import Module
 

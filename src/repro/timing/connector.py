@@ -46,6 +46,12 @@ class Connector(Module):
         self._now = 0
         self._pushed_this_cycle = 0
         self._popped_this_cycle = 0
+        # Explicit dataflow endpoints.  Bluespec infers producers and
+        # consumers from the module connections it compiles; here the
+        # builder declares them so FastLint (repro.analysis) can extract
+        # the dataflow graph and reject malformed targets before a run.
+        self.producer: Optional[Module] = None
+        self.consumer: Optional[Module] = None
         # Optional event tracing with triggering (the paper's planned
         # "logging/tracing statistics support with triggering (start,
         # stop and dump logs/traces based on user-specified criteria)",
@@ -54,6 +60,38 @@ class Connector(Module):
         self._trace_log: Optional[list] = None
         self._trace_limit = 0
         self._trigger = None
+
+    # -- dataflow endpoints -------------------------------------------------
+
+    def bind_endpoints(
+        self,
+        producer: Optional[Module] = None,
+        consumer: Optional[Module] = None,
+    ) -> "Connector":
+        """Declare which Modules push into and pop from this Connector.
+
+        Either side may be bound later (e.g. the consumer is built after
+        the producer); rebinding an already-bound side raises, since a
+        Connector joins exactly one producer to one consumer.
+        """
+        if producer is not None:
+            if self.producer is not None and self.producer is not producer:
+                raise ValueError(
+                    "connector %r already has producer %r" % (self.name, self.producer)
+                )
+            self.producer = producer
+        if consumer is not None:
+            if self.consumer is not None and self.consumer is not consumer:
+                raise ValueError(
+                    "connector %r already has consumer %r" % (self.name, self.consumer)
+                )
+            self.consumer = consumer
+        return self
+
+    @property
+    def bound(self) -> bool:
+        """True when both endpoints have been declared."""
+        return self.producer is not None and self.consumer is not None
 
     # -- clocking -----------------------------------------------------------
 

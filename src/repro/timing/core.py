@@ -17,7 +17,7 @@ from typing import Callable, List, Optional
 from repro.microcode.table import MicrocodeTable
 from repro.timing.bpred.predictors import make_predictor
 from repro.timing.cache.hierarchy import CacheGeometry, CacheHierarchy
-from repro.timing.feed import InstructionFeed
+from repro.timing.feed import InstructionFeed, NullFeed
 from repro.timing.module import Module
 from repro.timing.pipeline.backend import Backend
 from repro.timing.pipeline.frontend import Frontend
@@ -122,6 +122,28 @@ class DeadlockError(RuntimeError):
     """The pipeline stopped committing without being idle."""
 
 
+# The Table 2 configuration sweep: the paper reports FPGA resources for
+# the default target at issue widths 1, 2, 4 and 8.
+DEFAULT_ISSUE_WIDTHS = (1, 2, 4, 8)
+
+
+def build_default_core(
+    issue_width: int = 2, feed: Optional[InstructionFeed] = None
+) -> "TimingModel":
+    """The default Figure 3 target at *issue_width*, fed by a NullFeed
+    unless a real feed is supplied.  Structural tools (FastLint, the
+    resource model) use this to inspect a core without running it."""
+    return TimingModel(
+        feed=feed or NullFeed(),
+        config=TimingConfig.with_issue_width(issue_width),
+    )
+
+
+def default_cores() -> "List[TimingModel]":
+    """One default core per Table 2 issue width (1, 2, 4, 8)."""
+    return [build_default_core(width) for width in DEFAULT_ISSUE_WIDTHS]
+
+
 class TimingModel(Module):
     """The complete target pipeline (Figure 3)."""
 
@@ -164,6 +186,7 @@ class TimingModel(Module):
             result_bus_width=cfg.result_bus_width,
         )
         self.frontend.backend = self.backend
+        self.frontend.decode_q.bind_endpoints(consumer=self.backend)
         self.add_child(self.hierarchy)
         self.add_child(self.frontend)
         self.add_child(self.backend)

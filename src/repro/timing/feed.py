@@ -63,3 +63,22 @@ class InstructionFeed:
     def finished(self) -> bool:
         """True once the simulated system has shut down."""
         raise NotImplementedError
+
+
+class NullFeed(InstructionFeed):
+    """A feed with no instructions: the CPU is already shut down.
+
+    Used to instantiate a timing model for structural inspection
+    (FastLint's graph extraction, resource estimation) without wiring a
+    functional model behind it.
+    """
+
+    def peek(self) -> Optional[TraceEntry]:
+        return None
+
+    def idle_tick(self) -> None:
+        pass
+
+    @property
+    def finished(self) -> bool:
+        return True

@@ -14,7 +14,12 @@ module tree (Table 2).
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class DuplicateModuleNameWarning(UserWarning):
+    """Two siblings share a name: their statistics paths collide."""
 
 
 class Module:
@@ -32,6 +37,17 @@ class Module:
     # -- hierarchy -------------------------------------------------------
 
     def add_child(self, child: "Module") -> "Module":
+        # Sibling names must be unique: all_counters() keys by path, so
+        # two children named "l1" would silently merge their statistics,
+        # and find() would only ever see the first.  FastLint reports
+        # this as TG003; the warning catches it at construction time.
+        if any(existing.name == child.name for existing in self._children):
+            warnings.warn(
+                "module %r already has a child named %r; statistics paths "
+                "and find() lookups will collide" % (self.name, child.name),
+                DuplicateModuleNameWarning,
+                stacklevel=2,
+            )
         self._children.append(child)
         return child
 
@@ -44,6 +60,13 @@ class Module:
         yield self
         for child in self._children:
             yield from child.walk()
+
+    def walk_paths(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Depth-first ``(slash/separated/path, module)`` pairs."""
+        path = prefix + self.name
+        yield path, self
+        for child in self._children:
+            yield from child.walk_paths(path + "/")
 
     def find(self, name: str) -> Optional["Module"]:
         for module in self.walk():

@@ -32,11 +32,9 @@ from repro.timing.pipeline.dynamic import (
     U_DONE,
     U_ISSUED,
     U_SQUASHED,
-    U_WAITING,
 )
 from repro.timing.pipeline.frontend import (
     DRAIN_EXCEPTION,
-    DRAIN_INTERRUPT,
     DRAIN_MISPREDICT,
     DRAIN_SERIALIZE,
     Frontend,

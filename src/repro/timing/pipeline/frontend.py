@@ -97,6 +97,11 @@ class Frontend(Module):
             min_latency=1,
             max_transactions=decode_buffer,
         )
+        # Fetch both fills and drains fetch_q (fetch -> decode happen
+        # inside this Module); decode2dispatch is drained by the back
+        # end, which TimingModel binds once it exists.
+        self.fetch_q.bind_endpoints(producer=self, consumer=self)
+        self.decode_q.bind_endpoints(producer=self)
         self.add_child(self.fetch_q)
         self.add_child(self.decode_q)
 

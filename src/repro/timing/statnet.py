@@ -25,7 +25,7 @@ the paper re-architected it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.timing.module import Module
 

@@ -1,0 +1,135 @@
+"""FastLint pass 2: microcode table vs. ISA cross-checks."""
+
+import pytest
+
+from repro.analysis import Severity, lint_microcode
+from repro.microcode.semantics import KNOWN_UNTRANSLATED
+from repro.microcode.table import MicrocodeTable
+from repro.microcode.uop import NOP_UOP
+
+
+@pytest.fixture(scope="module")
+def table():
+    return MicrocodeTable()
+
+
+# -- the default table is clean ------------------------------------------
+
+
+def test_default_table_has_no_failing_diagnostics(table):
+    report = lint_microcode(table)
+    assert report.clean, report.format()
+
+
+def test_declared_fp_gap_reported_as_info(table):
+    report = lint_microcode(table)
+    infos = report.by_rule("MC001")
+    assert {d.location for d in infos} == set(KNOWN_UNTRANSLATED)
+    assert all(d.severity == Severity.INFO for d in infos)
+
+
+# -- MC001: uncovered opcode ---------------------------------------------
+
+
+def test_undeclared_uncovered_opcode_is_error():
+    table = MicrocodeTable()
+    table._templates.pop("ADD")  # seed the violation
+    diags = lint_microcode(table).by_rule("MC001")
+    errors = [d for d in diags if d.severity == Severity.ERROR]
+    assert [d.location for d in errors] == ["ADD"]
+    assert "KNOWN_UNTRANSLATED" in errors[0].message
+
+
+def test_hand_patched_fp_opcode_clears_info(table):
+    patched = MicrocodeTable()
+    patched.hand_patch("FSUB", "fd = fsub(fd, fs)")
+    locations = {d.location for d in lint_microcode(patched).by_rule("MC001")}
+    assert "FSUB" not in locations
+
+
+# -- MC002: temp read before write ---------------------------------------
+
+
+def test_temp_read_before_write_is_error():
+    table = MicrocodeTable()
+    table.hand_patch("NOP", "rd = mov(t0)")  # t0 never written
+    diags = lint_microcode(table).by_rule("MC002")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert diags[0].location == "NOP[0]"
+    assert "t0" in diags[0].message
+
+
+def test_temp_written_then_read_is_clean():
+    table = MicrocodeTable()
+    table.hand_patch("NOP", "t1 = add(rs, 1)\nrd = mov(t1)")
+    assert not lint_microcode(table).by_rule("MC002")
+
+
+# -- MC003: flag def/use mismatch ----------------------------------------
+
+
+def test_missing_declared_flag_write_is_error():
+    table = MicrocodeTable()
+    table.hand_patch("CMP", "rd = mov(rs)")  # spec says CMP writes flags
+    diags = [
+        d
+        for d in lint_microcode(table).by_rule("MC003")
+        if d.location == "CMP" and d.severity == Severity.ERROR
+    ]
+    assert len(diags) == 1
+    assert "writes_flags" in diags[0].message
+
+
+def test_missing_declared_flag_read_is_error():
+    table = MicrocodeTable()
+    table.hand_patch("JZ", "jump()")  # spec says JZ reads flags
+    diags = [
+        d
+        for d in lint_microcode(table).by_rule("MC003")
+        if d.location == "JZ" and d.severity == Severity.ERROR
+    ]
+    assert len(diags) == 1
+    assert "reads_flags" in diags[0].message
+
+
+def test_internal_flag_use_is_info_only(table):
+    # LOOP's decrement-and-branch uses flags internally; the OpSpec does
+    # not declare them.  That must stay an INFO note, not a failure.
+    diags = [d for d in lint_microcode(table).by_rule("MC003")
+             if d.location == "LOOP"]
+    assert diags
+    assert all(d.severity == Severity.INFO for d in diags)
+
+
+# -- MC004: dead µops ----------------------------------------------------
+
+
+def test_dead_uop_is_warning():
+    table = MicrocodeTable()
+    table.hand_patch("NOP", "t0 = add(rs, 1)")  # t0 never read
+    diags = lint_microcode(table).by_rule("MC004")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.WARNING
+    assert diags[0].location == "NOP[0]"
+
+
+def test_redefined_temp_before_read_is_dead():
+    table = MicrocodeTable()
+    table.hand_patch(
+        "NOP", "t0 = add(rs, 1)\nt0 = add(rs, 2)\nrd = mov(t0)"
+    )
+    diags = lint_microcode(table).by_rule("MC004")
+    assert [d.location for d in diags] == ["NOP[0]"]
+
+
+# -- MC005: stale table entries ------------------------------------------
+
+
+def test_stale_template_entry_is_error():
+    table = MicrocodeTable()
+    table._templates["BOGUS"] = (NOP_UOP,)  # seed the violation
+    diags = lint_microcode(table).by_rule("MC005")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert diags[0].location == "BOGUS"
