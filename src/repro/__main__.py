@@ -7,6 +7,8 @@ Usage::
     python -m repro all             # regenerate everything (slow)
     python -m repro lint            # FastLint static verification
                                     # (exit 0 clean / 1 diagnostics)
+    python -m repro bench           # hot-path engine benchmark
+                                    # (writes BENCH_hotpath.json)
 """
 
 from __future__ import annotations
@@ -41,12 +43,17 @@ def main(argv) -> int:
         for key, (title, _) in EXPERIMENTS.items():
             print("  %-13s %s" % (key, title))
         print("  %-13s %s" % ("lint", "FastLint static verification"))
+        print("  %-13s %s" % ("bench", "hot-path engine benchmark"))
         return 0
     target = argv[1]
     if target == "lint":
         from repro.analysis.cli import main as lint_main
 
         return lint_main(argv[2:])
+    if target == "bench":
+        from repro.experiments.bench import main as bench_main
+
+        return bench_main(argv[2:])
     if target == "all":
         for key in EXPERIMENTS:
             print("=" * 72)

@@ -16,6 +16,9 @@ TG004    warning    ``input_throughput`` > ``output_throughput`` with bounded
                     its producer at steady state
 TG005    error      a bound endpoint module is not part of the analyzed tree
                     (it is never ticked, so its data never flows)
+TG006    warning    a module overrides ``bind_tick`` but is reachable through
+                    no Connector: the compiled schedule (and the legacy
+                    hand-ordered engine) never ticks it
 =======  =========  ==========================================================
 """
 
@@ -35,6 +38,7 @@ def lint_timing_graph(root: Module) -> Report:
     _check_duplicate_names(graph, report)
     _check_throughput(graph, report)
     _check_unreachable_endpoints(graph, report)
+    _check_unscheduled_ticks(graph, report)
     return report
 
 
@@ -109,6 +113,23 @@ def _check_throughput(graph: TimingGraph, report: Report) -> None:
                 hint="match the throughputs or document the intentional "
                 "backpressure",
             )
+
+
+def _check_unscheduled_ticks(graph: TimingGraph, report: Report) -> None:
+    from repro.timing.schedule import unscheduled_tickables
+
+    for path, module in unscheduled_tickables(graph):
+        report.add(
+            "TG006",
+            Severity.WARNING,
+            path,
+            "module %r overrides bind_tick but is an endpoint of no "
+            "Connector: the compiled schedule cannot order it, so no "
+            "engine ever ticks it" % module.name,
+            hint="bind it as a Connector producer/consumer "
+            "(bind_endpoints) so the schedule can place it, or drop "
+            "the bind_tick override if it has no per-cycle behaviour",
+        )
 
 
 def _check_unreachable_endpoints(graph: TimingGraph, report: Report) -> None:

@@ -89,6 +89,17 @@ class LockStepFeed(InstructionFeed, Module):
         if entry is not None:
             self._pending.append(entry)
 
+    def idle_horizon(self) -> int:
+        if self._pending:
+            return 0
+        return self.fm.idle_horizon()
+
+    def idle_ticks(self, count: int) -> None:
+        # Within the horizon each idle_tick is exactly one uneventful
+        # halted step; batch them through the FM.
+        self.fm.idle_steps(count)
+        self.stats.idle_ticks += count
+
     @property
     def finished(self) -> bool:
         return self.fm.bus.shutdown_requested and not self._pending

@@ -1,0 +1,267 @@
+"""Hot-path benchmark: compiled tick engine vs the legacy engine.
+
+``python -m repro bench`` times the FAST-coupled simulator wall-clock
+on a linux-boot slice plus three SPECINT-like kernels, once per engine
+(``TimingConfig(engine=...)``), and writes ``BENCH_hotpath.json``:
+per-workload cycles/sec for each engine, the compiled/legacy speedup,
+a stats-equivalence bit, and the geometric-mean speedup.
+
+Two of the workloads are HALT-heavy by construction -- the phenomena
+the compiled engine's idle fast-forward targets (section 3.4's
+timing-model-starving sleeps; boot-phase idling):
+
+* ``linux-boot``: a full Linux-2.4 boot whose init sleeps for many
+  kernel ticks before exiting, so the kernel parks in its HALT idle
+  loop and almost every post-boot cycle is skippable.
+* ``perlbmk-sleep``: the 253.perlbmk interpreter hash loop punctuated
+  by long ``SYS_SLEEP`` calls (Figure 4's HALT behaviour, amplified).
+
+``164.gzip`` and ``181.mcf`` never idle; they pin the busy-cycle
+overhead of the compiled engine (target: parity, >= 1.0x).
+
+This file reads the host clock on purpose -- it *measures* the
+simulator instead of simulating -- so the DT002 wall-clock rule is
+suppressed line by line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.harness import build_fast_simulator
+from repro.kernel.image import UserProgram
+from repro.kernel.sources import linux24_config
+from repro.timing.core import TimingConfig
+from repro.workloads import build as build_workload
+from repro.workloads.generator import EXIT_SNIPPET, Workload, data_bytes, seeded
+
+BENCH_PATH = "BENCH_hotpath.json"
+MAX_CYCLES = 8_000_000
+
+# Workloads whose wall time the idle fast-forward should dominate; the
+# acceptance bar is >= 2x on these and >= 1.3x geomean overall.
+IDLE_HEAVY = ("linux-boot", "perlbmk-sleep")
+
+_SLEEPER_INIT = """
+main:
+    MOVI R0, 1
+    MOVI R1, 98           ; 'b': boot reached userspace
+    SYSCALL
+    MOVI R0, 2            ; SYS_SLEEP: park the system in the kernel's
+    MOVI R1, %(ticks)d    ; HALT idle loop for this many kernel ticks
+    SYSCALL
+    MOVI R0, 1
+    MOVI R1, 10           ; newline
+    SYSCALL
+%(exit)s
+"""
+
+_PERLBMK_SLEEP = """
+main:
+    MOVI R7, %(iterations)d
+pbs_outer:
+    ; interpreter-style hash loop (the busy phase of 253.perlbmk)
+    MOVI R4, text
+    MOVI R5, %(n)d
+    MOVI R6, 5381
+pbs_hash:
+    LDB R1, [R4+0]
+    MOV R2, R6
+    SHL R2, 5
+    ADD R6, R2
+    ADD R6, R1
+    XORI R6, 0x1505
+    INC R4
+    DEC R5
+    JNZ pbs_hash
+    MOVI R0, 2            ; SYS_SLEEP: the HALT behaviour of Figure 4,
+    MOVI R1, %(sleep)d    ; long enough to dominate the busy phase
+    SYSCALL
+    DEC R7
+    JNZ pbs_outer
+%(exit)s
+.align 4
+%(data)s
+"""
+
+
+def _linux_boot(sleep_ticks: int) -> Workload:
+    source = _SLEEPER_INIT % {"ticks": sleep_ticks, "exit": EXIT_SNIPPET}
+    return Workload(
+        name="linux-boot",
+        programs=[UserProgram("init", source, entry="main")],
+        kernel_config=linux24_config(),
+        description="Linux-2.4 boot slice; init sleeps %d kernel ticks"
+        % sleep_ticks,
+        paper_row="Linux-2.4",
+    )
+
+
+def _perlbmk_sleep(iterations: int, sleep_ticks: int) -> Workload:
+    rng = seeded(2530)
+    text = bytes(rng.choice(b"abcdefeegh e\n") for _ in range(256))
+    source = _PERLBMK_SLEEP % {
+        "iterations": iterations,
+        "n": len(text),
+        "sleep": sleep_ticks,
+        "exit": EXIT_SNIPPET,
+        "data": data_bytes("text", text),
+    }
+    return Workload(
+        name="perlbmk-sleep",
+        programs=[UserProgram("perlbmk-sleep", source, entry="main")],
+        kernel_config=linux24_config(),
+        description="perlbmk-like hash loop sleeping %d kernel ticks per "
+        "iteration x%d" % (sleep_ticks, iterations),
+        paper_row="253.perlbmk",
+    )
+
+
+def bench_workloads(smoke: bool) -> List[Workload]:
+    """The bench set: one boot slice + three SPECINT-like kernels."""
+    if smoke:
+        return [
+            _linux_boot(sleep_ticks=20),
+            _perlbmk_sleep(iterations=2, sleep_ticks=10),
+            build_workload("164.gzip", scale=1),
+            build_workload("181.mcf", scale=1),
+        ]
+    return [
+        _linux_boot(sleep_ticks=60),
+        _perlbmk_sleep(iterations=4, sleep_ticks=20),
+        build_workload("164.gzip", scale=1),
+        build_workload("181.mcf", scale=1),
+    ]
+
+
+def _time_run(workload: Workload, engine: str) -> Tuple[object, float]:
+    sim = build_fast_simulator(
+        workload, timing_config=TimingConfig(engine=engine)
+    )
+    t0 = time.perf_counter()  # fastlint: ignore[DT002]
+    result = sim.run(MAX_CYCLES)
+    dt = time.perf_counter() - t0  # fastlint: ignore[DT002]
+    return result.timing, dt
+
+
+def run_bench(smoke: bool = False, reps: Optional[int] = None) -> Dict:
+    """Time every bench workload under both engines."""
+    if reps is None:
+        reps = 1 if smoke else 2
+    workloads = bench_workloads(smoke)
+    rows: Dict[str, Dict] = {}
+    speedups: List[float] = []
+    for workload in workloads:
+        stats: Dict[str, object] = {}
+        best: Dict[str, float] = {}
+        for _rep in range(reps):
+            for engine in ("legacy", "compiled"):
+                timing, dt = _time_run(workload, engine)
+                stats[engine] = timing
+                best[engine] = min(best.get(engine, dt), dt)
+        speedup = best["legacy"] / best["compiled"]
+        speedups.append(speedup)
+        cycles = stats["compiled"].cycles
+        rows[workload.name] = {
+            "cycles": cycles,
+            "idle_cycles": stats["compiled"].idle_cycles,
+            "idle_heavy": workload.name in IDLE_HEAVY,
+            "cycles_match": stats["legacy"] == stats["compiled"],
+            "legacy": {
+                "seconds": round(best["legacy"], 4),
+                "cycles_per_sec": round(cycles / best["legacy"], 1),
+            },
+            "compiled": {
+                "seconds": round(best["compiled"], 4),
+                "cycles_per_sec": round(cycles / best["compiled"], 1),
+            },
+            "speedup": round(speedup, 3),
+        }
+    geomean = 1.0
+    for s in speedups:
+        geomean *= s
+    geomean **= 1.0 / len(speedups)
+    return {
+        "bench": "hotpath",
+        "smoke": smoke,
+        "reps": reps,
+        "max_cycles": MAX_CYCLES,
+        "workloads": rows,
+        "geomean_speedup": round(geomean, 3),
+    }
+
+
+def render(report: Dict) -> str:
+    lines = [
+        "hot-path bench (compiled vs legacy tick engine)",
+        "%-16s %10s %10s %9s %9s %8s %6s"
+        % ("workload", "cycles", "idle", "legacy", "compiled", "speedup",
+           "match"),
+    ]
+    for name, row in report["workloads"].items():
+        lines.append(
+            "%-16s %10d %10d %8.2fs %8.2fs %7.2fx %6s"
+            % (
+                name,
+                row["cycles"],
+                row["idle_cycles"],
+                row["legacy"]["seconds"],
+                row["compiled"]["seconds"],
+                row["speedup"],
+                "ok" if row["cycles_match"] else "FAIL",
+            )
+        )
+    lines.append("geomean speedup: %.2fx" % report["geomean_speedup"])
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="time the compiled tick engine against the legacy "
+        "engine and write %s" % BENCH_PATH,
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sleep spans and a single rep (CI smoke test)",
+    )
+    parser.add_argument("--out", default=BENCH_PATH, help="output JSON path")
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 if the geomean speedup is below X",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(smoke=args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(render(report))
+    print("wrote %s" % args.out)
+    failed = not all(
+        row["cycles_match"] for row in report["workloads"].values()
+    )
+    if failed:
+        print("FAIL: engines disagree on TimingStats")
+        return 1
+    if args.fail_below is not None and (
+        report["geomean_speedup"] < args.fail_below
+    ):
+        print(
+            "FAIL: geomean speedup %.2fx below threshold %.2fx"
+            % (report["geomean_speedup"], args.fail_below)
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

@@ -61,7 +61,17 @@ class CycleInterruptCoordinator:
         self.next_fire: Optional[int] = None
         self.deliveries = 0
         tm.commit_listeners.append(self._on_commit)
-        tm.cycle_listeners.append(self._on_cycle)
+        # The cycle hook only acts at next_fire with an idle machine, so
+        # everything strictly before next_fire is skippable: the idle
+        # hint lets the compiled engine batch HALT spans right up to the
+        # firing cycle, which then runs through the full per-cycle path.
+        tm.add_cycle_listener(self._on_cycle, idle_hint=self._idle_hint)
+
+    def _idle_hint(self, cycle: int) -> int:
+        if self.next_fire is None:
+            # Not armed: cycle count alone can never make _on_cycle act.
+            return 1 << 40
+        return self.next_fire - cycle - 1
 
     @staticmethod
     def _find_timer(fm: FunctionalModel) -> Optional[Timer]:

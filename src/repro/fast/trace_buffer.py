@@ -171,6 +171,17 @@ class TraceBufferFeed(InstructionFeed, Module):
             self._buffer.append(entry)
             self.protocol.entries_streamed += 1
 
+    def idle_horizon(self) -> int:
+        if self._buffer:
+            return 0
+        return self.fm.idle_horizon()
+
+    def idle_ticks(self, count: int) -> None:
+        # Within the horizon each idle_tick is exactly one uneventful
+        # halted step (no entry produced); batch them through the FM.
+        self.fm.idle_steps(count)
+        self.protocol.idle_ticks += count
+
     @property
     def finished(self) -> bool:
         return self.fm.bus.shutdown_requested and not self._buffer

@@ -55,6 +55,14 @@ VECTOR_BASE = 0x40  # all exceptions/interrupts enter here
 
 NOP_INSTR = Instr(spec=lookup("NOP"))
 
+# "Forever" for idle_horizon(): a halted CPU with interrupts disabled
+# can only be woken by the timing model itself (cycle-driven delivery),
+# so device time imposes no bound.  Callers clamp to their own budgets.
+IDLE_HORIZON_MAX = 1 << 40
+
+# Identity-keyed memo bound (see _count_coverage).
+_COVERAGE_MEMO_LIMIT = 16384
+
 
 class RollbackError(RuntimeError):
     """Rollback target is older than the oldest retained checkpoint."""
@@ -137,6 +145,13 @@ class FunctionalModel(CPUMixin):
         # Timing-model-delivered interrupts, keyed by the commit
         # boundary (IN) they arrived after; consulted during replay.
         self._forced_irqs: dict = {}
+        # Crack-once coverage memo: id(Instr) -> (instr, uop_count,
+        # translated, table_version).  Keeping the Instr itself in the
+        # value pins the object so its id cannot be recycled.  Identity
+        # keys make staleness impossible: self-modifying code and
+        # rollback already invalidate the per-page decode cache, so a
+        # changed code byte produces a *new* Instr object.
+        self._coverage_memo: dict = {}
 
     def _find_intctrl(self) -> Optional[InterruptController]:
         for device in self.bus.devices:
@@ -179,6 +194,46 @@ class FunctionalModel(CPUMixin):
         else:
             self._maybe_take_interrupt()
         return self._step()
+
+    def idle_horizon(self) -> int:
+        """How many further :meth:`execute_next` calls are guaranteed to
+        be uneventful halted steps (device tick + no interrupt).
+
+        A safe *under*-estimate of the wake-up distance: each device
+        reports a lower bound on the time until it could raise an
+        enabled IRQ (:meth:`repro.system.devices.Device.ticks_until_irq`)
+        and the horizon stops one unit short of the earliest, so the
+        waking tick itself is always executed step-by-step.  Returns 0
+        whenever batching would be unsound (not halted, wrong path,
+        shutdown, or an interrupt already pending).
+        """
+        state = self.state
+        if not state.halted or self._wrong_path or self.bus.shutdown_requested:
+            return 0
+        intctrl = self._intctrl
+        if not state.interrupts_enabled or intctrl is None:
+            # Nothing can wake the CPU from device time; only the
+            # timing model (cycle-driven delivery) or nothing at all.
+            return IDLE_HORIZON_MAX
+        if intctrl.output:
+            return 0
+        enabled = intctrl.enabled
+        horizon = IDLE_HORIZON_MAX
+        for device in self.bus.devices:
+            bound = device.ticks_until_irq(enabled)
+            if bound is not None and bound - 1 < horizon:
+                horizon = bound - 1
+                if horizon <= 0:
+                    return 0
+        return horizon
+
+    def idle_steps(self, count: int) -> None:
+        """Batch *count* uneventful halted steps (``count`` must not
+        exceed :meth:`idle_horizon`): one bus tick of *count* units is
+        device-time-identical to *count* single ticks when no enabled
+        IRQ fires within the span."""
+        self.bus.tick(count)
+        self.stats.halted_steps += count
 
     def _maybe_take_interrupt(self) -> bool:
         state = self.state
@@ -319,10 +374,7 @@ class FunctionalModel(CPUMixin):
             self.stats.basic_blocks += 1
         self.stats.trace_words += entry.trace_words(self.config.trace_compression)
         if self.config.collect_coverage and not self._wrong_path:
-            if instr.spec.iclass == "string":
-                self.microcode.crack_rep(instr, res.iterations)
-            else:
-                self.microcode.crack(instr)
+            self._count_coverage(instr, res.iterations)
         self.bus.tick(1)
         if self.ckpt.due(self.in_count):
             self._take_checkpoint()
@@ -349,6 +401,37 @@ class FunctionalModel(CPUMixin):
         else:
             self.stats.decode_hits += 1
         return instr
+
+    def _count_coverage(self, instr: Instr, iterations: int) -> None:
+        """Update Table 1 coverage counters for one executed instruction.
+
+        Equivalent to ``microcode.crack(instr)`` /
+        ``crack_rep(instr, iterations)`` with counting on, but the
+        crack itself happens once per decoded Instr object: the µop
+        count and translated flag are memoized by identity, so the
+        per-instruction hot path is a dict hit instead of a key-tuple
+        hash plus a cache probe inside the table.
+        """
+        microcode = self.microcode
+        memo = self._coverage_memo
+        entry = memo.get(id(instr))
+        if entry is None or entry[0] is not instr or entry[3] != microcode.version:
+            uops, translated = microcode.crack(instr, count=False)
+            if len(memo) >= _COVERAGE_MEMO_LIMIT:
+                memo.clear()
+            entry = (instr, len(uops), translated, microcode.version)
+            memo[id(instr)] = entry
+        coverage = microcode.coverage
+        if entry[2]:
+            coverage.translated += 1
+        else:
+            coverage.untranslated += 1
+        if instr.spec.iclass == "string":
+            # crack_rep: the per-iteration body repeats; zero iterations
+            # degenerate to the single REP-check NOP.
+            coverage.uops += entry[1] * iterations if iterations > 0 else 1
+        else:
+            coverage.uops += entry[1]
 
     # ------------------------------------------------------------------
     # Logged physical writes (undo support + decode invalidation)

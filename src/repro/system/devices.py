@@ -34,6 +34,28 @@ class Device:
         """Advance device time.  The driver defines the unit (committed
         instructions or target cycles); devices only count."""
 
+    def ticks_until_irq(self, enabled_mask: int) -> Optional[int]:
+        """Lower bound on the time units until this device could next
+        raise an interrupt from :meth:`tick`, or ``None`` if it cannot.
+
+        Used by the functional model's idle fast-forward to compute a
+        safe wake-up horizon while the CPU is halted.  *enabled_mask*
+        is the interrupt controller's enable mask: a device whose line
+        is masked cannot wake the CPU even if it fires.  Implementations
+        may *under*-estimate (waking early is merely slow) but must
+        never overestimate (sleeping through a wake-up diverges from
+        single-stepped device time).
+
+        The default is deliberately conservative: a subclass with a
+        custom :meth:`tick` that has not declared its wake behaviour
+        returns 0, which disables fast-forward rather than risking a
+        missed interrupt; a subclass inheriting the no-op base tick can
+        never raise one, so it returns ``None``.
+        """
+        if type(self).tick is Device.tick:
+            return None
+        return 0
+
     def snapshot(self):
         """Immutable state for checkpoint/rollback."""
         return None

@@ -104,6 +104,13 @@ class Disk(Device):
         if self._countdown <= 0:
             self._complete()
 
+    def ticks_until_irq(self, enabled_mask: int):
+        if self.status != STATUS_BUSY:
+            return None
+        if not (enabled_mask >> IRQ_DISK) & 1:
+            return None
+        return max(1, self._countdown)
+
     def _complete(self) -> None:
         offset = self.sector * SECTOR_SIZE
         if self._pending_cmd == CMD_READ:

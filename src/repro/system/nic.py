@@ -113,6 +113,17 @@ class Nic(Device):
                 self.frames_received += 1
                 self._intctrl.raise_irq(IRQ_NIC)
 
+    def ticks_until_irq(self, enabled_mask: int):
+        if not (enabled_mask >> IRQ_NIC) & 1:
+            return None
+        horizon = None
+        if self._rx_inflight is not None:
+            horizon = max(1, self._rx_countdown)
+        # Scripted arrivals only queue a frame (software must IN/OUT to
+        # start the DMA that fires the IRQ), so they cannot themselves
+        # wake a halted CPU -- no bound needed for them.
+        return horizon
+
     # -- checkpointing ------------------------------------------------------
 
     def snapshot(self):

@@ -61,6 +61,13 @@ class Timer(Device):
             self.fires += 1
             self._intctrl.raise_irq(IRQ_TIMER)
 
+    def ticks_until_irq(self, enabled_mask: int):
+        if not self.enabled or self.external:
+            return None
+        if not (enabled_mask >> IRQ_TIMER) & 1:
+            return None
+        return max(1, self.interval - self.count)
+
     def snapshot(self):
         return (self.enabled, self.interval, self.count, self.fires,
                 self.external)

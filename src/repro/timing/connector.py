@@ -95,6 +95,12 @@ class Connector(Module):
 
     # -- clocking -----------------------------------------------------------
 
+    def bind_tick(self):
+        """Pre-bound per-cycle step for the compiled schedule.  The
+        schedule clocks every Connector first each cycle (budget reset
+        precedes all unit evaluation), mirroring the legacy engine."""
+        return self.tick
+
     def tick(self, cycle: int) -> None:
         """Advance to *cycle*; resets per-cycle throughput budgets."""
         self._now = cycle

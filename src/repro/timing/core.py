@@ -45,6 +45,11 @@ class TimingConfig:
     predictor: str = "gshare"  # "perfect", "2bit", "fixed:0.97", ...
     caches: CacheGeometry = field(default_factory=CacheGeometry)
     watchdog_cycles: int = 500_000
+    # Tick engine: "compiled" pre-compiles a static schedule from the
+    # dataflow graph and batches idle spans (repro.timing.schedule);
+    # "legacy" is the original hand-ordered dynamic dispatch.  Both
+    # produce bit-identical cycle counts and statistics.
+    engine: str = "compiled"
 
     @classmethod
     def with_issue_width(cls, width: int, **kwargs) -> "TimingConfig":
@@ -122,6 +127,63 @@ class DeadlockError(RuntimeError):
     """The pipeline stopped committing without being idle."""
 
 
+class _CommitListenerList(list):
+    """``commit_listeners`` with a change hook.
+
+    Every mutation re-binds the back end's ``on_instr_commit`` to the
+    cheapest equivalent hook: ``None`` with no listeners (commit pays
+    nothing), the listener itself with exactly one (no wrapper call, no
+    loop), and the fan-out method beyond that.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "TimingModel", iterable=()):
+        super().__init__(iterable)
+        self._owner = owner
+
+    def _changed(self) -> None:
+        self._owner._rebind_commit_hook()
+
+    def append(self, item):
+        super().append(item)
+        self._changed()
+
+    def extend(self, iterable):
+        super().extend(iterable)
+        self._changed()
+
+    def insert(self, index, item):
+        super().insert(index, item)
+        self._changed()
+
+    def remove(self, item):
+        super().remove(item)
+        self._changed()
+
+    def pop(self, index=-1):
+        item = super().pop(index)
+        self._changed()
+        return item
+
+    def clear(self):
+        super().clear()
+        self._changed()
+
+    def __setitem__(self, index, item):
+        super().__setitem__(index, item)
+        self._changed()
+
+    def __delitem__(self, index):
+        super().__delitem__(index)
+        self._changed()
+
+    def __iadd__(self, iterable):
+        super().extend(iterable)
+        self._changed()
+        return self
+
+
 # The Table 2 configuration sweep: the paper reports FPGA resources for
 # the default target at issue widths 1, 2, 4 and 8.
 DEFAULT_ISSUE_WIDTHS = (1, 2, 4, 8)
@@ -195,15 +257,68 @@ class TimingModel(Module):
         self._last_progress = 0
         # Optional commit hook: (dyn_instr, cycle) -> None.  The
         # statistics sampler (Figure 6) and host models subscribe here.
-        self.commit_listeners: List[Callable] = []
+        # The list re-binds backend.on_instr_commit on every mutation so
+        # zero-listener runs pay nothing per commit and single-listener
+        # runs skip the fan-out loop.
+        self._commit_listeners = _CommitListenerList(self)
         # Optional per-cycle hooks (run-time trigger queries).  Only
         # evaluated when non-empty: dedicated statistics hardware is
         # free on an FPGA but not on this Python host.
         self.cycle_listeners: List[Callable] = []
-        self.backend.on_instr_commit = self._notify_commit
+        # Idle-span hints for the compiled engine, keyed by id(listener)
+        # (see add_cycle_listener).  A listener with no hint pins the
+        # engine to one-cycle stepping whenever it is subscribed.
+        self._cycle_idle_hints: dict = {}
+        self._rebind_commit_hook()
+        if cfg.engine == "compiled":
+            from repro.timing.schedule import compile_schedule
+
+            self._schedule = compile_schedule(self)
+        elif cfg.engine == "legacy":
+            self._schedule = None
+        else:
+            raise ValueError(
+                "unknown timing engine %r (use 'compiled' or 'legacy')"
+                % cfg.engine
+            )
+
+    # -- listener registration ---------------------------------------------
+
+    @property
+    def commit_listeners(self) -> "_CommitListenerList":
+        return self._commit_listeners
+
+    @commit_listeners.setter
+    def commit_listeners(self, listeners) -> None:
+        self._commit_listeners = _CommitListenerList(self, listeners)
+        self._rebind_commit_hook()
+
+    def _rebind_commit_hook(self) -> None:
+        listeners = self._commit_listeners
+        if not listeners:
+            self.backend.on_instr_commit = None
+        elif len(listeners) == 1:
+            self.backend.on_instr_commit = listeners[0]
+        else:
+            self.backend.on_instr_commit = self._notify_commit
+
+    def add_cycle_listener(self, listener: Callable, idle_hint=None) -> None:
+        """Subscribe a per-cycle hook, optionally with an idle hint.
+
+        *idle_hint* is a ``cycle -> int`` callable returning how many
+        upcoming cycles the listener is guaranteed to ignore (its
+        ``(cycle, cycle + n]`` calls would all be no-ops).  The compiled
+        engine takes the minimum across listeners when batching idle
+        spans; registering without a hint disables idle fast-forward
+        while this listener is subscribed (appending directly to
+        ``cycle_listeners`` behaves the same way).
+        """
+        self.cycle_listeners.append(listener)
+        if idle_hint is not None:
+            self._cycle_idle_hints[id(listener)] = idle_hint
 
     def _notify_commit(self, di, cycle: int) -> None:
-        for listener in self.commit_listeners:
+        for listener in self._commit_listeners:
             listener(di, cycle)
 
     # -- stepping ------------------------------------------------------------
@@ -212,13 +327,20 @@ class TimingModel(Module):
         """Advance one target cycle."""
         self.cycle += 1
         cycle = self.cycle
+        if self._schedule is not None:
+            self._schedule.tick_cycle(cycle)
+            return
         self.frontend.fetch_q.tick(cycle)
         self.frontend.decode_q.tick(cycle)
         self.backend.tick(cycle)
         self.frontend.tick(cycle, self.backend.rob_empty)
-        if self.cycle_listeners:
-            for listener in self.cycle_listeners:
-                listener(cycle)
+        listeners = self.cycle_listeners
+        if listeners:
+            if len(listeners) == 1:
+                listeners[0](cycle)
+            else:
+                for listener in listeners:
+                    listener(cycle)
         if (
             self.frontend.idle_this_cycle
             and self.backend.rob_empty
@@ -230,18 +352,21 @@ class TimingModel(Module):
         if self.backend.last_commit_cycle > self._last_progress:
             self._last_progress = self.backend.last_commit_cycle
         if cycle - self._last_progress > self.config.watchdog_cycles:
-            raise DeadlockError(
-                "no commit or idle progress for %d cycles at cycle %d "
-                "(ROB=%d RS=%d fetchq=%d mode=%d)"
-                % (
-                    self.config.watchdog_cycles,
-                    cycle,
-                    len(self.backend.rob),
-                    len(self.backend.rs),
-                    len(self.frontend.fetch_q),
-                    self.frontend.mode,
-                )
+            self._raise_deadlock(cycle)
+
+    def _raise_deadlock(self, cycle: int) -> None:
+        raise DeadlockError(
+            "no commit or idle progress for %d cycles at cycle %d "
+            "(ROB=%d RS=%d fetchq=%d mode=%d)"
+            % (
+                self.config.watchdog_cycles,
+                cycle,
+                len(self.backend.rob),
+                len(self.backend.rs),
+                len(self.frontend.fetch_q),
+                self.frontend.mode,
             )
+        )
 
     @property
     def drained(self) -> bool:
@@ -255,6 +380,8 @@ class TimingModel(Module):
     def run(self, max_cycles: int = 100_000_000) -> TimingStats:
         """Run until the simulated system shuts down (or the budget
         runs out) and return summary statistics."""
+        if self._schedule is not None:
+            return self._schedule.run(max_cycles)
         while self.cycle < max_cycles:
             self.tick()
             if self.feed.finished and self.drained:

@@ -59,6 +59,29 @@ class InstructionFeed:
         device time advance so an interrupt can eventually arrive."""
         raise NotImplementedError
 
+    # -- idle fast-forward (compiled tick engine) -----------------------
+
+    def idle_horizon(self) -> int:
+        """How many *further* idle target cycles are guaranteed to be
+        uneventful.
+
+        ``k > 0`` promises that the next ``k`` calls to :meth:`idle_tick`
+        would each return nothing to fetch and wake no instruction
+        stream, so the compiled engine may batch them into one
+        :meth:`idle_ticks` call.  The contract is one-sided: a feed may
+        always *under*-estimate (0 disables batching entirely -- the
+        default, so feeds that predate the compiled engine stay
+        correct), but must never overestimate, or the batched run would
+        skip a wake-up the legacy engine sees.
+        """
+        return 0
+
+    def idle_ticks(self, count: int) -> None:
+        """Advance *count* idle cycles at once.  Only called with
+        ``count <= idle_horizon()``; the default just loops."""
+        for _ in range(count):
+            self.idle_tick()
+
     @property
     def finished(self) -> bool:
         """True once the simulated system has shut down."""

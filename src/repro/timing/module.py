@@ -15,7 +15,7 @@ module tree (Table 2).
 from __future__ import annotations
 
 import warnings
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 
 class DuplicateModuleNameWarning(UserWarning):
@@ -32,6 +32,7 @@ class Module:
     def __init__(self, name: str):
         self.name = name
         self._children: List["Module"] = []
+        self._child_names: set = set()
         self._counters: Dict[str, int] = {}
 
     # -- hierarchy -------------------------------------------------------
@@ -41,7 +42,9 @@ class Module:
         # two children named "l1" would silently merge their statistics,
         # and find() would only ever see the first.  FastLint reports
         # this as TG003; the warning catches it at construction time.
-        if any(existing.name == child.name for existing in self._children):
+        # The per-parent name set keeps insertion O(1) regardless of how
+        # wide the module (a big cache's bank array, say) gets.
+        if child.name in self._child_names:
             warnings.warn(
                 "module %r already has a child named %r; statistics paths "
                 "and find() lookups will collide" % (self.name, child.name),
@@ -49,6 +52,7 @@ class Module:
                 stacklevel=2,
             )
         self._children.append(child)
+        self._child_names.add(child.name)
         return child
 
     @property
@@ -56,17 +60,27 @@ class Module:
         return tuple(self._children)
 
     def walk(self) -> Iterator["Module"]:
-        """Depth-first iteration over this module and all descendants."""
-        yield self
-        for child in self._children:
-            yield from child.walk()
+        """Depth-first (preorder) iteration over this module and all
+        descendants.  Iterative: deep trees neither recurse per level
+        nor chain one generator frame per ancestor."""
+        stack: List["Module"] = [self]
+        while stack:
+            module = stack.pop()
+            yield module
+            stack.extend(reversed(module._children))
 
     def walk_paths(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
-        """Depth-first ``(slash/separated/path, module)`` pairs."""
-        path = prefix + self.name
-        yield path, self
-        for child in self._children:
-            yield from child.walk_paths(path + "/")
+        """Depth-first ``(slash/separated/path, module)`` pairs, in the
+        same preorder as :meth:`walk`."""
+        stack: List[Tuple[str, "Module"]] = [(prefix + self.name, self)]
+        while stack:
+            path, module = stack.pop()
+            yield path, module
+            child_prefix = path + "/"
+            stack.extend(
+                (child_prefix + child.name, child)
+                for child in reversed(module._children)
+            )
 
     def find(self, name: str) -> Optional["Module"]:
         for module in self.walk():
@@ -87,15 +101,32 @@ class Module:
 
     def all_counters(self, prefix: str = "") -> Dict[str, int]:
         """Flattened ``module.path/counter`` -> value map for the tree."""
-        path = prefix + self.name
-        out = {path + "/" + key: value for key, value in self._counters.items()}
-        for child in self._children:
-            out.update(child.all_counters(path + "/"))
+        out: Dict[str, int] = {}
+        for path, module in self.walk_paths(prefix):
+            counter_prefix = path + "/"
+            for key, value in module._counters.items():
+                out[counter_prefix + key] = value
         return out
 
     def reset_counters(self) -> None:
         for module in self.walk():
             module._counters.clear()
+
+    # -- static scheduling (repro.timing.schedule) ------------------------
+
+    def bind_tick(self) -> Optional[Callable[[int], None]]:
+        """Return this module's per-cycle step as a pre-bound
+        ``cycle -> None`` callable, or ``None`` if the module has no
+        per-cycle behaviour of its own.
+
+        The compiled tick engine calls this once, at schedule-compile
+        time, for every module in the tree; modules that need per-cycle
+        evaluation (the pipeline front/back ends, Connectors) override
+        it.  A module that overrides ``bind_tick`` but is not reachable
+        through the dataflow graph is a scheduling blind spot -- FastLint
+        reports it as TG006.
+        """
+        return None
 
     # -- host resource estimation (overridden where meaningful) --------------
 

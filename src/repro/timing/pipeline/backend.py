@@ -115,6 +115,10 @@ class Backend(Module):
 
     # -- per-cycle operation: writeback -> commit -> issue -> dispatch ----
 
+    def bind_tick(self):
+        """Pre-bound per-cycle step for the compiled schedule."""
+        return self.tick
+
     def tick(self, cycle: int) -> None:
         self._writeback(cycle)
         self._commit(cycle)

@@ -44,6 +44,10 @@ DRAIN_EXCEPTION = "exception"
 DRAIN_INTERRUPT = "interrupt"
 DRAIN_SERIALIZE = "serialize"
 
+# Decode-stage crack memo bound: identity keys pin their Instr objects,
+# so the memo is cleared wholesale once it fills (simple, deterministic).
+CRACK_MEMO_LIMIT = 16384
+
 
 def is_barrier(entry: TraceEntry) -> bool:
     """Serializing instructions stop fetch until they commit."""
@@ -116,6 +120,14 @@ class Frontend(Module):
         # Wired by TimingModel: used to recompute the outstanding-branch
         # count after a flush (queued controls never resolve).
         self.backend = None
+        # Decode-stage crack memo: id(Instr) -> (instr, uops) so each
+        # decoded Instr object pays the microcode-table probe once.
+        # Identity keys stay valid across self-modifying code and
+        # rollback (both invalidate the FM's per-page decode cache, so
+        # changed bytes arrive as new Instr objects); the table version
+        # covers hand_patch() replacing templates mid-run.
+        self._crack_memo: dict = {}
+        self._crack_memo_version = microcode.version
 
     # -- control from the back end --------------------------------------
 
@@ -147,6 +159,18 @@ class Frontend(Module):
 
     # -- per-cycle operation ----------------------------------------------
 
+    def bind_tick(self):
+        """Pre-bound per-cycle step for the compiled schedule.  The
+        ``rob_empty`` input is a zero-latency combinational read of
+        back-end state, re-evaluated each cycle inside the closure."""
+        backend = self.backend
+        tick = self.tick
+        if backend is None:
+            # Structural tree without a back end: nothing drains the
+            # ROB, so it reads as permanently empty.
+            return lambda cycle: tick(cycle, True)
+        return lambda cycle: tick(cycle, not backend.rob)
+
     def tick(self, cycle: int, rob_empty: bool) -> None:
         self.fetch_q.tick(cycle)
         self.decode_q.tick(cycle)
@@ -157,6 +181,10 @@ class Frontend(Module):
     def _decode(self, cycle: int) -> None:
         """Move fetched instructions to the dispatch queue, cracking
         each into µops via the microcode table."""
+        memo = self._crack_memo
+        if self._crack_memo_version != self.microcode.version:
+            memo.clear()
+            self._crack_memo_version = self.microcode.version
         for _ in range(self.fetch_width):
             if not self.decode_q.can_push():
                 self.bump("decode_stalls")
@@ -167,11 +195,27 @@ class Frontend(Module):
             entry = di.entry
             instr = entry.instr
             if instr.spec.iclass == "string":
-                uops, _ok = self.microcode.crack_rep(
-                    instr, entry.iterations, count=False
-                )
+                # Iteration counts vary per dynamic instance; key on both.
+                key = (id(instr), entry.iterations)
+                cached = memo.get(key)
+                if cached is None or cached[0] is not instr:
+                    uops, _ok = self.microcode.crack_rep(
+                        instr, entry.iterations, count=False
+                    )
+                    if len(memo) >= CRACK_MEMO_LIMIT:
+                        memo.clear()
+                    memo[key] = (instr, uops)
+                else:
+                    uops = cached[1]
             else:
-                uops, _ok = self.microcode.crack(instr, count=False)
+                cached = memo.get(id(instr))
+                if cached is None or cached[0] is not instr:
+                    uops, _ok = self.microcode.crack(instr, count=False)
+                    if len(memo) >= CRACK_MEMO_LIMIT:
+                        memo.clear()
+                    memo[id(instr)] = (instr, uops)
+                else:
+                    uops = cached[1]
             di.uops_template = uops  # consumed by dispatch
             self.decode_q.push(di)
             self.bump("decoded")
