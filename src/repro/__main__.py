@@ -9,6 +9,8 @@ Usage::
                                     # (exit 0 clean / 1 diagnostics)
     python -m repro bench           # hot-path engine benchmark
                                     # (writes BENCH_hotpath.json)
+    python -m repro stats           # FastScope statistics fabric report
+    python -m repro trace           # FM/TM seam event trace (JSONL)
 """
 
 from __future__ import annotations
@@ -44,6 +46,8 @@ def main(argv) -> int:
             print("  %-13s %s" % (key, title))
         print("  %-13s %s" % ("lint", "FastLint static verification"))
         print("  %-13s %s" % ("bench", "hot-path engine benchmark"))
+        print("  %-13s %s" % ("stats", "FastScope statistics fabric report"))
+        print("  %-13s %s" % ("trace", "FM/TM seam event trace (JSONL)"))
         return 0
     target = argv[1]
     if target == "lint":
@@ -54,6 +58,14 @@ def main(argv) -> int:
         from repro.experiments.bench import main as bench_main
 
         return bench_main(argv[2:])
+    if target == "stats":
+        from repro.observability.cli import stats_main
+
+        return stats_main(argv[2:])
+    if target == "trace":
+        from repro.observability.cli import trace_main
+
+        return trace_main(argv[2:])
     if target == "all":
         for key in EXPERIMENTS:
             print("=" * 72)

@@ -1,11 +1,13 @@
 """The ``python -m repro lint`` entry point.
 
-Runs the three FastLint passes against the default targets:
+Runs the four FastLint passes against the default targets:
 
 1. timing-graph lint over the default 1/2/4/8-issue cores (Table 2
    configurations) from :mod:`repro.timing.core`;
 2. microcode/ISA cross-check over the default microcode table;
-3. determinism lint over the ``repro`` package sources.
+3. determinism lint over the ``repro`` package sources;
+4. statistics-fabric lint (ST001-ST003): the same default cores'
+   stat registries plus an AST pass over the sources.
 
 Exit code 0 when no diagnostic reaches WARNING severity, 1 otherwise.
 INFO-level notes (the paper's declared FP microcode gap) are printed
@@ -20,9 +22,10 @@ from typing import List, Optional, Sequence
 from repro.analysis.determinism import lint_determinism
 from repro.analysis.diagnostics import Report, Severity
 from repro.analysis.microcode_rules import lint_microcode
+from repro.analysis.stat_rules import lint_stat_registry, lint_stat_sources
 from repro.analysis.timing_rules import lint_timing_graph
 
-PASS_NAMES = ("graph", "microcode", "determinism")
+PASS_NAMES = ("graph", "microcode", "determinism", "stats")
 
 
 def _positive_int(text: str) -> int:
@@ -60,6 +63,18 @@ def run_lint(
         report.extend(lint_microcode())
     if "determinism" in passes:
         report.extend(lint_determinism(paths))
+    if "stats" in passes:
+        for width in issue_widths or DEFAULT_ISSUE_WIDTHS:
+            core = build_default_core(width)
+            for diag in lint_stat_registry(core):
+                report.add(
+                    diag.rule,
+                    diag.severity,
+                    "%d-issue:%s" % (width, diag.location),
+                    diag.message,
+                    diag.hint,
+                )
+        report.extend(lint_stat_sources(paths))
     return report
 
 

@@ -39,6 +39,7 @@ from repro.workloads import build as build_workload
 from repro.workloads.generator import EXIT_SNIPPET, Workload, data_bytes, seeded
 
 BENCH_PATH = "BENCH_hotpath.json"
+OVERHEAD_PATH = "BENCH_observability.json"
 MAX_CYCLES = 8_000_000
 
 # Workloads whose wall time the idle fast-forward should dominate; the
@@ -137,10 +138,25 @@ def bench_workloads(smoke: bool) -> List[Workload]:
     ]
 
 
-def _time_run(workload: Workload, engine: str) -> Tuple[object, float]:
+def _time_run(
+    workload: Workload, engine: str, instrument: bool = False
+) -> Tuple[object, float]:
     sim = build_fast_simulator(
         workload, timing_config=TimingConfig(engine=engine)
     )
+    if instrument:
+        # Full FastScope at default sampling: fabric + tracer + the two
+        # canonical trigger queries (no profiler -- that one is opt-in
+        # and deliberately outside the overhead bar).
+        from repro.observability import FastScope
+        from repro.observability.triggers import (
+            rob_occupancy,
+            trace_buffer_occupancy,
+        )
+
+        scope = FastScope(sim)
+        scope.watch_below("tb_low", trace_buffer_occupancy(sim.feed), 4)
+        scope.watch_below("rob_empty", rob_occupancy(sim.tm), 1)
     t0 = time.perf_counter()  # fastlint: ignore[DT002]
     result = sim.run(MAX_CYCLES)
     dt = time.perf_counter() - t0  # fastlint: ignore[DT002]
@@ -194,6 +210,80 @@ def run_bench(smoke: bool = False, reps: Optional[int] = None) -> Dict:
     }
 
 
+def run_overhead_bench(smoke: bool = False, reps: Optional[int] = None) -> Dict:
+    """Time every bench workload on the compiled engine, bare vs under
+    full FastScope instrumentation (the observability overhead bar)."""
+    if reps is None:
+        reps = 1 if smoke else 2
+    workloads = bench_workloads(smoke)
+    rows: Dict[str, Dict] = {}
+    overheads: List[float] = []
+    for workload in workloads:
+        stats: Dict[str, object] = {}
+        best: Dict[str, float] = {}
+        for _rep in range(reps):
+            for mode, instrument in (("bare", False), ("scoped", True)):
+                timing, dt = _time_run(
+                    workload, "compiled", instrument=instrument
+                )
+                stats[mode] = timing
+                best[mode] = min(best.get(mode, dt), dt)
+        overhead = best["scoped"] / best["bare"]
+        overheads.append(overhead)
+        cycles = stats["bare"].cycles
+        rows[workload.name] = {
+            "cycles": cycles,
+            "idle_cycles": stats["bare"].idle_cycles,
+            "stats_match": stats["bare"] == stats["scoped"],
+            "bare": {
+                "seconds": round(best["bare"], 4),
+                "cycles_per_sec": round(cycles / best["bare"], 1),
+            },
+            "scoped": {
+                "seconds": round(best["scoped"], 4),
+                "cycles_per_sec": round(cycles / best["scoped"], 1),
+            },
+            "overhead": round(overhead, 3),
+        }
+    geomean = 1.0
+    for o in overheads:
+        geomean *= o
+    geomean **= 1.0 / len(overheads)
+    return {
+        "bench": "observability-overhead",
+        "smoke": smoke,
+        "reps": reps,
+        "max_cycles": MAX_CYCLES,
+        "workloads": rows,
+        "geomean_overhead": round(geomean, 3),
+    }
+
+
+def render_overhead(report: Dict) -> str:
+    lines = [
+        "observability overhead (FastScope-instrumented vs bare, "
+        "compiled engine)",
+        "%-16s %10s %10s %9s %9s %9s %6s"
+        % ("workload", "cycles", "idle", "bare", "scoped", "overhead",
+           "match"),
+    ]
+    for name, row in report["workloads"].items():
+        lines.append(
+            "%-16s %10d %10d %8.2fs %8.2fs %8.2fx %6s"
+            % (
+                name,
+                row["cycles"],
+                row["idle_cycles"],
+                row["bare"]["seconds"],
+                row["scoped"]["seconds"],
+                row["overhead"],
+                "ok" if row["stats_match"] else "FAIL",
+            )
+        )
+    lines.append("geomean overhead: %.2fx" % report["geomean_overhead"])
+    return "\n".join(lines)
+
+
 def render(report: Dict) -> str:
     lines = [
         "hot-path bench (compiled vs legacy tick engine)",
@@ -229,7 +319,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="reduced sleep spans and a single rep (CI smoke test)",
     )
-    parser.add_argument("--out", default=BENCH_PATH, help="output JSON path")
+    parser.add_argument("--out", default=None, help="output JSON path")
     parser.add_argument(
         "--fail-below",
         type=float,
@@ -237,13 +327,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="X",
         help="exit 1 if the geomean speedup is below X",
     )
+    parser.add_argument(
+        "--instrumented",
+        action="store_true",
+        help="measure FastScope observability overhead instead of the "
+        "engine speedup (writes %s)" % OVERHEAD_PATH,
+    )
+    parser.add_argument(
+        "--fail-overhead-above",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --instrumented: exit 1 if the geomean "
+        "instrumented/bare ratio exceeds X",
+    )
     args = parser.parse_args(argv)
+    if args.instrumented:
+        return _overhead_main(args)
+    out = args.out or BENCH_PATH
     report = run_bench(smoke=args.smoke)
-    with open(args.out, "w") as fh:
+    with open(out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(render(report))
-    print("wrote %s" % args.out)
+    print("wrote %s" % out)
     failed = not all(
         row["cycles_match"] for row in report["workloads"].values()
     )
@@ -256,6 +363,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "FAIL: geomean speedup %.2fx below threshold %.2fx"
             % (report["geomean_speedup"], args.fail_below)
+        )
+        return 1
+    return 0
+
+
+def _overhead_main(args) -> int:
+    out = args.out or OVERHEAD_PATH
+    report = run_overhead_bench(smoke=args.smoke)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(render_overhead(report))
+    print("wrote %s" % out)
+    if not all(
+        row["stats_match"] for row in report["workloads"].values()
+    ):
+        print("FAIL: TimingStats differ with observability enabled")
+        return 1
+    if args.fail_overhead_above is not None and (
+        report["geomean_overhead"] > args.fail_overhead_above
+    ):
+        print(
+            "FAIL: geomean overhead %.2fx above threshold %.2fx"
+            % (report["geomean_overhead"], args.fail_overhead_above)
         )
         return 1
     return 0

@@ -37,6 +37,10 @@ def measure(
     sim = build_fast_simulator(build_workload(workload, scale))
     sampler = StatisticTraceSampler(sim.tm, interval=interval)
     sim.run(max_cycles=max_cycles)
+    # Flush the trailing partial window; otherwise everything after the
+    # last interval boundary (including a fast-forwarded final sleep)
+    # is dropped from the figure.
+    sampler.finalize()
     return Fig6Result(samples=sampler.samples, decompress_start_block=0)
 
 

@@ -128,7 +128,11 @@ class CycleInterruptCoordinator:
         self.deliveries += 1
         # Freeze: squash everything speculative in the pipeline.
         self.tm.backend.squash_all(cycle)
-        taken, _replayed = self.feed.interrupt_delivery(after_in, IRQ_TIMER)
+        taken, replayed = self.feed.interrupt_delivery(after_in, IRQ_TIMER)
         resume_pc = VECTOR_BASE if taken else fallback_pc
         self.tm.frontend.begin_drain(resume_pc, DRAIN_INTERRUPT)
         self.tm.frontend.bump("tm_interrupt_deliveries")
+        if self.tm.tracer is not None:
+            self.tm.tracer.emit("tm_interrupt", after_in=after_in,
+                                taken=taken, replayed=replayed,
+                                resume_pc=resume_pc)

@@ -74,6 +74,19 @@ class TraceBufferFeed(InstructionFeed, Module):
         self._buffer: Deque[TraceEntry] = deque()
         self._last_committed = 0
         self.protocol = ProtocolStats()
+        # Optional FastScope event tracer (repro.observability.events).
+        # Purely observational: never consulted for feed decisions.
+        self.tracer = None
+        # Typed stats for the FastScope fabric (registered here, at
+        # construction -- FastLint rule ST002).  Probed gauges cost
+        # nothing until a sampling window closes.
+        self.new_gauge("occupancy", probe=self._occupancy_probe,
+                       desc="uncommitted trace-buffer entries")
+        self.new_gauge("buffered", probe=self._buffered_probe,
+                       desc="entries staged ahead of the TM fetch point")
+        self._replay_hist = self.new_histogram(
+            "rollback_replay", bounds=(0, 1, 2, 4, 8, 16, 32, 64),
+            desc="instructions re-executed per set_pc rollback")
 
     # -- trace-buffer filling -----------------------------------------------
 
@@ -81,6 +94,17 @@ class TraceBufferFeed(InstructionFeed, Module):
         """Entries between the oldest uncommitted instruction and the
         functional model's current position."""
         return self.fm.in_count - self._last_committed
+
+    @property
+    def occupancy(self) -> int:
+        """Public alias of the TB occupancy, for probes and triggers."""
+        return self.fm.in_count - self._last_committed
+
+    def _occupancy_probe(self) -> float:
+        return float(self.fm.in_count - self._last_committed)
+
+    def _buffered_probe(self) -> float:
+        return float(len(self._buffer))
 
     def _can_produce(self) -> bool:
         # A halted FM is advanced ONLY by idle_tick (one device tick per
@@ -120,6 +144,8 @@ class TraceBufferFeed(InstructionFeed, Module):
         runahead = self._tb_occupancy()
         if runahead > self.protocol.max_runahead:
             self.protocol.max_runahead = runahead
+            if self.tracer is not None:
+                self.tracer.emit("tb_highwater", runahead=runahead)
 
     # -- InstructionFeed interface ----------------------------------------------
 
@@ -143,6 +169,11 @@ class TraceBufferFeed(InstructionFeed, Module):
         self.protocol.mispredict_messages += 1
         self.protocol.rollback_replays += replayed
         self.bump("forced_wrong_paths")
+        self._replay_hist.observe(replayed)
+        if self.tracer is not None:
+            self.tracer.emit("tb_mispredict", branch_in_no=branch_in_no,
+                             wrong_pc=wrong_pc, replayed=replayed,
+                             occupancy=self._tb_occupancy())
 
     def resolve_wrong_path(self, branch_in_no: int, actual_pc: int) -> None:
         self._buffer.clear()  # everything buffered is wrong-path
@@ -151,12 +182,21 @@ class TraceBufferFeed(InstructionFeed, Module):
         self.protocol.resolve_messages += 1
         self.protocol.rollback_replays += replayed
         self.bump("resolutions")
+        self._replay_hist.observe(replayed)
+        if self.tracer is not None:
+            self.tracer.emit("tb_resolve", branch_in_no=branch_in_no,
+                             actual_pc=actual_pc, replayed=replayed,
+                             occupancy=self._tb_occupancy())
 
     def interrupt_delivery(self, after_in: int, line: int):
         self._buffer.clear()  # everything beyond the boundary is stale
         taken, replayed = self.fm.deliver_interrupt(after_in, line)
         self.protocol.interrupt_deliveries += 1
         self.protocol.rollback_replays += replayed
+        self._replay_hist.observe(replayed)
+        if self.tracer is not None:
+            self.tracer.emit("tb_interrupt", after_in=after_in, line=line,
+                             taken=taken, replayed=replayed)
         return taken, replayed
 
     def commit(self, in_no: int) -> None:

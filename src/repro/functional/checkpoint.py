@@ -52,6 +52,10 @@ class CheckpointManager:
         self._undo: List[Tuple[int, int]] = []
         self.stats = CheckpointStats()
 
+    def __len__(self) -> int:
+        """Live (retained) checkpoints."""
+        return len(self._checkpoints)
+
     # -- write logging -----------------------------------------------------
 
     def log_write(self, addr: int, old_word: int) -> None:

@@ -145,6 +145,10 @@ class FunctionalModel(CPUMixin):
         # Timing-model-delivered interrupts, keyed by the commit
         # boundary (IN) they arrived after; consulted during replay.
         self._forced_irqs: dict = {}
+        # Optional FastScope observer (repro.observability.events):
+        # notified on checkpoint creation and rollback replay.  Purely
+        # observational -- never consulted for simulation decisions.
+        self.observer = None
         # Crack-once coverage memo: id(Instr) -> (instr, uop_count,
         # translated, table_version).  Keeping the Instr itself in the
         # value pins the object so its id cannot be recycled.  Identity
@@ -468,6 +472,8 @@ class FunctionalModel(CPUMixin):
             self.tlb.snapshot(),
             self.bus.snapshot(),
         )
+        if self.observer is not None:
+            self.observer.on_checkpoint(self.in_count, len(self.ckpt))
 
     def rollback_to(self, target_in: int) -> int:
         """Restore state to just after instruction *target_in*.
@@ -528,6 +534,8 @@ class FunctionalModel(CPUMixin):
             finally:
                 self._replaying = False
             self.ckpt.stats.reexecuted_instructions += replayed
+        if self.observer is not None:
+            self.observer.on_rollback(target_in, replayed)
         return replayed
 
     def set_pc(self, in_no: int, new_pc: int) -> int:

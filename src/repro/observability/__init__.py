@@ -1,0 +1,50 @@
+"""FastScope: the runtime observability layer of the reproduction.
+
+The paper (§3, §4.7) argues FAST statistics should flow through a
+tree-based statistics network routed along the Connectors, with
+run-time queries evaluated continuously and traces gathered with little
+to no performance degradation.  This package realizes that design in
+the Python runtime:
+
+* :class:`StatsFabric` -- the hierarchical statistics fabric: typed
+  Counter/Gauge/Histogram stats registered per Module, aggregated
+  hop-by-hop up the Module tree and snapshotted per sampling window,
+  idle fast-forward spans accounted for explicitly;
+* :class:`EventTracer` -- a structured, cycle-stamped event tracer
+  (bounded ring buffer -> JSONL) for the FM/TM seam: mispredict and
+  resolution round trips, rollbacks, interrupt deliveries,
+  trace-buffer high-water marks, checkpoint creation;
+* :class:`CompiledTriggerQuery` -- run-time trigger queries registered
+  as compiled-schedule cycle listeners *with idle hints*, so a standing
+  query does not pin the engine to single-stepping;
+* :class:`TickProfiler` -- host wall-time attribution per module tick
+  and per pipeline stage, over the compiled schedule;
+* :class:`FastScope` -- the facade wiring all of the above onto a
+  :class:`~repro.fast.simulator.FastSimulator` (or bare TimingModel).
+
+Exposed on the command line as ``python -m repro stats`` and
+``python -m repro trace``.
+"""
+
+from repro.observability.events import Event, EventTracer, attach_tracer
+from repro.observability.fabric import StatWindow, StatsFabric
+from repro.observability.profiler import TickProfiler
+from repro.observability.scope import FastScope
+from repro.observability.triggers import (
+    CompiledTriggerQuery,
+    rob_occupancy,
+    trace_buffer_occupancy,
+)
+
+__all__ = [
+    "CompiledTriggerQuery",
+    "Event",
+    "EventTracer",
+    "FastScope",
+    "StatWindow",
+    "StatsFabric",
+    "TickProfiler",
+    "attach_tracer",
+    "rob_occupancy",
+    "trace_buffer_occupancy",
+]

@@ -1,0 +1,197 @@
+"""``python -m repro stats`` and ``python -m repro trace``.
+
+Both commands run a workload under a fully FastScope-instrumented
+simulator.  ``stats`` prints the fabric/trigger/profile report (and can
+write it as BENCH-style JSON); ``trace`` writes the FM/TM seam event
+ring as JSONL.  The default workload is the same fixed-seed Linux boot
+slice the bench uses, so two invocations with the same arguments are
+byte-reproducible -- the acceptance bar for the trace command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from repro.observability.scope import FastScope
+from repro.observability.triggers import (
+    rob_occupancy,
+    trace_buffer_occupancy,
+)
+
+DEFAULT_WORKLOAD = "linux-boot"
+DEFAULT_MAX_CYCLES = 2_000_000
+
+
+def _build_workload(name: str, boot_sleep_ticks: int):
+    if name == DEFAULT_WORKLOAD:
+        from repro.experiments.bench import _linux_boot
+
+        return _linux_boot(sleep_ticks=boot_sleep_ticks)
+    from repro.workloads import build
+
+    return build(name)
+
+
+def _workload_names() -> List[str]:
+    from repro.workloads import workload_names
+
+    return [DEFAULT_WORKLOAD] + list(workload_names())
+
+
+def _scoped_run(args, profile: bool):
+    from repro.experiments.harness import build_fast_simulator
+    from repro.timing.core import TimingConfig
+
+    workload = _build_workload(args.workload, args.boot_sleep_ticks)
+    sim = build_fast_simulator(
+        workload, timing_config=TimingConfig(engine=args.engine)
+    )
+    scope = FastScope(
+        sim,
+        window_cycles=args.window,
+        tracer_capacity=args.capacity,
+        profile=profile,
+    )
+    scope.watch_below(
+        "tb_occupancy_low", trace_buffer_occupancy(sim.feed), args.tb_low
+    )
+    scope.watch_below("rob_empty", rob_occupancy(sim.tm), 1)
+    sim.run(args.max_cycles)
+    scope.finalize()
+    return sim, scope
+
+
+def _common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload",
+        default=DEFAULT_WORKLOAD,
+        help="workload name (default %(default)s; see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list workload names and exit"
+    )
+    parser.add_argument(
+        "--engine",
+        default="compiled",
+        choices=("compiled", "legacy"),
+        help="tick engine (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-cycles",
+        type=int,
+        default=DEFAULT_MAX_CYCLES,
+        help="target cycle budget (default %(default)s)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=65536,
+        help="fabric sampling window in cycles (default %(default)s)",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=65536,
+        help="event tracer ring capacity (default %(default)s)",
+    )
+    parser.add_argument(
+        "--tb-low",
+        type=int,
+        default=4,
+        help="trigger threshold: trace-buffer occupancy below N "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--boot-sleep-ticks",
+        type=int,
+        default=20,
+        help="sleep span of the default boot slice (default %(default)s)",
+    )
+
+
+def stats_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro stats",
+        description="run one workload under full FastScope instrumentation "
+        "and report the statistics fabric, triggers and (optionally) the "
+        "tick-time profile",
+    )
+    _common_arguments(parser)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute host wall-time per module tick and pipeline stage",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the full report as JSON",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        print("\n".join(_workload_names()))
+        return 0
+    sim, scope = _scoped_run(args, profile=args.profile)
+    report = scope.report()
+    fabric = report["fabric"]
+    print(
+        "fabric: %d streams, %d windows (%d elided, %d partial) over %d "
+        "cycles (%d idle)"
+        % (
+            fabric["registered_streams"],
+            len(fabric["windows"]),
+            fabric["elided_windows"],
+            sum(1 for w in fabric["windows"] if w["partial"]),
+            sim.tm.cycle,
+            sim.tm.idle_cycles,
+        )
+    )
+    totals = fabric["totals"]
+    for name in sorted(totals):
+        print("  %-32s %s" % (name, totals[name]))
+    print("trace: %(recorded)d events (%(dropped)d dropped)"
+          % report["trace"])
+    for kind, count in report["trace"]["kinds"].items():
+        print("  %-32s %d" % (kind, count))
+    for query in report["triggers"]:
+        print(
+            "trigger %-24s fired %d times (first: %s)"
+            % (query["name"], query["fire_count"], query["first_fired"])
+        )
+    if scope.profiler is not None:
+        print()
+        print(scope.profiler.render())
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.out)
+    return 0
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="run one workload with the FM/TM seam event tracer and "
+        "write the ring as deterministic JSONL",
+    )
+    _common_arguments(parser)
+    parser.add_argument(
+        "--out", default="trace.jsonl", metavar="PATH",
+        help="JSONL output path (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        print("\n".join(_workload_names()))
+        return 0
+    _sim, scope = _scoped_run(args, profile=False)
+    count = scope.write_trace(args.out)
+    summary = scope.tracer.summary()
+    print(
+        "wrote %s: %d records (%d emitted, %d dropped)"
+        % (args.out, count, summary["recorded"], summary["dropped"])
+    )
+    for kind, total in summary["kinds"].items():
+        print("  %-32s %d" % (kind, total))
+    return 0

@@ -1,0 +1,178 @@
+"""Host wall-time attribution for the compiled tick engine.
+
+The compiled schedule (PR 2) made the engine fast and opaque at once:
+`CompiledSchedule.run` is one fused loop over pre-bound step callables,
+so nothing tells you *where* host time goes.  :class:`TickProfiler`
+re-opens the box without giving up the static schedule: it rewrites the
+schedule's step tuple in place, wrapping every step with a
+perf_counter bracket keyed by the module's schedule path, and wraps the
+pipeline stage methods (fetch/decode and
+writeback/commit/issue/dispatch) the same way via instance-attribute
+shadowing -- ``Backend.tick`` calls ``self._writeback(cycle)``, so an
+instance attribute wins over the class method without any change to the
+pipeline code.
+
+Install **before** ``run()``: the run loop hoists ``self._steps`` into
+a local once at entry, so a mid-run install would never be observed.
+
+Profiling is read-only with respect to the simulation (each wrapper
+calls its wrapped step exactly once, with the same arguments), so
+``TimingStats`` stay bit-identical.  It is *not* free in host time --
+two clock reads per step per cycle -- which is why it is opt-in
+(``--profile``) and excluded from the overhead acceptance bar.
+
+This file reads the host clock on purpose -- it *measures* the
+simulator rather than simulating -- so the DT002 wall-clock rule is
+suppressed line by line, exactly as in ``experiments/bench.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+# Pipeline stage methods bracketed per call, as (owner attr, method).
+STAGE_METHODS: Tuple[Tuple[str, str], ...] = (
+    ("frontend", "_decode"),
+    ("frontend", "_fetch"),
+    ("backend", "_writeback"),
+    ("backend", "_commit"),
+    ("backend", "_issue"),
+    ("backend", "_dispatch"),
+)
+
+
+class TickProfiler:
+    """Attributes host wall-time per scheduled module and per pipeline
+    stage, over one compiled-engine run."""
+
+    def __init__(self, tm):
+        schedule = getattr(tm, "_schedule", None)
+        if schedule is None:
+            raise RuntimeError(
+                "TickProfiler requires the compiled engine "
+                "(TimingConfig(engine='compiled'))"
+            )
+        self.tm = tm
+        self.schedule = schedule
+        self.module_seconds: Dict[str, float] = {}
+        self.module_calls: Dict[str, int] = {}
+        self.stage_seconds: Dict[str, float] = {}
+        self.stage_calls: Dict[str, int] = {}
+        self._orig_steps: Optional[tuple] = None
+        self._orig_stages: List[Tuple[object, str]] = []
+        self.installed = False
+
+    # -- wrapping --------------------------------------------------------
+
+    def _wrap_step(self, path: str,
+                   step: Callable[[int], None]) -> Callable[[int], None]:
+        seconds = self.module_seconds
+        calls = self.module_calls
+        perf = time.perf_counter
+
+        def profiled_step(cycle: int) -> None:
+            t0 = perf()  # fastlint: ignore[DT002]
+            step(cycle)
+            seconds[path] += perf() - t0  # fastlint: ignore[DT002]
+            calls[path] += 1
+
+        return profiled_step
+
+    def _wrap_stage(self, label: str, method: Callable) -> Callable:
+        seconds = self.stage_seconds
+        calls = self.stage_calls
+        perf = time.perf_counter
+
+        def profiled_stage(*args):
+            t0 = perf()  # fastlint: ignore[DT002]
+            result = method(*args)
+            seconds[label] += perf() - t0  # fastlint: ignore[DT002]
+            calls[label] += 1
+            return result
+
+        return profiled_stage
+
+    def install(self) -> "TickProfiler":
+        if self.installed:
+            return self
+        for path in self.schedule.describe():
+            self.module_seconds[path] = 0.0
+            self.module_calls[path] = 0
+        self._orig_steps = self.schedule.instrument_steps(self._wrap_step)
+        for owner_attr, name in STAGE_METHODS:
+            owner = getattr(self.tm, owner_attr)
+            label = "%s.%s" % (owner_attr, name.lstrip("_"))
+            self.stage_seconds[label] = 0.0
+            self.stage_calls[label] = 0
+            # Bound method from the class; shadow it on the instance.
+            setattr(owner, name, self._wrap_stage(label, getattr(owner, name)))
+            self._orig_stages.append((owner, name))
+        self.installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self.installed:
+            return
+        self.schedule._steps = self._orig_steps
+        for owner, name in self._orig_stages:
+            delattr(owner, name)  # fall back to the class method
+        self._orig_stages = []
+        self.installed = False
+
+    # -- reporting -------------------------------------------------------
+
+    def report(self) -> dict:
+        total = sum(self.module_seconds.values())
+        modules = [
+            {
+                "path": path,
+                "seconds": round(self.module_seconds[path], 6),
+                "calls": self.module_calls[path],
+                "share": round(self.module_seconds[path] / total, 4)
+                if total
+                else 0.0,
+            }
+            for path in sorted(
+                self.module_seconds,
+                key=lambda p: -self.module_seconds[p],
+            )
+        ]
+        stages = [
+            {
+                "stage": label,
+                "seconds": round(self.stage_seconds[label], 6),
+                "calls": self.stage_calls[label],
+            }
+            for label in sorted(
+                self.stage_seconds,
+                key=lambda s: -self.stage_seconds[s],
+            )
+        ]
+        return {
+            "engine_seconds": round(total, 6),
+            "modules": modules,
+            "stages": stages,
+        }
+
+    def render(self) -> str:
+        report = self.report()
+        lines = [
+            "tick-time profile (host seconds inside the compiled schedule)",
+            "%-40s %10s %12s %7s" % ("module", "seconds", "calls", "share"),
+        ]
+        for row in report["modules"]:
+            lines.append(
+                "%-40s %10.4f %12d %6.1f%%"
+                % (row["path"], row["seconds"], row["calls"],
+                   100 * row["share"])
+            )
+        lines.append("")
+        lines.append("%-40s %10s %12s" % ("pipeline stage", "seconds",
+                                          "calls"))
+        for row in report["stages"]:
+            lines.append(
+                "%-40s %10.4f %12d"
+                % (row["stage"], row["seconds"], row["calls"])
+            )
+        return "\n".join(lines)

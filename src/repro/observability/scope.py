@@ -1,0 +1,106 @@
+"""FastScope: the facade wiring the whole observability layer.
+
+One call instruments a :class:`~repro.fast.simulator.FastSimulator`
+with the stats fabric, the seam event tracer, optional trigger queries
+and the optional tick profiler::
+
+    sim = FastSimulator.from_programs([...])
+    scope = FastScope(sim)
+    scope.watch_below("tb_low", trace_buffer_occupancy(sim.feed), 4)
+    sim.run()
+    report = scope.report()
+    scope.write_trace("trace.jsonl")
+
+Everything FastScope attaches is read-only with respect to the
+simulation, so a scoped run produces bit-identical ``TimingStats`` to a
+bare one -- the invariant the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.observability.events import (
+    DEFAULT_CAPACITY,
+    EventTracer,
+    attach_tracer,
+)
+from repro.observability.fabric import DEFAULT_WINDOW_CYCLES, StatsFabric
+from repro.observability.profiler import TickProfiler
+from repro.observability.triggers import CompiledTriggerQuery
+
+
+class FastScope:
+    """Full observability over one FastSimulator instance.
+
+    Construct *before* ``sim.run()`` -- the fabric baselines counters at
+    attach time and the profiler must rewrite the schedule before the
+    run loop hoists it.
+    """
+
+    def __init__(
+        self,
+        sim,
+        window_cycles: int = DEFAULT_WINDOW_CYCLES,
+        tracer_capacity: int = DEFAULT_CAPACITY,
+        profile: bool = False,
+    ):
+        self.sim = sim
+        self.tracer: EventTracer = attach_tracer(sim, tracer_capacity)
+        self.fabric = StatsFabric(
+            sim.tm, window_cycles=window_cycles, extra_roots=(sim.feed,)
+        )
+        self.triggers: List[CompiledTriggerQuery] = []
+        self.profiler: Optional[TickProfiler] = None
+        if profile:
+            self.profiler = TickProfiler(sim.tm).install()
+
+    # -- trigger queries -------------------------------------------------
+
+    def watch(self, name: str, probe: Callable[[], float],
+              condition: Callable[[float], bool],
+              **kwargs) -> CompiledTriggerQuery:
+        query = CompiledTriggerQuery(self.sim.tm, name, probe, condition,
+                                     **kwargs)
+        self.triggers.append(query)
+        return query
+
+    def watch_below(self, name: str, probe: Callable[[], float],
+                    threshold: float, **kwargs) -> CompiledTriggerQuery:
+        query = CompiledTriggerQuery.below(self.sim.tm, name, probe,
+                                           threshold, **kwargs)
+        self.triggers.append(query)
+        return query
+
+    # -- reporting -------------------------------------------------------
+
+    def finalize(self) -> None:
+        self.fabric.finalize()
+
+    def report(self) -> Dict:
+        """BENCH-style JSON for the whole scoped run."""
+        self.finalize()
+        flat, tree = self.fabric.statnet_reports()
+        out: Dict = {
+            "fabric": self.fabric.report(),
+            "statnet": {
+                scheme.scheme: {
+                    "counters": scheme.counters,
+                    "modules": scheme.modules,
+                    "routing_units": round(scheme.routing_units, 1),
+                    "aggregator_luts": scheme.aggregator_luts,
+                    "congestion": round(scheme.congestion, 3),
+                    "total_cost": round(scheme.total_cost, 1),
+                }
+                for scheme in (flat, tree)
+            },
+            "trace": self.tracer.summary(),
+            "triggers": [query.report() for query in self.triggers],
+        }
+        if self.profiler is not None:
+            out["profile"] = self.profiler.report()
+        return out
+
+    def write_trace(self, path: str) -> int:
+        """Dump the event ring as JSONL; returns the record count."""
+        return self.tracer.write_jsonl(path)

@@ -1,0 +1,140 @@
+"""Run-time trigger queries compiled into the schedule.
+
+"Run-time queries, such as 'when does the number of active functional
+units drop below 1?', can continuously run in hardware at full speed."
+(paper section 3)
+
+The legacy :class:`repro.timing.stats.TriggerQuery` appends a bare
+listener to ``tm.cycle_listeners`` -- which disables the compiled
+engine's idle fast-forward entirely, because a hintless listener may
+need to observe *every* cycle.  :class:`CompiledTriggerQuery` is the
+engine-aware replacement: it registers through
+``tm.add_cycle_listener`` **with an idle hint** (FastLint rule ST003
+flags the bare-append pattern).
+
+The default hint is unbounded, and that is sound for the common case:
+a probe that reads only module state (queue occupancy, ROB depth,
+busy-unit counts) cannot change value across a quiescent span, because
+no module executes a step inside one.  The condition is evaluated on
+the cycle the span starts from and again on the waking cycle, which is
+exactly the set of cycles on which its value can differ.  A probe that
+depends on the cycle number itself must pass an explicit *idle_hint*
+(or ``single_step=True``) instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+IDLE_HINT_UNBOUNDED = 1 << 40
+
+DEFAULT_MAX_FIRINGS = 10_000
+
+
+@dataclass(frozen=True)
+class TriggerFiring:
+    """One edge-triggered match of a trigger query."""
+
+    cycle: int
+    value: float
+
+
+class CompiledTriggerQuery:
+    """An edge-triggered predicate over simulator state, evaluated as a
+    compiled-schedule cycle listener with an idle hint.
+
+    *probe* is a zero-argument callable returning the watched value;
+    *condition* maps that value to a bool.  The query records the cycle
+    at which the condition first becomes true (edge-triggered: it
+    re-arms only after the condition goes false again).
+    """
+
+    def __init__(
+        self,
+        tm,
+        name: str,
+        probe: Callable[[], float],
+        condition: Callable[[float], bool],
+        idle_hint: Optional[Callable[[int], int]] = None,
+        single_step: bool = False,
+        max_firings: int = DEFAULT_MAX_FIRINGS,
+    ):
+        self.tm = tm
+        self.name = name
+        self.probe = probe
+        self.condition = condition
+        self.max_firings = max_firings
+        self.firings: List[TriggerFiring] = []
+        self.fire_count = 0
+        self._armed = True
+        if single_step:
+            # The caller's probe is cycle-dependent: evaluate every
+            # cycle, accepting that idle fast-forward is disabled.
+            hint = self._hint_zero
+        elif idle_hint is not None:
+            hint = idle_hint
+        else:
+            hint = self._hint_unbounded
+        tm.add_cycle_listener(self._on_cycle, idle_hint=hint)
+
+    @staticmethod
+    def _hint_unbounded(cycle: int) -> int:
+        return IDLE_HINT_UNBOUNDED
+
+    @staticmethod
+    def _hint_zero(cycle: int) -> int:
+        return 0
+
+    def _on_cycle(self, cycle: int) -> None:
+        value = self.probe()
+        active = self.condition(value)
+        if active and self._armed:
+            self.fire_count += 1
+            if len(self.firings) < self.max_firings:
+                self.firings.append(TriggerFiring(cycle, value))
+        self._armed = not active
+
+    @property
+    def first_fired(self) -> Optional[int]:
+        return self.firings[0].cycle if self.firings else None
+
+    def report(self) -> dict:
+        return {
+            "name": self.name,
+            "fire_count": self.fire_count,
+            "first_fired": self.first_fired,
+            "firings": [
+                {"cycle": f.cycle, "value": f.value}
+                for f in self.firings[:64]
+            ],
+        }
+
+    @classmethod
+    def below(cls, tm, name: str, probe: Callable[[], float],
+              threshold: float, **kwargs) -> "CompiledTriggerQuery":
+        """The paper's canonical shape: "when does <probe> drop below
+        <threshold>?"."""
+        return cls(tm, name, probe,
+                   lambda value: value < threshold, **kwargs)
+
+    @classmethod
+    def at_least(cls, tm, name: str, probe: Callable[[], float],
+                 threshold: float, **kwargs) -> "CompiledTriggerQuery":
+        return cls(tm, name, probe,
+                   lambda value: value >= threshold, **kwargs)
+
+
+# -- canonical probes -------------------------------------------------------
+
+
+def trace_buffer_occupancy(feed) -> Callable[[], float]:
+    """Probe: uncommitted entries held by the trace buffer ("when does
+    trace-buffer occupancy drop below N?")."""
+    return lambda: float(feed.occupancy)
+
+
+def rob_occupancy(tm) -> Callable[[], float]:
+    """Probe: instructions resident in the reorder buffer."""
+    rob = tm.backend.rob
+    return lambda: float(len(rob))

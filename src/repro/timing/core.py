@@ -269,6 +269,11 @@ class TimingModel(Module):
         # (see add_cycle_listener).  A listener with no hint pins the
         # engine to one-cycle stepping whenever it is subscribed.
         self._cycle_idle_hints: dict = {}
+        # Optional FastScope event tracer (repro.observability.events),
+        # attached by attach_tracer().  The engine and the interrupt
+        # coordinator emit seam events through it when present; it is
+        # never consulted for simulation decisions.
+        self.tracer = None
         self._rebind_commit_hook()
         if cfg.engine == "compiled":
             from repro.timing.schedule import compile_schedule
@@ -313,7 +318,9 @@ class TimingModel(Module):
         while this listener is subscribed (appending directly to
         ``cycle_listeners`` behaves the same way).
         """
-        self.cycle_listeners.append(listener)
+        # The registration primitive itself: the hint (if any) is
+        # recorded just below.
+        self.cycle_listeners.append(listener)  # fastlint: ignore[ST003]
         if idle_hint is not None:
             self._cycle_idle_hints[id(listener)] = idle_hint
 
@@ -394,6 +401,12 @@ class TimingModel(Module):
         """Every counter in the module tree, flattened by path -- the
         Asim/AWB-style statistics dump the paper integrates with."""
         report = self.all_counters()
+        # Typed stats (the FastScope fabric) ride along in the same
+        # flattened namespace; ad hoc counters win on a name collision
+        # (FastLint rule ST001 flags those).
+        for path, stat in self.all_stats().items():
+            if path not in report:
+                report[path] = stat.value()
         report["timing_model/cycles"] = self.cycle
         report["timing_model/idle_cycles"] = self.idle_cycles
         report["timing_model/committed_instructions"] = (

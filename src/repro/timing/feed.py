@@ -26,6 +26,12 @@ from repro.functional.trace import TraceEntry
 class InstructionFeed:
     """What the timing model needs from the functional side."""
 
+    # Optional FastScope event tracer (repro.observability.events).  A
+    # feed that implements seam events emits through this when it is
+    # non-None; it must never be consulted for feed decisions, so any
+    # feed stays bit-identical with tracing on or off.
+    tracer = None
+
     def peek(self) -> Optional[TraceEntry]:
         """Next fetch-order entry, or None (CPU halted / shut down)."""
         raise NotImplementedError

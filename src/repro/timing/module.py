@@ -14,12 +14,131 @@ module tree (Table 2).
 
 from __future__ import annotations
 
+import bisect
 import warnings
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 
 class DuplicateModuleNameWarning(UserWarning):
     """Two siblings share a name: their statistics paths collide."""
+
+
+class StatRegistrationError(ValueError):
+    """A typed statistic was registered twice under one name."""
+
+
+class Stat:
+    """A typed, named statistic owned by one :class:`Module`.
+
+    The FastScope fabric (:mod:`repro.observability`) walks the module
+    tree, snapshots every registered stat per sampling window and
+    aggregates the values hop-by-hop toward the root -- the software
+    realization of the paper's tree-based statistics network (§4.7).
+    Stats must be registered at construction time (FastLint rule ST002)
+    so every sampling window observes the same set of streams.
+    """
+
+    __slots__ = ("name", "desc")
+    kind = "stat"
+
+    def __init__(self, name: str, desc: str = ""):
+        self.name = name
+        self.desc = desc
+
+    def value(self) -> float:
+        """Current scalar value (counters: cumulative; gauges: level)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "<%s %r=%r>" % (type(self).__name__, self.name, self.value())
+
+
+class Counter(Stat):
+    """A monotonically-increasing event count."""
+
+    __slots__ = ("count",)
+    kind = "counter"
+
+    def __init__(self, name: str, desc: str = ""):
+        super().__init__(name, desc)
+        self.count = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.count += amount
+
+    def value(self) -> float:
+        return self.count
+
+    def reset(self) -> None:
+        self.count = 0
+
+
+class Gauge(Stat):
+    """A point-in-time level, either set explicitly or probed lazily.
+
+    A probed gauge costs nothing on the simulation hot path: the probe
+    runs only when a sampling window closes (dedicated statistics
+    hardware is free on an FPGA; on this host, laziness is the
+    equivalent).
+    """
+
+    __slots__ = ("probe", "_value")
+    kind = "gauge"
+
+    def __init__(self, name: str, probe: Optional[Callable[[], float]] = None,
+                 desc: str = ""):
+        super().__init__(name, desc)
+        self.probe = probe
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def value(self) -> float:
+        if self.probe is not None:
+            return self.probe()
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+
+class Histogram(Stat):
+    """A bucketed distribution of observed values.
+
+    *bounds* are the inclusive upper edges of the finite buckets; one
+    overflow bucket is appended.  ``value()`` reports the observation
+    count so histograms aggregate like counters in the fabric; the
+    buckets ride along in window snapshots.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total")
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Sequence[float], desc: str = ""):
+        super().__init__(name, desc)
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def value(self) -> float:
+        return self.count
+
+    def reset(self) -> None:
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
 
 
 class Module:
@@ -34,6 +153,9 @@ class Module:
         self._children: List["Module"] = []
         self._child_names: set = set()
         self._counters: Dict[str, int] = {}
+        # Typed stats (Counter/Gauge/Histogram) registered at
+        # construction; the FastScope fabric snapshots these per window.
+        self._stats: Dict[str, Stat] = {}
 
     # -- hierarchy -------------------------------------------------------
 
@@ -111,6 +233,56 @@ class Module:
     def reset_counters(self) -> None:
         for module in self.walk():
             module._counters.clear()
+
+    # -- typed statistics (the FastScope fabric, §4.7) --------------------
+
+    def register_stat(self, stat: Stat) -> Stat:
+        """Register a typed stat on this module.
+
+        Registration must happen during construction (FastLint rule
+        ST002): the fabric's first sampling window baselines every
+        registered stream, and the statnet routing model prices the
+        fabric from the registered set.
+        """
+        if stat.name in self._stats:
+            raise StatRegistrationError(
+                "module %r already registers a stat named %r"
+                % (self.name, stat.name)
+            )
+        self._stats[stat.name] = stat
+        return stat
+
+    def new_counter(self, name: str, desc: str = "") -> Counter:
+        counter = Counter(name, desc)
+        self.register_stat(counter)
+        return counter
+
+    def new_gauge(self, name: str, probe: Optional[Callable[[], float]] = None,
+                  desc: str = "") -> Gauge:
+        gauge = Gauge(name, probe, desc)
+        self.register_stat(gauge)
+        return gauge
+
+    def new_histogram(self, name: str, bounds: Sequence[float],
+                      desc: str = "") -> Histogram:
+        histogram = Histogram(name, bounds, desc)
+        self.register_stat(histogram)
+        return histogram
+
+    def stat(self, name: str) -> Optional[Stat]:
+        return self._stats.get(name)
+
+    def stats_registry(self) -> Dict[str, Stat]:
+        return dict(self._stats)
+
+    def all_stats(self, prefix: str = "") -> Dict[str, Stat]:
+        """Flattened ``module.path/stat`` -> Stat map for the tree."""
+        out: Dict[str, Stat] = {}
+        for path, module in self.walk_paths(prefix):
+            stat_prefix = path + "/"
+            for name, stat in module._stats.items():
+                out[stat_prefix + name] = stat
+        return out
 
     # -- static scheduling (repro.timing.schedule) ------------------------
 

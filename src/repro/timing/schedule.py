@@ -189,6 +189,21 @@ class CompiledSchedule:
             path for path, _m in self.unit_order
         ]
 
+    def instrument_steps(
+        self,
+        wrap: Callable[[str, Callable[[int], None]], Callable[[int], None]],
+    ) -> Tuple[Callable[[int], None], ...]:
+        """Replace every step with ``wrap(path, step)`` (FastScope's
+        tick profiler).  Must run before :meth:`run`, which hoists the
+        step tuple into a local at entry.  Returns the previous tuple so
+        the caller can restore it."""
+        previous = self._steps
+        self._steps = tuple(
+            wrap(path, step)
+            for path, step in zip(self.describe(), previous)
+        )
+        return previous
+
     # -- one cycle -------------------------------------------------------
 
     def tick_cycle(self, cycle: int) -> None:
@@ -245,7 +260,6 @@ class CompiledSchedule:
         watchdog = tm.config.watchdog_cycles
         idle_span = self._idle_span
         cycle = tm.cycle
-        idle_cycles = tm.idle_cycles
         last_progress = tm._last_progress
         try:
             while cycle < max_cycles:
@@ -262,7 +276,11 @@ class CompiledSchedule:
                 idle = frontend.idle_this_cycle and not backend.rob
                 if idle and not feed.finished:
                     feed.idle_tick()
-                    idle_cycles += 1
+                    # Not hoisted into a local: commit listeners (the
+                    # statistics sampler) snapshot tm.idle_cycles
+                    # mid-run, and it is only written on idle cycles,
+                    # so the busy hot path pays nothing.
+                    tm.idle_cycles += 1
                     last_progress = cycle
                 committed = backend.last_commit_cycle
                 if committed > last_progress:
@@ -289,11 +307,15 @@ class CompiledSchedule:
                         feed.idle_ticks(span)
                         cycle += span
                         tm.cycle = cycle
-                        idle_cycles += span
+                        tm.idle_cycles += span
                         last_progress = cycle
+                        # Seam event, once per batched span (not per
+                        # cycle): how far the engine fast-forwarded.
+                        if tm.tracer is not None:
+                            tm.tracer.emit("idle_span", cycles=span,
+                                           from_cycle=cycle - span)
         finally:
             tm.cycle = cycle
-            tm.idle_cycles = idle_cycles
             tm._last_progress = last_progress
         return tm.stats()
 

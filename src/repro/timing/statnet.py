@@ -66,7 +66,12 @@ def _depths(root: Module) -> Dict[int, int]:
 
 
 def _counter_count(module: Module) -> int:
-    return len(module.counters())
+    # Every stream the FastScope fabric would actually route: the ad hoc
+    # bump() counters plus the typed Counter/Gauge/Histogram stats
+    # registered at construction.  Pricing the real registered set (not
+    # a synthetic per-module estimate) is what makes the flat-vs-tree
+    # comparison honest for a given build.
+    return len(module._counters) + len(module._stats)
 
 
 def flat_fabric_cost(root: Module,
@@ -119,3 +124,32 @@ def compare(root: Module, extra_counters_per_module: int = 0):
         flat_fabric_cost(root, extra_counters_per_module),
         tree_network_cost(root, extra_counters_per_module),
     )
+
+
+def _merge(reports) -> StatNetReport:
+    first = reports[0]
+    return StatNetReport(
+        scheme=first.scheme,
+        counters=sum(r.counters for r in reports),
+        modules=sum(r.modules for r in reports),
+        routing_units=sum(r.routing_units for r in reports),
+        aggregator_luts=sum(r.aggregator_luts for r in reports),
+        congestion=max(r.congestion for r in reports),
+    )
+
+
+def compare_modules(roots) -> tuple:
+    """``(flat, tree)`` priced across several module trees at once.
+
+    The FastScope fabric spans trees that do not share a root (the
+    TimingModel plus the trace-buffer feed on the FM/TM seam); each
+    tree routes independently, so costs add -- except congestion, which
+    is set by the worst single endpoint.
+    """
+    flats = []
+    trees = []
+    for root in roots:
+        flat, tree = compare(root)
+        flats.append(flat)
+        trees.append(tree)
+    return _merge(flats), _merge(trees)

@@ -33,6 +33,15 @@ class StatSample:
     icache_hit_rate: float
     pipe_drain_fraction: float
     ipc: float
+    # Idle (fast-forwarded) cycles inside the window.  Rates above are
+    # computed over *busy* cycles, so a window spanning a long HALT
+    # sleep is comparable to one that never idled.
+    idle_cycles: int = 0
+    # True for the trailing partial window flushed by finalize(): under
+    # the compiled engine an idle fast-forward span can jump straight
+    # from the last committed block to shutdown, and everything after
+    # the last interval boundary would otherwise be silently dropped.
+    elided: bool = False
 
 
 class StatisticTraceSampler:
@@ -53,6 +62,7 @@ class StatisticTraceSampler:
         self.samples: List[StatSample] = []
         self._blocks = 0
         self._last = self._snapshot()
+        self._finalized = False
         tm.commit_listeners.append(self._on_commit)
 
     def _snapshot(self) -> Dict[str, int]:
@@ -65,15 +75,11 @@ class StatisticTraceSampler:
             "ihit": l1i.counter("hits"),
             "drain": fe.counter("drain_cycles_mispredict"),
             "cycle": self.tm.cycle,
+            "idle": self.tm.idle_cycles,
             "instructions": be.committed_instructions,
         }
 
-    def _on_commit(self, di, cycle: int) -> None:
-        if not di.is_control:
-            return
-        self._blocks += 1
-        if self._blocks % self.interval:
-            return
+    def _close_window(self, elided: bool) -> None:
         now = self._snapshot()
         last = self._last
         self._last = now
@@ -81,17 +87,48 @@ class StatisticTraceSampler:
         mispredicts = now["mispredicts"] - last["mispredicts"]
         iacc = now["iacc"] - last["iacc"]
         ihit = now["ihit"] - last["ihit"]
-        cycles = max(1, now["cycle"] - last["cycle"])
+        idle = now["idle"] - last["idle"]
+        # Rates are per *busy* cycle: windows are keyed by committed
+        # basic blocks, so one that brackets a HALT sleep (or, under
+        # the compiled engine, a fast-forwarded span) would otherwise
+        # report diluted ipc/drain numbers that depend on the engine's
+        # batching rather than on pipeline behaviour.
+        busy = max(1, now["cycle"] - last["cycle"] - idle)
         self.samples.append(
             StatSample(
                 basic_blocks=self._blocks,
                 cycle=now["cycle"],
                 bp_accuracy=1.0 - mispredicts / branches if branches else 1.0,
                 icache_hit_rate=ihit / iacc if iacc else 1.0,
-                pipe_drain_fraction=(now["drain"] - last["drain"]) / cycles,
-                ipc=(now["instructions"] - last["instructions"]) / cycles,
+                pipe_drain_fraction=(now["drain"] - last["drain"]) / busy,
+                ipc=(now["instructions"] - last["instructions"]) / busy,
+                idle_cycles=idle,
+                elided=elided,
             )
         )
+
+    def _on_commit(self, di, cycle: int) -> None:
+        if not di.is_control:
+            return
+        self._blocks += 1
+        if self._blocks % self.interval:
+            return
+        self._close_window(elided=False)
+
+    def finalize(self) -> None:
+        """Flush the trailing partial window (idempotent).
+
+        Blocks committed after the last interval boundary -- and any
+        pure-idle tail the compiled engine fast-forwarded through, such
+        as a final sleep before shutdown -- never reach an interval
+        boundary, so without this flush they are silently dropped.  The
+        flushed sample is marked ``elided=True``.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        if self.tm.cycle > self._last["cycle"]:
+            self._close_window(elided=True)
 
 
 @dataclass
@@ -123,7 +160,12 @@ class TriggerQuery:
         self.max_events = max_events
         self.events: List[TriggerEvent] = []
         self._armed = True
-        tm.cycle_listeners.append(self._on_cycle)
+        # Registering without an idle hint pins the compiled engine to
+        # single-stepping for the whole run.  Kept for probes that are
+        # genuinely cycle-dependent; prefer
+        # repro.observability.triggers.CompiledTriggerQuery, which
+        # declares a hint.
+        tm.cycle_listeners.append(self._on_cycle)  # fastlint: ignore[ST003]
 
     def _on_cycle(self, cycle: int) -> None:
         value = self.probe(self.tm)

@@ -1,0 +1,172 @@
+"""FastLint pass 4: the statistics-fabric rules (ST001-ST003)."""
+
+import textwrap
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.stat_rules import (
+    lint_stat_registry,
+    lint_stat_source,
+    lint_stat_sources,
+)
+from repro.__main__ import main as repro_main
+from repro.timing.core import build_default_core
+from repro.timing.module import Module
+
+
+def lint(code):
+    return lint_stat_source(textwrap.dedent(code), "sample.py")
+
+
+# -- ST001: structural duplicate-name lint -------------------------------
+
+
+def test_typed_stat_shadowing_counter_flagged():
+    m = Module("m")
+    m.bump("hits")
+    m.new_counter("hits")
+    diags = lint_stat_registry(m).by_rule("ST001")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.ERROR
+    assert diags[0].location == "m/hits"
+
+
+def test_sibling_path_collision_flagged():
+    import warnings
+
+    root = Module("root")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # add_child warns about this too
+        root.add_child(Module("l1"))
+        root.add_child(Module("l1"))
+    diags = lint_stat_registry(root).by_rule("ST001")
+    assert len(diags) == 1
+    assert "root/l1" in diags[0].location
+
+
+def test_clean_registry_passes():
+    root = Module("root")
+    child = root.add_child(Module("child"))
+    root.bump("hits")
+    child.new_counter("hits")  # same name, different module: fine
+    assert lint_stat_registry(root).clean
+
+
+def test_default_cores_are_clean():
+    for width in (1, 2, 4, 8):
+        report = lint_stat_registry(build_default_core(width))
+        assert report.clean, report.format()
+
+
+# -- ST002: registration outside construction ----------------------------
+
+
+def test_registration_in_ordinary_method_flagged():
+    report = lint("""
+        class Cache:
+            def lookup(self, addr):
+                self.new_counter("hits")
+    """)
+    diags = report.by_rule("ST002")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.WARNING
+
+
+def test_registration_at_module_level_flagged():
+    report = lint("""
+        module.new_gauge("level")
+    """)
+    assert len(report.by_rule("ST002")) == 1
+
+
+def test_registration_in_init_clean():
+    report = lint("""
+        class Cache:
+            def __init__(self):
+                self.hits = self.new_counter("hits")
+                self.occ = self.new_gauge("occupancy")
+    """)
+    assert not report.by_rule("ST002")
+
+
+def test_registration_in_builder_clean():
+    report = lint("""
+        def build_core(width):
+            core.register_stat(stat)
+
+        def new_counter(self, name):
+            return self.register_stat(Counter(name))
+    """)
+    assert not report.by_rule("ST002")
+
+
+def test_ignore_comment_suppresses_st002():
+    report = lint("""
+        def probe(self):
+            self.new_counter("late")  # fastlint: ignore[ST002]
+    """)
+    assert not report.by_rule("ST002")
+
+
+# -- ST003: hintless cycle listeners -------------------------------------
+
+
+def test_bare_append_flagged():
+    report = lint("""
+        tm.cycle_listeners.append(listener)
+    """)
+    diags = report.by_rule("ST003")
+    assert len(diags) == 1
+    assert diags[0].severity == Severity.WARNING
+
+
+def test_add_cycle_listener_without_hint_flagged():
+    report = lint("""
+        tm.add_cycle_listener(self._on_cycle)
+    """)
+    assert len(report.by_rule("ST003")) == 1
+
+
+def test_add_cycle_listener_with_hint_clean():
+    report = lint("""
+        tm.add_cycle_listener(self._on_cycle, idle_hint=self._hint)
+        tm.add_cycle_listener(self._on_cycle, self._hint)
+    """)
+    assert not report.by_rule("ST003")
+
+
+def test_unrelated_append_clean():
+    report = lint("""
+        tm.commit_listeners.append(listener)
+        items.append(thing)
+    """)
+    assert not report.by_rule("ST003")
+
+
+def test_syntax_error_reported_not_raised():
+    report = lint_stat_source("def broken(:\n", "bad.py")
+    assert report.rules() == ("ST000",)
+
+
+# -- the shipped sources and the CLI -------------------------------------
+
+
+def test_repro_package_sources_clean():
+    report = lint_stat_sources()
+    assert report.clean, report.format(Severity.WARNING)
+
+
+def test_cli_stats_pass_exits_zero(capsys):
+    code = repro_main(["repro", "lint", "--pass", "stats",
+                       "--issue-width", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fastlint:" in out
+
+
+def test_cli_stats_pass_detects_violation(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("tm.cycle_listeners.append(fn)\n")
+    code = repro_main(["repro", "lint", "--pass", "stats", str(bad)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "ST003" in out
