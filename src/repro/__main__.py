@@ -1,21 +1,21 @@
-"""Command-line entry point: regenerate the paper's experiments.
+"""Command-line entry point: regenerate the paper's experiments and
+drive the engine/observability tooling.
 
 Usage::
 
-    python -m repro                 # list available experiments
-    python -m repro table1          # regenerate one
+    python -m repro                 # generated usage listing
+    python -m repro table1          # regenerate one experiment
     python -m repro all             # regenerate everything (slow)
-    python -m repro lint            # FastLint static verification
-                                    # (exit 0 clean / 1 diagnostics)
-    python -m repro bench           # hot-path engine benchmark
-                                    # (writes BENCH_hotpath.json)
-    python -m repro stats           # FastScope statistics fabric report
-    python -m repro trace           # FM/TM seam event trace (JSONL)
+    python -m repro <subcommand>    # lint / bench / stats / trace / report
+
+Experiment runs invoked here emit FastFlight run artifacts under
+``results/runs/`` (suppress with ``REPRO_FLIGHT=0``).
 """
 
 from __future__ import annotations
 
 import sys
+from typing import Callable, Dict, List, Tuple
 
 EXPERIMENTS = {
     "fig3": ("Figure 3: the target microarchitecture", "fig3"),
@@ -31,6 +31,69 @@ EXPERIMENTS = {
 }
 
 
+def _lint_main(argv: List[str]) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    return lint_main(argv)
+
+
+def _bench_main(argv: List[str]) -> int:
+    from repro.experiments.bench import main as bench_main
+
+    return bench_main(argv)
+
+
+def _stats_main(argv: List[str]) -> int:
+    from repro.observability.cli import stats_main
+
+    return stats_main(argv)
+
+
+def _trace_main(argv: List[str]) -> int:
+    from repro.observability.cli import trace_main
+
+    return trace_main(argv)
+
+
+def _report_main(argv: List[str]) -> int:
+    from repro.observability.flight.cli import report_main
+
+    return report_main(argv)
+
+
+# Every registered subcommand: name -> (description, entry point taking
+# the remaining argv).  The usage listing below is generated from this
+# table plus EXPERIMENTS, so a new subcommand cannot be forgotten there.
+SUBCOMMANDS: Dict[str, Tuple[str, Callable[[List[str]], int]]] = {
+    "lint": ("FastLint static verification (exit 0 clean / 1 findings)",
+             _lint_main),
+    "bench": ("hot-path engine benchmark (writes BENCH_hotpath.json)",
+              _bench_main),
+    "stats": ("FastScope statistics fabric report", _stats_main),
+    "trace": ("FM/TM seam event trace (JSONL)", _trace_main),
+    "report": ("FastFlight artifact analytics & cross-run regression "
+               "diagnosis", _report_main),
+}
+
+
+def usage() -> str:
+    """The generated usage listing (bare invocation and unknown
+    subcommands both print this)."""
+    lines = [
+        "usage: python -m repro <experiment|subcommand> [args]",
+        "",
+        "experiments (regenerate the paper's tables and figures):",
+    ]
+    for key, (title, _module) in EXPERIMENTS.items():
+        lines.append("  %-14s %s" % (key, title))
+    lines.append("  %-14s %s" % ("all", "regenerate every experiment (slow)"))
+    lines.append("")
+    lines.append("subcommands:")
+    for key in sorted(SUBCOMMANDS):
+        lines.append("  %-14s %s" % (key, SUBCOMMANDS[key][0]))
+    return "\n".join(lines)
+
+
 def run_one(key: str) -> None:
     import importlib
 
@@ -38,43 +101,37 @@ def run_one(key: str) -> None:
     print(module.main())
 
 
+def _enable_flight() -> None:
+    """Experiment runs from this entry point persist run artifacts
+    (library and test use stays opt-in)."""
+    from repro.experiments.harness import set_flight
+
+    set_flight(True)
+
+
 def main(argv) -> int:
     if len(argv) < 2:
-        print(__doc__)
-        print("experiments:")
-        for key, (title, _) in EXPERIMENTS.items():
-            print("  %-13s %s" % (key, title))
-        print("  %-13s %s" % ("lint", "FastLint static verification"))
-        print("  %-13s %s" % ("bench", "hot-path engine benchmark"))
-        print("  %-13s %s" % ("stats", "FastScope statistics fabric report"))
-        print("  %-13s %s" % ("trace", "FM/TM seam event trace (JSONL)"))
+        print(usage())
         return 0
     target = argv[1]
-    if target == "lint":
-        from repro.analysis.cli import main as lint_main
-
-        return lint_main(argv[2:])
-    if target == "bench":
-        from repro.experiments.bench import main as bench_main
-
-        return bench_main(argv[2:])
-    if target == "stats":
-        from repro.observability.cli import stats_main
-
-        return stats_main(argv[2:])
-    if target == "trace":
-        from repro.observability.cli import trace_main
-
-        return trace_main(argv[2:])
+    if target in ("-h", "--help", "help"):
+        print(usage())
+        return 0
+    if target in SUBCOMMANDS:
+        return SUBCOMMANDS[target][1](argv[2:])
     if target == "all":
+        _enable_flight()
         for key in EXPERIMENTS:
             print("=" * 72)
             run_one(key)
             print()
         return 0
     if target not in EXPERIMENTS:
-        print("unknown experiment %r; run with no arguments for a list" % target)
+        print("unknown command %r" % target)
+        print()
+        print(usage())
         return 1
+    _enable_flight()
     run_one(target)
     return 0
 

@@ -31,7 +31,11 @@ import json
 import time
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.harness import build_fast_simulator
+from repro.experiments.harness import (
+    build_fast_simulator,
+    flight_enabled,
+    flight_root,
+)
 from repro.kernel.image import UserProgram
 from repro.kernel.sources import linux24_config
 from repro.timing.core import TimingConfig
@@ -163,6 +167,44 @@ def _time_run(
     return result.timing, dt
 
 
+def _emit_bench_artifact(
+    bench: str,
+    workload: Workload,
+    timing,
+    seconds: float,
+    smoke: bool,
+    reps: int,
+    mode: str,
+    host_extra: Optional[Dict] = None,
+) -> None:
+    """Persist one timed bench run as a FastFlight artifact so the
+    regression gate can ``repro report --against BENCH_*.json`` it."""
+    if not flight_enabled():
+        return
+    from repro.observability.flight.artifact import emit_artifact
+
+    host = {
+        "mode": mode,
+        "seconds": round(seconds, 4),
+        "cycles_per_sec": round(timing.cycles / seconds, 1)
+        if seconds > 0 else 0.0,
+    }
+    host.update(host_extra or {})
+    emit_artifact(
+        experiment=bench,
+        workload=workload.name,
+        config={
+            "smoke": smoke,
+            "reps": reps,
+            "max_cycles": MAX_CYCLES,
+            "mode": mode,
+        },
+        timing=timing,
+        host=host,
+        root=flight_root(),
+    )
+
+
 def run_bench(smoke: bool = False, reps: Optional[int] = None) -> Dict:
     """Time every bench workload under both engines."""
     if reps is None:
@@ -181,6 +223,11 @@ def run_bench(smoke: bool = False, reps: Optional[int] = None) -> Dict:
         speedup = best["legacy"] / best["compiled"]
         speedups.append(speedup)
         cycles = stats["compiled"].cycles
+        _emit_bench_artifact(
+            "bench", workload, stats["compiled"], best["compiled"],
+            smoke, reps, mode="compiled",
+            host_extra={"speedup": round(speedup, 3)},
+        )
         rows[workload.name] = {
             "cycles": cycles,
             "idle_cycles": stats["compiled"].idle_cycles,
@@ -231,6 +278,14 @@ def run_overhead_bench(smoke: bool = False, reps: Optional[int] = None) -> Dict:
         overhead = best["scoped"] / best["bare"]
         overheads.append(overhead)
         cycles = stats["bare"].cycles
+        _emit_bench_artifact(
+            "bench-overhead", workload, stats["bare"], best["bare"],
+            smoke, reps, mode="bare",
+            host_extra={
+                "scoped_seconds": round(best["scoped"], 4),
+                "overhead": round(overhead, 3),
+            },
+        )
         rows[workload.name] = {
             "cycles": cycles,
             "idle_cycles": stats["bare"].idle_cycles,
@@ -321,6 +376,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--out", default=None, help="output JSON path")
     parser.add_argument(
+        "--reps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="repetitions per workload, best-of-N (default: 1 with "
+        "--smoke, 2 otherwise)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        action="store_true",
+        help="persist each timed run as a FastFlight artifact under "
+        "results/runs/ (for 'repro report --against')",
+    )
+    parser.add_argument(
         "--fail-below",
         type=float,
         default=None,
@@ -342,10 +411,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "instrumented/bare ratio exceeds X",
     )
     args = parser.parse_args(argv)
+    if args.artifacts:
+        from repro.experiments.harness import set_flight
+
+        set_flight(True)
     if args.instrumented:
         return _overhead_main(args)
     out = args.out or BENCH_PATH
-    report = run_bench(smoke=args.smoke)
+    report = run_bench(smoke=args.smoke, reps=args.reps)
     with open(out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -370,7 +443,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _overhead_main(args) -> int:
     out = args.out or OVERHEAD_PATH
-    report = run_overhead_bench(smoke=args.smoke)
+    report = run_overhead_bench(smoke=args.smoke, reps=args.reps)
     with open(out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")

@@ -9,6 +9,7 @@ total of about two hours").
 
 from __future__ import annotations
 
+from repro.experiments.harness import finish_experiment
 from repro.experiments.table2 import _NullFeed
 from repro.host.resources import estimate_resources
 from repro.timing.core import TimingConfig, TimingModel
@@ -79,7 +80,7 @@ def build_time_hours(tm: TimingModel) -> tuple:
 
 
 def main() -> str:
-    return describe_target()
+    return finish_experiment("fig3", describe_target())
 
 
 if __name__ == "__main__":

@@ -17,7 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.harness import format_table, run_fast_workload
+from repro.experiments.harness import (
+    finish_experiment,
+    format_table,
+    run_fast_workload,
+)
 from repro.host.platforms import DRC_PROTOTYPE_PLATFORM
 from repro.workloads.suite import SUITE_ORDER
 
@@ -98,7 +102,9 @@ def main(scale: int = 1, names: Optional[Sequence[str]] = None) -> str:
             )
         )
     table = format_table(("App",) + tuple(PREDICTORS), rows)
-    return "Figure 4: simulator performance (MIPS)\n" + table
+    return finish_experiment(
+        "fig4", "Figure 4: simulator performance (MIPS)\n" + table
+    )
 
 
 if __name__ == "__main__":

@@ -11,7 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.experiments.harness import format_table, run_fast_workload
+from repro.experiments.harness import (
+    finish_experiment,
+    format_table,
+    run_fast_workload,
+)
 from repro.experiments.fig4 import FIGURE_ORDER
 
 
@@ -59,7 +63,9 @@ def main(scale: int = 1, names: Optional[Sequence[str]] = None) -> str:
         ]
         + [("amean", "%.1f%%" % (100 * amean(rows)), "", "")],
     )
-    return "Figure 5: gshare branch prediction accuracy\n" + table
+    return finish_experiment(
+        "fig5", "Figure 5: gshare branch prediction accuracy\n" + table
+    )
 
 
 if __name__ == "__main__":

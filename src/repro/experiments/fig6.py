@@ -17,7 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.experiments.harness import build_fast_simulator, format_table
+from repro.experiments.harness import (
+    build_fast_simulator,
+    finish_experiment,
+    format_table,
+)
 from repro.timing.stats import StatSample, StatisticTraceSampler
 from repro.workloads import build as build_workload
 
@@ -82,7 +86,9 @@ def main(workload: str = "linux-2.4", interval: int = 250) -> str:
     table = format_table(
         ["BasicBlock", "Cycle", "BPacc", "iL1 hit", "PipeDrain", "IPC"], rows
     )
-    return "Figure 6: statistic trace (%s boot)\n%s" % (workload, table)
+    return finish_experiment(
+        "fig6", "Figure 6: statistic trace (%s boot)\n%s" % (workload, table)
+    )
 
 
 if __name__ == "__main__":

@@ -8,8 +8,10 @@ benchmark suite.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.fast.simulator import FastSimulator, SimulationResult
 from repro.functional.model import FunctionalModel
@@ -28,6 +30,60 @@ from repro.workloads.generator import Workload
 
 def _disk_for(workload: Workload) -> Optional[bytes]:
     return make_disk_image() if workload.name == "mysql" else None
+
+
+# -- FastFlight recording ----------------------------------------------------
+#
+# When enabled (python -m repro enables it; REPRO_FLIGHT=1/0 overrides
+# either way), every run_fast_workload call persists a run artifact
+# under results/runs/, and each experiment script wraps its rendered
+# output in finish_experiment(), which emits one experiment-level
+# artifact referencing the runs it drove.
+
+_FLIGHT: Dict[str, Any] = {"enabled": False, "runs": []}
+
+
+def set_flight(enabled: bool) -> None:
+    """Programmatic switch for artifact emission (env wins if set)."""
+    _FLIGHT["enabled"] = enabled
+
+
+def flight_enabled() -> bool:
+    env = os.environ.get("REPRO_FLIGHT")
+    if env is not None:
+        return env not in ("", "0", "false", "no")
+    return bool(_FLIGHT["enabled"])
+
+
+def flight_root() -> str:
+    from repro.observability.flight.artifact import DEFAULT_ROOT
+
+    return os.environ.get("REPRO_FLIGHT_DIR") or DEFAULT_ROOT
+
+
+def _record_run(run_id: str, workload: str, cycles: int) -> None:
+    runs: List[Dict[str, Any]] = _FLIGHT["runs"]
+    runs.append({"run_id": run_id, "workload": workload, "cycles": cycles})
+
+
+def finish_experiment(experiment: str, output: str) -> str:
+    """One-line experiment adoption: wrap the rendered text in this on
+    the way out of ``main()``.  Emits an experiment-level artifact
+    (output text + references to the per-run artifacts accumulated
+    since the last finish) and returns *output* unchanged."""
+    runs: List[Dict[str, Any]] = _FLIGHT["runs"]
+    drained, runs[:] = list(runs), []
+    if not flight_enabled():
+        return output
+    from repro.observability.flight.artifact import emit_artifact
+
+    emit_artifact(
+        experiment=experiment,
+        output=output,
+        extra={"runs": drained},
+        root=flight_root(),
+    )
+    return output
 
 
 def boot_functional(workload: Workload) -> FunctionalModel:
@@ -242,7 +298,34 @@ def run_fast_workload(
         timing_config=timing_config,
     )
     tracker = UserPhaseTracker(sim)
+    # Host wall time is measured (not modelled): it feeds the run
+    # artifact's volatile host section, never a modelled quantity.
+    t0 = time.perf_counter()  # fastlint: ignore[DT002]
     result = sim.run(max_cycles=max_cycles)
+    wall_seconds = time.perf_counter() - t0  # fastlint: ignore[DT002]
+    if flight_enabled():
+        from repro.observability.flight.artifact import emit_artifact
+
+        artifact = emit_artifact(
+            experiment="workload",
+            workload=name,
+            config={
+                "scale": scale,
+                "predictor": predictor,
+                "engine": (timing_config.engine
+                           if timing_config is not None else "compiled"),
+                "max_cycles": max_cycles,
+            },
+            result=result,
+            host={
+                "seconds": round(wall_seconds, 4),
+                "cycles_per_sec": round(
+                    result.timing.cycles / wall_seconds, 1
+                ) if wall_seconds > 0 else 0.0,
+            },
+            root=flight_root(),
+        )
+        _record_run(artifact.run_id, name, result.timing.cycles)
     host = {
         mode: breakdown.mips
         for mode, breakdown in sim.host_time_all_modes().items()

@@ -12,7 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.experiments.harness import boot_functional, format_table
+from repro.experiments.harness import (
+    boot_functional,
+    finish_experiment,
+    format_table,
+)
 from repro.kernel.layout import VBASE
 from repro.workloads import build as build_workload
 from repro.workloads.suite import SUITE_ORDER
@@ -95,7 +99,9 @@ def main(scale: int = 1) -> str:
             for r in rows
         ],
     )
-    return "Table 1: dynamic instructions translated to uOps\n" + table
+    return finish_experiment(
+        "table1", "Table 1: dynamic instructions translated to uOps\n" + table
+    )
 
 
 if __name__ == "__main__":

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.experiments.harness import format_table
+from repro.experiments.harness import finish_experiment, format_table
 from repro.host.resources import ResourceReport, estimate_resources
 from repro.timing.core import TimingConfig, TimingModel
 
@@ -81,7 +81,9 @@ def main() -> str:
             for r in rows
         ],
     )
-    return "Table 2: Virtex4 LX200 resources vs issue width\n" + table
+    return finish_experiment(
+        "table2", "Table 2: Virtex4 LX200 resources vs issue width\n" + table
+    )
 
 
 if __name__ == "__main__":

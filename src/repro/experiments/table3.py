@@ -18,6 +18,7 @@ from repro.baselines.survey import TABLE3_SURVEY
 from repro.baselines.timing_directed import TimingDirectedSimulator
 from repro.experiments.harness import (
     build_fast_simulator,
+    finish_experiment,
     format_table,
 )
 from repro.host.platforms import DRC_PLATFORM
@@ -138,7 +139,7 @@ def main() -> str:
             for r in rows
         ],
     )
-    return "Table 3: simulator performance\n" + table
+    return finish_experiment("table3", "Table 3: simulator performance\n" + table)
 
 
 if __name__ == "__main__":

@@ -109,6 +109,34 @@ def _common_arguments(parser: argparse.ArgumentParser) -> None:
         default=20,
         help="sleep span of the default boot slice (default %(default)s)",
     )
+    parser.add_argument(
+        "--artifact",
+        action="store_true",
+        help="persist the run as a FastFlight artifact under "
+        "results/runs/ (stats, windows, trace, profile)",
+    )
+
+
+def _emit_artifact(args, sim, scope, profile: bool):
+    from repro.observability.flight.artifact import emit_artifact
+
+    artifact = emit_artifact(
+        experiment=args.prog_name,
+        workload=args.workload,
+        config={
+            "engine": args.engine,
+            "max_cycles": args.max_cycles,
+            "window": args.window,
+            "capacity": args.capacity,
+            "tb_low": args.tb_low,
+            "boot_sleep_ticks": args.boot_sleep_ticks,
+            "profile": profile,
+        },
+        result=sim._result,
+        scope=scope,
+    )
+    print("artifact: %s" % artifact.path)
+    return artifact
 
 
 def stats_main(argv: Optional[List[str]] = None) -> int:
@@ -129,6 +157,7 @@ def stats_main(argv: Optional[List[str]] = None) -> int:
         help="also write the full report as JSON",
     )
     args = parser.parse_args(argv)
+    args.prog_name = "stats"
     if args.list:
         print("\n".join(_workload_names()))
         return 0
@@ -152,6 +181,12 @@ def stats_main(argv: Optional[List[str]] = None) -> int:
         print("  %-32s %s" % (name, totals[name]))
     print("trace: %(recorded)d events (%(dropped)d dropped)"
           % report["trace"])
+    if report["trace"]["dropped"]:
+        print(
+            "  WARNING: event ring overflowed; %d oldest events were "
+            "dropped (per-kind totals below remain exact)"
+            % report["trace"]["dropped"]
+        )
     for kind, count in report["trace"]["kinds"].items():
         print("  %-32s %d" % (kind, count))
     for query in report["triggers"]:
@@ -167,6 +202,8 @@ def stats_main(argv: Optional[List[str]] = None) -> int:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print("wrote %s" % args.out)
+    if args.artifact:
+        _emit_artifact(args, sim, scope, profile=args.profile)
     return 0
 
 
@@ -182,16 +219,27 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
         help="JSONL output path (default %(default)s)",
     )
     args = parser.parse_args(argv)
+    args.prog_name = "trace"
     if args.list:
         print("\n".join(_workload_names()))
         return 0
-    _sim, scope = _scoped_run(args, profile=False)
-    count = scope.write_trace(args.out)
+    sim, scope = _scoped_run(args, profile=False)
+    # The footer makes drops visible to downstream consumers of the
+    # JSONL itself, not just readers of this stdout summary.
+    count = scope.write_trace(args.out, footer=True)
     summary = scope.tracer.summary()
     print(
-        "wrote %s: %d records (%d emitted, %d dropped)"
+        "wrote %s: %d records + summary footer (%d emitted, %d dropped)"
         % (args.out, count, summary["recorded"], summary["dropped"])
     )
+    if summary["dropped"]:
+        print(
+            "  WARNING: event ring overflowed; %d oldest events are "
+            "missing from the JSONL (the footer records the gap)"
+            % summary["dropped"]
+        )
     for kind, total in summary["kinds"].items():
         print("  %-32s %d" % (kind, total))
+    if args.artifact:
+        _emit_artifact(args, sim, scope, profile=False)
     return 0

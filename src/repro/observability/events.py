@@ -91,17 +91,37 @@ class EventTracer:
     def events(self) -> List[Event]:
         return list(self._ring)
 
-    def to_jsonl(self) -> str:
+    def footer(self) -> dict:
+        """The gap-detection summary record appended to JSONL output:
+        whole-run recorded/dropped counts and exact per-kind totals,
+        which survive ring overflow even when the events themselves
+        were dropped.  Target-deterministic, like every record."""
+        return {
+            "kind": "trace_summary",
+            "recorded": self.seq,
+            "retained": len(self._ring),
+            "dropped": self.dropped,
+            "kinds": dict(sorted(self.kind_counts.items())),
+        }
+
+    def to_jsonl(self, footer: bool = False) -> str:
         """Byte-reproducible JSONL: one sorted-key compact record per
-        line, trailing newline if nonempty."""
+        line, trailing newline if nonempty.  With *footer*, a final
+        ``trace_summary`` record carries the whole-run drop accounting
+        so consumers can detect ring-overflow gaps."""
         lines = [event.to_json() for event in self._ring]
+        if footer:
+            lines.append(
+                json.dumps(self.footer(), sort_keys=True,
+                           separators=(",", ":"))
+            )
         if not lines:
             return ""
         return "\n".join(lines) + "\n"
 
-    def write_jsonl(self, path: str) -> int:
+    def write_jsonl(self, path: str, footer: bool = False) -> int:
         """Write the ring to *path*; returns the number of records."""
-        text = self.to_jsonl()
+        text = self.to_jsonl(footer=footer)
         with open(path, "w") as fh:
             fh.write(text)
         return len(self._ring)

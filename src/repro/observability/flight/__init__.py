@@ -1,0 +1,62 @@
+"""FastFlight: persistent run artifacts and offline trace analytics.
+
+FastScope (PR 3) made a running simulator observable; FastFlight makes
+finished runs *durable and comparable*.  The paper's evaluation is
+post-run analysis -- attributing lost cycles to rollbacks, interrupts
+and trace-buffer starvation (section 6) -- and that analysis needs runs
+that survive the process that produced them:
+
+* :mod:`repro.observability.flight.artifact` -- content-addressed,
+  self-describing ``results/runs/<id>/`` directories holding the run
+  manifest, the final stats snapshot, the fabric window series, the
+  seam event trace and (optionally) the tick-time profile;
+* :mod:`repro.observability.flight.columns` -- a small columnar table
+  the offline queries run over (no external dependencies);
+* :mod:`repro.observability.flight.analytics` -- the offline query
+  engine: seam-cost attribution, per-window IPC/occupancy timelines,
+  collapsed-stack flame-graph export from TickProfiler samples;
+* :mod:`repro.observability.flight.regression` -- cross-run diffing
+  with noise bands, baseline gating against committed ``BENCH_*.json``
+  files, and event-stream bisection to the first diverging event when
+  two supposedly deterministic runs disagree.
+
+Exposed on the command line as ``python -m repro report``.
+"""
+
+from repro.observability.flight.analytics import (
+    events_table,
+    flame_stacks,
+    seam_attribution,
+    window_timeline,
+)
+from repro.observability.flight.artifact import (
+    RunArtifact,
+    emit_artifact,
+    list_artifacts,
+    load_artifact,
+)
+from repro.observability.flight.columns import ColumnTable
+from repro.observability.flight.regression import (
+    Divergence,
+    RegressionReport,
+    bisect_divergence,
+    compare_against_bench,
+    compare_runs,
+)
+
+__all__ = [
+    "ColumnTable",
+    "Divergence",
+    "RegressionReport",
+    "RunArtifact",
+    "bisect_divergence",
+    "compare_against_bench",
+    "compare_runs",
+    "emit_artifact",
+    "events_table",
+    "flame_stacks",
+    "list_artifacts",
+    "load_artifact",
+    "seam_attribution",
+    "window_timeline",
+]

@@ -101,6 +101,8 @@ class FastScope:
             out["profile"] = self.profiler.report()
         return out
 
-    def write_trace(self, path: str) -> int:
-        """Dump the event ring as JSONL; returns the record count."""
-        return self.tracer.write_jsonl(path)
+    def write_trace(self, path: str, footer: bool = False) -> int:
+        """Dump the event ring as JSONL; returns the record count.
+        With *footer*, append the ``trace_summary`` gap-detection
+        record (whole-run drop accounting)."""
+        return self.tracer.write_jsonl(path, footer=footer)
