@@ -61,6 +61,12 @@ def _report_main(argv: List[str]) -> int:
     return report_main(argv)
 
 
+def _fuzz_main(argv: List[str]) -> int:
+    from repro.fuzz.cli import main as fuzz_main
+
+    return fuzz_main(argv)
+
+
 # Every registered subcommand: name -> (description, entry point taking
 # the remaining argv).  The usage listing below is generated from this
 # table plus EXPERIMENTS, so a new subcommand cannot be forgotten there.
@@ -73,6 +79,8 @@ SUBCOMMANDS: Dict[str, Tuple[str, Callable[[List[str]], int]]] = {
     "trace": ("FM/TM seam event trace (JSONL)", _trace_main),
     "report": ("FastFlight artifact analytics & cross-run regression "
                "diagnosis", _report_main),
+    "fuzz": ("FastFuzz differential conformance fuzzing (FM/TM oracle "
+             "matrix)", _fuzz_main),
 }
 
 

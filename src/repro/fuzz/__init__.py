@@ -1,0 +1,52 @@
+"""FastFuzz: differential conformance fuzzing for FM/TM equivalence.
+
+FAST's central correctness claim (paper section 2/3) is that the
+speculative functional model plus rollback is *observationally
+equivalent* to in-order execution: the timing model's cycle counts must
+be identical whether instructions arrive via the lock-step reference or
+the trace buffer, under any mispredict/interrupt interleaving.  The
+hand-written workloads exercise a sliver of that state space; FastFuzz
+walks the rest of it:
+
+* :mod:`repro.fuzz.generator` -- a seeded, deterministic FastISA
+  program generator constrained to terminate (bounded loops, valid
+  memory ranges, software-TLB fills, interrupt-arming instructions),
+* :mod:`repro.fuzz.oracle` -- the differential harness running each
+  program across the oracle matrix {compiled, legacy} engine x
+  {lockstep, trace-buffer} feed x {instruction, cycle} interrupt mode,
+  asserting bit-identical ``TimingStats`` and final architectural state
+  (and matching the FM-alone golden run),
+* :mod:`repro.fuzz.shrinker` -- delta-debugging minimization of a
+  diverging program to a smallest failing case,
+* :mod:`repro.fuzz.corpus` -- replayable repro files under
+  ``tests/corpus/``, committed like regression tests,
+* :mod:`repro.fuzz.cli` -- ``python -m repro fuzz``.
+"""
+
+from repro.fuzz.generator import FuzzProgram, GeneratorConfig, generate_program
+from repro.fuzz.oracle import (
+    ORACLE_CELLS,
+    Divergence,
+    MatrixResult,
+    OracleCell,
+    OracleConfig,
+    run_matrix,
+)
+from repro.fuzz.shrinker import shrink
+from repro.fuzz.corpus import iter_corpus, load_repro, write_repro
+
+__all__ = [
+    "FuzzProgram",
+    "GeneratorConfig",
+    "generate_program",
+    "ORACLE_CELLS",
+    "Divergence",
+    "MatrixResult",
+    "OracleCell",
+    "OracleConfig",
+    "run_matrix",
+    "shrink",
+    "iter_corpus",
+    "load_repro",
+    "write_repro",
+]

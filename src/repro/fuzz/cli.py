@@ -1,0 +1,188 @@
+"""``python -m repro fuzz``: the differential conformance fuzzer.
+
+Generates seeded programs, runs each across the oracle matrix
+(:mod:`repro.fuzz.oracle`), and on any divergence shrinks the program
+to a minimal failing case, writes a replayable repro into the corpus
+directory and (when FastFlight is enabled) records a run artifact for
+``python -m repro report``.
+
+The run is deterministic: program *i* of a campaign uses seed
+``base_seed + i``, all randomness flows through ``random.Random``, and
+the summary carries no timestamps -- the same invocation produces
+byte-identical output, so CI can diff fuzz logs across machines.
+
+Exit status: 0 when every program agreed, 1 when any divergence was
+found (the repro paths are printed), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.fuzz.generator import FuzzProgram, GeneratorConfig, generate_program
+from repro.fuzz.oracle import MatrixResult, OracleConfig, run_matrix
+from repro.fuzz.shrinker import instruction_count, shrink
+
+DEFAULT_CORPUS = "tests/corpus"
+
+# The smoke preset: small programs, a fixed seed, tight budgets -- sized
+# for the CI fuzz-smoke job (~tens of seconds), still covering every
+# atom kind across the campaign.
+SMOKE_SEED = 20070601  # FAST appeared at MICRO-40; a fixed, meaningless seed
+SMOKE_ITERATIONS = 40
+SMOKE_GENERATOR = GeneratorConfig(min_atoms=2, max_atoms=5)
+SMOKE_ORACLE = OracleConfig(max_cycles=400_000, max_instructions=120_000)
+
+
+def _divergence_lines(outcome: MatrixResult) -> List[str]:
+    return [str(d) for d in outcome.divergences]
+
+
+def _check(program: FuzzProgram, oracle: OracleConfig) -> MatrixResult:
+    return run_matrix(program.source(), program.base, seed=program.seed,
+                      config=oracle)
+
+
+def _handle_divergence(
+    program: FuzzProgram,
+    outcome: MatrixResult,
+    oracle: OracleConfig,
+    corpus_dir: str,
+    shrink_evals: int,
+) -> str:
+    """Shrink, write the repro, emit a flight artifact; returns the path."""
+    from repro.fuzz.corpus import write_repro
+    from repro.isa.assembler import assemble
+    from repro.isa.disassembler import disassemble_listing
+
+    def is_failing(candidate: FuzzProgram) -> bool:
+        return not _check(candidate, oracle).ok
+
+    small, sstats = shrink(program, is_failing, max_evals=shrink_evals)
+    final = _check(small, oracle)
+    notes = _divergence_lines(final)
+    assembled = assemble(small.source(), base=small.base)
+    listing = disassemble_listing(assembled.data, base=small.base)
+    path = write_repro(
+        corpus_dir,
+        small.source(),
+        small.base,
+        small.seed,
+        divergences=notes,
+        listing=listing,
+    )
+    print("  shrunk %d -> %d atoms (%d instructions, %d evaluations)"
+          % (sstats.atoms_before, sstats.atoms_after,
+             assembled.instruction_count, sstats.evaluations))
+    for note in notes:
+        print("  diverged: %s" % note)
+    print("  repro written: %s" % path)
+    _emit_flight(small, final, str(path))
+    return str(path)
+
+
+def _emit_flight(program: FuzzProgram, outcome: MatrixResult,
+                 repro_path: str) -> None:
+    from repro.experiments.harness import flight_enabled, flight_root
+
+    if not flight_enabled():
+        return
+    from repro.observability.flight.artifact import emit_artifact
+
+    artifact = emit_artifact(
+        experiment="fuzz-divergence",
+        workload="seed-%d" % program.seed,
+        config={
+            "seed": program.seed,
+            "base": program.base,
+            "atoms": [atom.kind for atom in program.atoms],
+        },
+        output=program.source(),
+        extra={
+            "divergences": _divergence_lines(outcome),
+            "cell_status": {label: cell.status
+                            for label, cell in outcome.cells.items()},
+            "repro_path": repro_path,
+        },
+        root=flight_root(),
+    )
+    print("  flight artifact: %s" % artifact.run_id)
+
+
+def fuzz_campaign(
+    base_seed: int,
+    iterations: int,
+    generator: Optional[GeneratorConfig] = None,
+    oracle: Optional[OracleConfig] = None,
+    corpus_dir: str = DEFAULT_CORPUS,
+    shrink_evals: int = 200,
+) -> int:
+    """Run the campaign; returns the number of diverging programs."""
+    gen_cfg = generator or GeneratorConfig()
+    oracle_cfg = oracle or OracleConfig()
+    failures = 0
+    for index in range(iterations):
+        seed = base_seed + index
+        program = generate_program(seed, gen_cfg)
+        outcome = _check(program, oracle_cfg)
+        kinds = ",".join(atom.kind for atom in program.atoms[1:])
+        status = "ok" if outcome.ok else "DIVERGED"
+        print("[%3d/%d] seed=%d atoms=%d (%s) golden=%s %s"
+              % (index + 1, iterations, seed, len(program.atoms),
+                 kinds, outcome.golden_status, status))
+        if not outcome.ok:
+            failures += 1
+            _handle_divergence(program, outcome, oracle_cfg, corpus_dir,
+                               shrink_evals)
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="differential conformance fuzzing across the "
+                    "engine/feed/interrupt oracle matrix",
+    )
+    parser.add_argument("--seed", type=int, default=1,
+                        help="base seed; program i uses seed+i (default 1)")
+    parser.add_argument("--iterations", type=int, default=50,
+                        help="number of programs to generate (default 50)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI preset: fixed seed, %d small programs, "
+                             "tight budgets" % SMOKE_ITERATIONS)
+    parser.add_argument("--corpus", default=DEFAULT_CORPUS,
+                        help="directory for shrunk repros "
+                             "(default %s)" % DEFAULT_CORPUS)
+    parser.add_argument("--max-atoms", type=int, default=None,
+                        help="override the per-program atom budget")
+    parser.add_argument("--shrink-evals", type=int, default=200,
+                        help="oracle evaluations the shrinker may spend "
+                             "per divergence (default 200)")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    if args.smoke:
+        base_seed, iterations = SMOKE_SEED, SMOKE_ITERATIONS
+        generator, oracle = SMOKE_GENERATOR, SMOKE_ORACLE
+    else:
+        base_seed, iterations = args.seed, args.iterations
+        generator, oracle = GeneratorConfig(), OracleConfig()
+    if args.max_atoms is not None:
+        generator = GeneratorConfig(
+            min_atoms=min(generator.min_atoms, args.max_atoms),
+            max_atoms=args.max_atoms,
+        )
+
+    failures = fuzz_campaign(
+        base_seed,
+        iterations,
+        generator=generator,
+        oracle=oracle,
+        corpus_dir=args.corpus,
+        shrink_evals=args.shrink_evals,
+    )
+    print("fuzz: %d/%d programs diverged" % (failures, iterations))
+    return 1 if failures else 0

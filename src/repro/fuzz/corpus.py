@@ -1,0 +1,105 @@
+"""The regression corpus: shrunk diverging programs as ``.s`` files.
+
+Every divergence the fuzzer finds is minimized and written into
+``tests/corpus/`` as a plain FastISA assembly file.  The file is
+self-contained and directly assemblable -- all metadata (seed, load
+base, what diverged, a disassembly of the built image) lives in ``;``
+comments, so a corpus entry can be read, triaged, edited and replayed
+without any fuzzer machinery.  ``tests/test_fuzz_corpus.py`` replays
+each file through the full oracle matrix on every test run, which turns
+yesterday's fuzz finding into today's regression test.
+
+File names are content-addressed (``repro-<sha256[:12]>.s``): re-finding
+a known divergence is idempotent, and two different minimal programs
+never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+_META_RE = re.compile(r"^;\s*fastfuzz-([a-z-]+):\s*(.+?)\s*$")
+
+
+@dataclass
+class ReproFile:
+    """One parsed corpus entry."""
+
+    path: Optional[Path]
+    source: str
+    seed: int = 0
+    base: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.path.name if self.path is not None else "<unsaved>"
+
+
+def _digest(source: str, base: int) -> str:
+    blob = ("%#x\n" % base).encode() + source.encode()
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def write_repro(
+    directory: "Path | str",
+    source: str,
+    base: int,
+    seed: int,
+    divergences: Sequence[str] = (),
+    listing: str = "",
+) -> Path:
+    """Write a repro file and return its (content-addressed) path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / ("repro-%s.s" % _digest(source, base))
+    lines = [
+        "; FastFuzz minimized repro -- replayed by tests/test_fuzz_corpus.py",
+        "; fastfuzz-seed: %d" % seed,
+        "; fastfuzz-base: %#x" % base,
+    ]
+    for text in divergences:
+        for part in str(text).splitlines():
+            lines.append("; fastfuzz-diverged: %s" % part)
+    if listing:
+        lines.append(";")
+        lines.append("; disassembly of the assembled image:")
+        for part in listing.splitlines():
+            lines.append(";   " + part)
+    lines.append("")
+    lines.append(source.rstrip("\n"))
+    lines.append("")
+    path.write_text("\n".join(lines))
+    return path
+
+
+def load_repro(path: "Path | str") -> ReproFile:
+    """Parse a corpus file back into source + metadata."""
+    path = Path(path)
+    text = path.read_text()
+    repro = ReproFile(path=path, source=text)
+    for line in text.splitlines():
+        match = _META_RE.match(line)
+        if not match:
+            continue
+        key, value = match.group(1), match.group(2)
+        if key == "seed":
+            repro.seed = int(value, 0)
+        elif key == "base":
+            repro.base = int(value, 0)
+        elif key == "diverged":
+            repro.notes.append(value)
+    return repro
+
+
+def iter_corpus(directory: "Path | str") -> Iterator[ReproFile]:
+    """Yield every repro in *directory*, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("repro-*.s")):
+        yield load_repro(path)

@@ -1,0 +1,299 @@
+"""The differential oracle: one program, eight simulators, one answer.
+
+For each generated program the harness runs the full oracle matrix
+
+    {compiled, legacy} engine x {lockstep, trace-buffer} feed
+                              x {instruction, cycle} interrupt mode
+
+and asserts that within each interrupt mode all four cells report
+bit-identical ``TimingStats``, console output and final architectural
+state -- the FAST invariant (paper section 2/3): speculation + rollback
+must be observationally equivalent to in-order execution, and the
+compiled tick schedule must be cycle-for-cycle the legacy dispatch.
+Instruction-mode cells are additionally checked against a *golden* run
+of the functional model alone (no timing model at all): coupling a
+timing model must not change architecture.
+
+The two interrupt modes are separate columns, not comparable to each
+other: instruction-mode timers tick on committed instructions,
+cycle-mode timers fire on target cycles, so they deliver interrupts at
+different architectural points by design.
+
+A cell that deadlocks, wedges or raises is itself a result (its status
+string), so "one coupling finishes, the other deadlocks" shows up as an
+ordinary divergence instead of crashing the fuzzer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines.lockstep import LockStepFeed
+from repro.fast.interrupts import CycleInterruptCoordinator
+from repro.fast.trace_buffer import TraceBufferFeed
+from repro.functional.model import FunctionalModel
+from repro.isa.program import ProgramImage
+from repro.system.bus import build_standard_system
+from repro.timing.core import DeadlockError, TimingConfig, TimingModel
+
+# Memory windows digested into the architectural fingerprint.  They
+# cover everything a generated program can store to (scratch window,
+# timer-fire counter, user-mode data pages); digests keep the
+# fingerprint small enough to diff and to embed in repro files.
+_DIGEST_WINDOWS = (
+    ("scratch", 0x8FF0, 0x9800),
+    ("user", 0x20000, 0x2A000),
+)
+
+
+@dataclass(frozen=True)
+class OracleCell:
+    """One point of the oracle matrix."""
+
+    engine: str  # "compiled" | "legacy"
+    feed: str  # "lockstep" | "tb"
+    irq: str  # "instr" | "cycle"
+
+    @property
+    def label(self) -> str:
+        return "%s/%s/%s" % (self.engine, self.feed, self.irq)
+
+
+ORACLE_CELLS: Tuple[OracleCell, ...] = tuple(
+    OracleCell(engine, feed, irq)
+    for irq in ("instr", "cycle")
+    for engine in ("legacy", "compiled")
+    for feed in ("lockstep", "tb")
+)
+
+# Per interrupt mode, the cell every other cell is diffed against.  The
+# legacy engine driving the lock-step feed is the simplest simulator in
+# the matrix -- the closest thing to ground truth.
+_REFERENCE = {
+    "instr": OracleCell("legacy", "lockstep", "instr"),
+    "cycle": OracleCell("legacy", "lockstep", "cycle"),
+}
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Budgets and hooks for one matrix evaluation."""
+
+    max_cycles: int = 3_000_000
+    max_instructions: int = 500_000
+    memory_size: int = 1 << 20
+    predictor: str = "gshare"
+    cycle_irq_interval: int = 900
+    # Test hook: called as ``mutator(fm, tm, cell)`` after each matrix
+    # cell is wired but before it runs (never for the golden run), so
+    # tests can inject a semantics bug into selected cells and check the
+    # fuzzer catches it.
+    mutator: Optional[
+        Callable[[FunctionalModel, Optional[TimingModel], OracleCell], None]
+    ] = None
+
+
+@dataclass
+class CellResult:
+    """What one simulator reported for the program."""
+
+    label: str
+    status: str  # "ok" | "deadlock" | "wedged" | "error:<type>"
+    stats: Dict[str, int] = field(default_factory=dict)
+    arch: Dict[str, object] = field(default_factory=dict)
+
+    def key(self) -> Tuple[str, tuple, tuple]:
+        return (
+            self.status,
+            tuple(sorted(self.stats.items())),
+            tuple(sorted((k, repr(v)) for k, v in self.arch.items())),
+        )
+
+
+@dataclass
+class Divergence:
+    """Two cells (or a cell and the golden run) disagree."""
+
+    kind: str  # "stats" | "arch" | "status" | "golden"
+    reference: str
+    cell: str
+    fields: Tuple[str, ...]
+    detail: str
+
+    def __str__(self) -> str:
+        return "%s: %s vs %s on %s (%s)" % (
+            self.kind, self.cell, self.reference,
+            ", ".join(self.fields) or "-", self.detail,
+        )
+
+
+@dataclass
+class MatrixResult:
+    """Outcome of running one program across the whole matrix."""
+
+    seed: int
+    golden: Dict[str, object]
+    golden_status: str
+    cells: Dict[str, CellResult]
+    divergences: List[Divergence]
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def _arch_fingerprint(fm: FunctionalModel, console_text: str) -> Dict[str, object]:
+    state = fm.state
+    digests = {}
+    for name, lo, hi in _DIGEST_WINDOWS:
+        blob = fm.memory.read_blob(lo, hi - lo)
+        digests["mem_" + name] = hashlib.sha256(blob).hexdigest()[:16]
+    return {
+        "regs": tuple(state.regs),
+        "fregs": tuple(state.fregs),
+        "flags": state.flags,
+        "pc": state.pc,
+        "srs": tuple(state.srs),
+        "halted": state.halted,
+        "shutdown": fm.bus.shutdown_requested,
+        "shutdown_code": fm.bus.shutdown_code,
+        "in_count": fm.in_count,
+        "console": console_text,
+        **digests,
+    }
+
+
+def _build(source: str, base: int, config: OracleConfig):
+    memory, bus, _intctrl, _timer, console, _disk = build_standard_system(
+        memory_size=config.memory_size
+    )
+    fm = FunctionalModel(memory=memory, bus=bus)
+    fm.load(ProgramImage.from_assembly("fuzz", source, base=base,
+                                       entry="main"))
+    return fm, console
+
+
+def run_golden(source: str, base: int,
+               config: OracleConfig) -> Tuple[Dict[str, object], str]:
+    """The functional model alone: architectural ground truth."""
+    fm, console = _build(source, base, config)
+    status = "ok"
+    try:
+        fm.run(max_instructions=config.max_instructions)
+        if not fm.bus.shutdown_requested:
+            status = "wedged"
+    except Exception as exc:  # pragma: no cover - defensive
+        status = "error:%s" % type(exc).__name__
+    return _arch_fingerprint(fm, console.text()), status
+
+
+def run_cell(source: str, base: int, cell: OracleCell,
+             config: OracleConfig) -> CellResult:
+    """Run one simulator configuration over the program."""
+    fm, console = _build(source, base, config)
+    feed_cls = LockStepFeed if cell.feed == "lockstep" else TraceBufferFeed
+    feed = feed_cls(fm)
+    tm = TimingModel(
+        feed,
+        microcode=fm.microcode,
+        config=TimingConfig(engine=cell.engine, predictor=config.predictor),
+    )
+    if cell.irq == "cycle":
+        CycleInterruptCoordinator(tm, fm,
+                                  interval_cycles=config.cycle_irq_interval)
+    if config.mutator is not None:
+        config.mutator(fm, tm, cell)
+    status = "ok"
+    stats_dict: Dict[str, int] = {}
+    try:
+        stats = tm.run(max_cycles=config.max_cycles)
+        stats_dict = dataclasses.asdict(stats)
+        if not fm.bus.shutdown_requested:
+            status = "wedged"
+    except DeadlockError:
+        status = "deadlock"
+    except Exception as exc:
+        status = "error:%s" % type(exc).__name__
+    return CellResult(
+        label=cell.label,
+        status=status,
+        stats=stats_dict,
+        arch=_arch_fingerprint(fm, console.text()),
+    )
+
+
+def _diff_dicts(a: Dict, b: Dict) -> Tuple[str, ...]:
+    return tuple(sorted(k for k in a.keys() | b.keys() if a.get(k) != b.get(k)))
+
+
+def _compare(reference: CellResult, cell: CellResult) -> List[Divergence]:
+    out: List[Divergence] = []
+    if reference.status != cell.status:
+        out.append(Divergence(
+            "status", reference.label, cell.label, (),
+            "%s vs %s" % (cell.status, reference.status),
+        ))
+        return out  # stats/arch of a failed run are not meaningful
+    fields = _diff_dicts(reference.stats, cell.stats)
+    if fields:
+        detail = "; ".join(
+            "%s=%r vs %r" % (f, cell.stats.get(f), reference.stats.get(f))
+            for f in fields[:4]
+        )
+        out.append(Divergence("stats", reference.label, cell.label,
+                              fields, detail))
+    fields = _diff_dicts(reference.arch, cell.arch)
+    if fields:
+        detail = "; ".join(
+            "%s=%r vs %r" % (f, cell.arch.get(f), reference.arch.get(f))
+            for f in fields[:4]
+        )
+        out.append(Divergence("arch", reference.label, cell.label,
+                              fields, detail))
+    return out
+
+
+def run_matrix(source: str, base: int, seed: int = 0,
+               config: Optional[OracleConfig] = None,
+               cells: Tuple[OracleCell, ...] = ORACLE_CELLS) -> MatrixResult:
+    """Run *source* across the oracle matrix and collect divergences."""
+    cfg = config or OracleConfig()
+    golden, golden_status = run_golden(source, base, cfg)
+    results = {cell.label: run_cell(source, base, cell, cfg)
+               for cell in cells}
+    divergences: List[Divergence] = []
+    for irq in ("instr", "cycle"):
+        ref_label = _REFERENCE[irq].label
+        reference = results.get(ref_label)
+        if reference is None:
+            continue
+        for cell in cells:
+            if cell.irq != irq or cell.label == ref_label:
+                continue
+            divergences.extend(_compare(reference, results[cell.label]))
+        # Instruction-mode couplings must also reproduce the golden
+        # (FM-alone) architecture: attaching a timing model cannot
+        # change what the program computed.
+        if irq == "instr" and reference.status == "ok" and golden_status == "ok":
+            fields = _diff_dicts(golden, reference.arch)
+            if fields:
+                detail = "; ".join(
+                    "%s=%r vs %r" % (f, reference.arch.get(f), golden.get(f))
+                    for f in fields[:4]
+                )
+                divergences.append(Divergence(
+                    "golden", "fm-alone", ref_label, fields, detail))
+        elif irq == "instr" and reference.status != golden_status:
+            divergences.append(Divergence(
+                "golden", "fm-alone", ref_label, (),
+                "%s vs %s" % (reference.status, golden_status)))
+    return MatrixResult(
+        seed=seed,
+        golden=golden,
+        golden_status=golden_status,
+        cells=results,
+        divergences=divergences,
+    )

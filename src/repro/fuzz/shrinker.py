@@ -1,0 +1,149 @@
+"""Delta-debugging minimization of a diverging fuzz program.
+
+Two passes, both driven by a caller-supplied ``is_failing`` predicate
+(typically "the oracle matrix still diverges"):
+
+1. *ddmin over atoms* -- the classic Zeller/Hildebrandt algorithm on the
+   program's atom list.  Atoms are self-contained by construction
+   (:mod:`repro.fuzz.generator`), so any subset still assembles and
+   still terminates; the scaffold (handler, user code, epilogue) follows
+   the surviving atoms' feature flags automatically.
+2. *line-level trim* -- within each surviving atom, drop one line at a
+   time.  A candidate must still assemble (labels may be referenced by
+   surviving lines) and still fail.
+
+Every candidate evaluation re-runs the full oracle matrix, so shrinking
+is bounded by ``max_evals`` rather than guaranteed minimal; in practice
+a diverging program collapses to one or two atoms within a few dozen
+evaluations.  The predicate is pure (same program, same verdict), so
+the whole shrink is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.fuzz.generator import Atom, FuzzProgram
+
+
+@dataclass
+class ShrinkStats:
+    """How much work the shrink did (reported by the CLI)."""
+
+    evaluations: int = 0
+    atoms_before: int = 0
+    atoms_after: int = 0
+    lines_removed: int = 0
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _assembles(program: FuzzProgram) -> bool:
+    try:
+        assemble(program.source(), base=program.base)
+    except AssemblerError:
+        return False
+    return True
+
+
+def _ddmin_atoms(
+    program: FuzzProgram,
+    is_failing: Callable[[FuzzProgram], bool],
+    budget: _Budget,
+) -> FuzzProgram:
+    atoms: List[Atom] = list(program.atoms)
+    granularity = 2
+    while len(atoms) >= 2:
+        chunk = max(1, len(atoms) // granularity)
+        reduced = False
+        start = 0
+        while start < len(atoms):
+            candidate_atoms = atoms[:start] + atoms[start + chunk:]
+            candidate = program.replace(candidate_atoms)
+            if candidate_atoms and budget.spend() and is_failing(candidate):
+                atoms = candidate_atoms
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # restart the sweep over the reduced list
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(atoms) or budget.used >= budget.limit:
+                break
+            granularity = min(len(atoms), granularity * 2)
+    return program.replace(atoms)
+
+
+def _trim_lines(
+    program: FuzzProgram,
+    is_failing: Callable[[FuzzProgram], bool],
+    budget: _Budget,
+    stats: ShrinkStats,
+) -> FuzzProgram:
+    atoms = list(program.atoms)
+    for index in range(len(atoms)):
+        lines: List[str] = list(atoms[index].lines)
+        pos = 0
+        while pos < len(lines) and budget.used < budget.limit:
+            candidate_lines = lines[:pos] + lines[pos + 1:]
+            if not candidate_lines:
+                break  # removing the whole atom was ddmin's job
+            trial_atom = Atom(
+                kind=atoms[index].kind,
+                lines=tuple(candidate_lines),
+                needs_handler=atoms[index].needs_handler,
+                needs_stack=atoms[index].needs_stack,
+                needs_user=atoms[index].needs_user,
+                arms_timer=atoms[index].arms_timer,
+            )
+            trial_atoms = atoms[:index] + [trial_atom] + atoms[index + 1:]
+            candidate = program.replace(trial_atoms)
+            if (
+                _assembles(candidate)
+                and budget.spend()
+                and is_failing(candidate)
+            ):
+                lines = candidate_lines
+                atoms = trial_atoms
+                stats.lines_removed += 1
+            else:
+                pos += 1
+    return program.replace(atoms)
+
+
+def shrink(
+    program: FuzzProgram,
+    is_failing: Callable[[FuzzProgram], bool],
+    max_evals: int = 200,
+) -> "tuple[FuzzProgram, ShrinkStats]":
+    """Minimize *program* while ``is_failing`` stays true.
+
+    Returns ``(smaller_program, stats)``.  *program* must already fail;
+    the result is guaranteed to fail too (the original is returned
+    unchanged if nothing smaller does).
+    """
+    stats = ShrinkStats(atoms_before=len(program.atoms))
+    budget = _Budget(max_evals)
+    current = _ddmin_atoms(program, is_failing, budget)
+    current = _trim_lines(current, is_failing, budget, stats)
+    stats.evaluations = budget.used
+    stats.atoms_after = len(current.atoms)
+    return current, stats
+
+
+def instruction_count(program: FuzzProgram) -> int:
+    """Assembled instruction count of *program* (shrink quality metric)."""
+    return assemble(program.source(), base=program.base).instruction_count

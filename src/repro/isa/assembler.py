@@ -74,6 +74,9 @@ class AssembledProgram:
     data: bytes
     base: int
     symbols: Dict[str, int] = field(default_factory=dict)
+    # Number of instructions assembled (data directives excluded).  The
+    # FastFuzz shrinker minimizes against this measure.
+    instruction_count: int = 0
 
     @property
     def end(self) -> int:
@@ -337,6 +340,7 @@ class Assembler:
     def _finish(self) -> AssembledProgram:
         size = self._pc - self.base
         image = bytearray(size)
+        count = 0
         for item in self._data:
             off = item.addr - self.base
             image[off : off + len(item.data)] = item.data
@@ -361,7 +365,10 @@ class Assembler:
             blob = encode(instr)
             off = pending.addr - self.base
             image[off : off + len(blob)] = blob
-        return AssembledProgram(bytes(image), self.base, dict(self._symbols))
+            count += 1
+        return AssembledProgram(
+            bytes(image), self.base, dict(self._symbols), count
+        )
 
     def _resolve(self, label: str, line_no: int) -> int:
         if label not in self._symbols:

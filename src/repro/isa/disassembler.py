@@ -82,3 +82,28 @@ def disassemble(data: bytes, base: int = 0) -> Iterator[Tuple[int, Instr, str]]:
         addr = base + offset
         yield addr, instr, format_instr(instr, pc=addr)
         offset += length
+
+
+def disassemble_listing(data: bytes, base: int = 0,
+                        skip_nop_runs: bool = True) -> str:
+    """A human-readable ``addr: text`` listing of *data*.
+
+    FastFuzz repro files embed this next to the assembly source so a
+    corpus entry can be triaged without re-running the tools.  Long
+    all-zero gaps (``.org`` padding decodes as NOP runs) are elided to
+    one marker line when *skip_nop_runs* is set.
+    """
+    lines = []
+    nops = 0
+    for addr, instr, text in disassemble(data, base=base):
+        if skip_nop_runs and instr.spec.name == "NOP" and not instr.rep:
+            nops += 1
+            continue
+        if nops:
+            lines.append("%#06x: ... %d NOP bytes ..." % (addr - nops, nops))
+            nops = 0
+        lines.append("%#06x: %s" % (addr, text))
+    if nops:
+        lines.append("%#06x: ... %d NOP bytes ..." % (base + len(data) - nops,
+                                                      nops))
+    return "\n".join(lines)

@@ -178,6 +178,21 @@ def _build_table() -> Dict[str, OpSpec]:
 OPCODES: Dict[str, OpSpec] = _build_table()
 OPCODES_BY_VALUE: Dict[int, OpSpec] = {s.value: s for s in OPCODES.values()}
 
+# Opcodes grouped by instruction class, in opcode-value order.  Tools
+# that enumerate the ISA -- the FastFuzz program generator, coverage
+# reports -- key off this table so a newly added opcode is picked up
+# automatically instead of silently escaping generation.
+OPCODES_BY_CLASS: Dict[str, tuple] = {}
+for _spec in sorted(OPCODES.values(), key=lambda s: s.value):
+    OPCODES_BY_CLASS.setdefault(_spec.iclass, ())
+    OPCODES_BY_CLASS[_spec.iclass] += (_spec,)
+del _spec
+
+
+def by_class(iclass: str) -> tuple:
+    """All opcodes of one instruction class, in opcode-value order."""
+    return OPCODES_BY_CLASS.get(iclass, ())
+
 # Branch condition -> (flag mask the condition reads, helper).  Used by
 # both the functional model and the disassembler.
 CONDITIONAL_BRANCHES = frozenset(

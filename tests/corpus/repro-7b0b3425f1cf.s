@@ -1,0 +1,24 @@
+; FastFuzz minimized repro -- replayed by tests/test_fuzz_corpus.py
+; fastfuzz-seed: 243
+; fastfuzz-base: 0x1000
+; fastfuzz-diverged: (injected fault: CMP flags corruption in trace-buffer feeds)
+; fastfuzz-diverged: arch: legacy/tb/instr vs legacy/lockstep/instr on flags (flags=7 vs 6)
+; fastfuzz-diverged: arch: compiled/tb/instr vs legacy/lockstep/instr on flags (flags=7 vs 6)
+; fastfuzz-diverged: arch: legacy/tb/cycle vs legacy/lockstep/cycle on flags (flags=7 vs 6)
+; fastfuzz-diverged: arch: compiled/tb/cycle vs legacy/lockstep/cycle on flags (flags=7 vs 6)
+;
+; disassembly of the assembled image:
+;   0x1000: CMPI R5, 4498
+;   0x1006: MOVI R1, 0
+;   0x100c: OUT 0x40, R1
+;   0x1010: HALT
+
+; fastfuzz program seed=243
+.org 0x1000
+main:
+; atom 0: flow
+    CMPI R5, 4498
+exit:
+    MOVI R1, 0
+    OUT 0x40, R1
+    HALT

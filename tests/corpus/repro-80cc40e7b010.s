@@ -1,0 +1,24 @@
+; FastFuzz minimized repro -- replayed by tests/test_fuzz_corpus.py
+; fastfuzz-seed: 60
+; fastfuzz-base: 0x1000
+; fastfuzz-diverged: (injected fault: ADD result bit-flip in the compiled engine)
+; fastfuzz-diverged: arch: compiled/lockstep/instr vs legacy/lockstep/instr on regs (regs=(0, 0, 28701, 0, 0, 0, 0, 0) vs (0, 0, 28700, 0, 0, 0, 0, 0))
+; fastfuzz-diverged: arch: compiled/tb/instr vs legacy/lockstep/instr on regs (regs=(0, 0, 28701, 0, 0, 0, 0, 0) vs (0, 0, 28700, 0, 0, 0, 0, 0))
+; fastfuzz-diverged: arch: compiled/lockstep/cycle vs legacy/lockstep/cycle on regs (regs=(0, 0, 28701, 0, 0, 0, 0, 0) vs (0, 0, 28700, 0, 0, 0, 0, 0))
+; fastfuzz-diverged: arch: compiled/tb/cycle vs legacy/lockstep/cycle on regs (regs=(0, 0, 28701, 0, 0, 0, 0, 0) vs (0, 0, 28700, 0, 0, 0, 0, 0))
+;
+; disassembly of the assembled image:
+;   0x1000: ADDI R2, 28700
+;   0x1006: MOVI R1, 0
+;   0x100c: OUT 0x40, R1
+;   0x1010: HALT
+
+; fastfuzz program seed=60
+.org 0x1000
+main:
+; atom 0: alu
+    ADDI R2, 28700
+exit:
+    MOVI R1, 0
+    OUT 0x40, R1
+    HALT

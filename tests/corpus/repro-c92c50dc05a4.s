@@ -1,0 +1,22 @@
+; FastFuzz minimized repro -- replayed by tests/test_fuzz_corpus.py
+; fastfuzz-seed: 182
+; fastfuzz-base: 0x1000
+; fastfuzz-diverged: (injected fault: SUB result bit-flip in compiled trace-buffer cells)
+; fastfuzz-diverged: arch: compiled/tb/instr vs legacy/lockstep/instr on regs (regs=(0, 0, 0, 0, 0, 4294965312, 0, 0) vs (0, 0, 0, 0, 0, 4294965313, 0, 0))
+; fastfuzz-diverged: arch: compiled/tb/cycle vs legacy/lockstep/cycle on regs (regs=(0, 0, 0, 0, 0, 4294965312, 0, 0) vs (0, 0, 0, 0, 0, 4294965313, 0, 0))
+;
+; disassembly of the assembled image:
+;   0x1000: SUBI R5, 1983
+;   0x1006: MOVI R1, 0
+;   0x100c: OUT 0x40, R1
+;   0x1010: HALT
+
+; fastfuzz program seed=182
+.org 0x1000
+main:
+; atom 0: alu
+    SUBI R5, 1983
+exit:
+    MOVI R1, 0
+    OUT 0x40, R1
+    HALT

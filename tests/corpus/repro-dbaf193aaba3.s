@@ -1,0 +1,24 @@
+; FastFuzz minimized repro -- replayed by tests/test_fuzz_corpus.py
+; fastfuzz-seed: 300
+; fastfuzz-base: 0x1000
+; fastfuzz-diverged: (injected fault: OUT port value bit-flip in trace-buffer feeds)
+; fastfuzz-diverged: arch: legacy/tb/instr vs legacy/lockstep/instr on shutdown_code (shutdown_code=1 vs 0)
+; fastfuzz-diverged: arch: compiled/tb/instr vs legacy/lockstep/instr on shutdown_code (shutdown_code=1 vs 0)
+; fastfuzz-diverged: arch: legacy/tb/cycle vs legacy/lockstep/cycle on shutdown_code (shutdown_code=1 vs 0)
+; fastfuzz-diverged: arch: compiled/tb/cycle vs legacy/lockstep/cycle on shutdown_code (shutdown_code=1 vs 0)
+;
+; disassembly of the assembled image:
+;   0x1000: CMPI R2, 51752
+;   0x1006: MOVI R1, 0
+;   0x100c: OUT 0x40, R1
+;   0x1010: HALT
+
+; fastfuzz program seed=300
+.org 0x1000
+main:
+; atom 0: alu
+    CMPI R2, 51752
+exit:
+    MOVI R1, 0
+    OUT 0x40, R1
+    HALT

@@ -1,0 +1,22 @@
+; FastFuzz minimized repro -- replayed by tests/test_fuzz_corpus.py
+; fastfuzz-seed: 123
+; fastfuzz-base: 0x1000
+; fastfuzz-diverged: (injected fault: INC result bit-flip in cycle-mode trace-buffer cells)
+; fastfuzz-diverged: arch: legacy/tb/cycle vs legacy/lockstep/cycle on regs (regs=(0, 0, 0, 0, 0, 0, 0, 0) vs (0, 0, 0, 1, 0, 0, 0, 0))
+; fastfuzz-diverged: arch: compiled/tb/cycle vs legacy/lockstep/cycle on regs (regs=(0, 0, 0, 0, 0, 0, 0, 0) vs (0, 0, 0, 1, 0, 0, 0, 0))
+;
+; disassembly of the assembled image:
+;   0x1000: INC R3
+;   0x1002: MOVI R1, 0
+;   0x1008: OUT 0x40, R1
+;   0x100c: HALT
+
+; fastfuzz program seed=123
+.org 0x1000
+main:
+; atom 0: alu
+    INC R3
+exit:
+    MOVI R1, 0
+    OUT 0x40, R1
+    HALT

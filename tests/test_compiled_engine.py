@@ -15,12 +15,9 @@ from hypothesis import given, settings, strategies as st
 from repro.analysis.timing_rules import lint_timing_graph
 from repro.baselines.lockstep import LockStepFeed
 from repro.baselines.monolithic import MonolithicSimulator
-from repro.fast.interrupts import CycleInterruptCoordinator
 from repro.fast.trace_buffer import TraceBufferFeed
-from repro.functional.model import FunctionalModel
-from repro.kernel import KernelConfig, UserProgram, build_os_image
+from repro.kernel import KernelConfig, UserProgram
 from repro.microcode import MicrocodeTable
-from repro.system.bus import build_standard_system
 from repro.timing.connector import Connector
 from repro.timing.core import TimingConfig, TimingModel
 from repro.timing.feed import NullFeed
@@ -31,6 +28,8 @@ from repro.timing.schedule import (
     unscheduled_tickables,
 )
 from repro.analysis.graph import extract_graph
+
+from tests.helpers import os_image_factory, run_coupled
 
 
 def _program(spin: int, sleep_ticks: int, char: int = 65) -> UserProgram:
@@ -63,26 +62,15 @@ spin:
 
 def _run_feed(feed_cls, programs, engine, cycle_mode=False,
               watchdog=500_000, timer_interval=3000):
-    memory, bus, _i, _t, console, _d = build_standard_system(
-        memory_size=1 << 22
+    run = run_coupled(
+        os_image_factory(programs,
+                         KernelConfig(timer_interval=timer_interval)),
+        feed_cls,
+        TimingConfig(engine=engine, watchdog_cycles=watchdog),
+        max_cycles=2_000_000,
+        cycle_irq_interval=2500 if cycle_mode else None,
     )
-    image, _ = build_os_image(
-        programs, config=KernelConfig(timer_interval=timer_interval)
-    )
-    fm = FunctionalModel(memory=memory, bus=bus)
-    fm.load(image)
-    feed = feed_cls(fm)
-    tm = TimingModel(
-        feed,
-        microcode=fm.microcode,
-        config=TimingConfig(engine=engine, watchdog_cycles=watchdog),
-    )
-    coordinator = None
-    if cycle_mode:
-        coordinator = CycleInterruptCoordinator(tm, fm,
-                                                interval_cycles=2500)
-    stats = tm.run(max_cycles=2_000_000)
-    return stats, console.text(), coordinator
+    return run.stats, run.console_text, run.coordinator
 
 
 def _null_tm(engine="compiled"):

@@ -13,66 +13,19 @@ workloads and randomly generated programs.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.baselines.lockstep import LockStepFeed
 from repro.fast.trace_buffer import TraceBufferFeed
-from repro.functional.model import FunctionalConfig, FunctionalModel
-from repro.isa.program import ProgramImage
-from repro.kernel import KernelConfig, UserProgram, build_os_image
-from repro.system.bus import build_standard_system
-from repro.timing.core import TimingConfig, TimingModel
+from repro.functional.model import FunctionalConfig
+from repro.kernel import KernelConfig, UserProgram
+from repro.timing.core import TimingConfig
 from repro.workloads import build as build_workload
 from repro.workloads import make_disk_image
 
-
-def _fingerprint(stats, console_text, fm):
-    return {
-        "cycles": stats.cycles,
-        "instructions": stats.instructions,
-        "uops": stats.uops,
-        "branches": stats.branches,
-        "mispredicts": stats.mispredicts,
-        "drain_mispredict": stats.drain_mispredict,
-        "drain_interrupt": stats.drain_interrupt,
-        "icache_hits": stats.icache_hits,
-        "dcache_hits": stats.dcache_hits,
-        "console": console_text,
-        "regs": list(fm.state.regs),
-    }
-
-
-def run_coupled(image_factory, feed_cls, timing_config, disk_image=None,
-                max_cycles=3_000_000, fm_config=None, **feed_kwargs):
-    memory, bus, _i, _t, console, _d = build_standard_system(
-        memory_size=1 << 22, disk_image=disk_image
-    )
-    fm = FunctionalModel(memory=memory, bus=bus, config=fm_config)
-    fm.load(image_factory())
-    feed = feed_cls(fm, **feed_kwargs)
-    tm = TimingModel(feed, microcode=fm.microcode, config=timing_config)
-    stats = tm.run(max_cycles=max_cycles)
-    return _fingerprint(stats, console.text(), fm), fm
-
-
-def assert_equivalent(image_factory, timing_config, disk_image=None,
-                      fm_config=None, **kwargs):
-    fast, fast_fm = run_coupled(
-        image_factory, TraceBufferFeed, timing_config,
-        disk_image=disk_image, fm_config=fm_config, **kwargs
-    )
-    lock, _ = run_coupled(
-        image_factory, LockStepFeed, timing_config, disk_image=disk_image,
-        fm_config=fm_config,
-    )
-    assert fast == lock
-    return fast, fast_fm
-
-
-def os_image_factory(programs, config=None):
-    def factory():
-        image, _ = build_os_image(programs, config=config)
-        return image
-
-    return factory
+from tests.helpers import (
+    assert_equivalent,
+    bare_image_factory,
+    os_image_factory,
+    run_coupled,
+)
 
 
 LOOPY_PROGRAM = UserProgram("loopy", """
@@ -152,34 +105,27 @@ loop:
     def test_trace_buffer_depth_does_not_change_cycles(self):
         results = []
         for depth, lookahead in ((128, 8), (512, 32), (2048, 256)):
-            fingerprint, _ = run_coupled(
+            run = run_coupled(
                 os_image_factory([LOOPY_PROGRAM]),
                 TraceBufferFeed,
                 TimingConfig(predictor="gshare"),
                 depth=depth,
                 lookahead=lookahead,
             )
-            results.append(fingerprint)
+            results.append(run.fingerprint())
         assert results[0] == results[1] == results[2]
 
     def test_checkpoint_interval_does_not_change_cycles(self):
         results = []
         for interval in (8, 64, 256):
-            fingerprint, _ = run_coupled(
+            run = run_coupled(
                 os_image_factory([LOOPY_PROGRAM]),
                 TraceBufferFeed,
                 TimingConfig(predictor="gshare"),
                 fm_config=FunctionalConfig(checkpoint_interval=interval),
             )
-            results.append(fingerprint)
+            results.append(run.fingerprint())
         assert results[0] == results[1] == results[2]
-
-
-def bare_image_factory(source):
-    def factory():
-        return ProgramImage.from_assembly("t", source, base=0x1000)
-
-    return factory
 
 
 BARE_TIMING = TimingConfig(predictor="gshare")
@@ -276,23 +222,12 @@ class TestRotationalDiskEquivalence:
         """Variable (seek+rotation) disk latencies are still a pure
         function of the committed stream, so FAST == lock-step holds."""
         from repro.system.disk_timing import RotationalDiskModel
-        from repro.workloads import build as build_wl
 
-        workload = build_wl("mysql", 1)
-
-        def run(feed_cls):
-            memory, bus, _i, _t, console, disk = build_standard_system(
-                memory_size=1 << 22,
-                disk_image=make_disk_image(),
-                disk_timing_model=RotationalDiskModel(),
-            )
-            image, _ = build_os_image(workload.programs,
-                                      config=workload.kernel_config)
-            fm = FunctionalModel(memory=memory, bus=bus)
-            fm.load(image)
-            tm = TimingModel(feed_cls(fm), microcode=fm.microcode,
-                             config=TimingConfig(predictor="gshare"))
-            stats = tm.run(max_cycles=5_000_000)
-            return _fingerprint(stats, console.text(), fm)
-
-        assert run(TraceBufferFeed) == run(LockStepFeed)
+        workload = build_workload("mysql", 1)
+        assert_equivalent(
+            os_image_factory(workload.programs, workload.kernel_config),
+            TimingConfig(predictor="gshare"),
+            disk_image=make_disk_image(),
+            disk_timing_model=RotationalDiskModel,
+            max_cycles=5_000_000,
+        )

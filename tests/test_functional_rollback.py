@@ -5,12 +5,14 @@ across memory writes, I/O and interrupts."""
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.fast.trace_buffer import TraceBufferFeed
 from repro.functional.checkpoint import CheckpointManager
 from repro.functional.model import (
     FunctionalConfig,
     FunctionalModel,
     RollbackError,
 )
+from repro.isa.assembler import assemble
 from repro.isa.program import ProgramImage
 from repro.system.bus import build_standard_system
 
@@ -249,6 +251,188 @@ class TestRollback:
         fm.enter_wrong_path()
         entry = fm.execute_next()  # must not raise
         assert entry is not None and entry.wrong_path
+
+
+# A self-contained interrupt program: the timer fires every 25 device
+# ticks into a vector that counts fires at 0x9080 (inside the scratch
+# window full_state() compares), while main spins a long counted loop.
+# ``alt`` is a redirect target that powers the system off.
+INTERRUPT_PROGRAM = """
+    JMP start
+.org 0x40
+vector:
+    PUSH R1
+    MOVRS R1, FLAGS
+    PUSH R1
+    PUSH R2
+    MOVI R1, 1
+    OUT 0x50, R1        ; acknowledge line 0
+    MOVI R1, 0x9080
+    LD R2, [R1+0]
+    INC R2
+    ST [R1+0], R2
+    POP R2
+    POP R1
+    MOVSR FLAGS, R1
+    POP R1
+    IRET
+.org 0x1000
+start:
+    MOVI SP, 0x9800
+    MOVI R1, 0
+    MOVI R2, 0x9080
+    ST [R2+0], R1
+    MOVI R1, 25
+    OUT 0x21, R1        ; timer interval
+    MOVI R1, 1
+    OUT 0x51, R1        ; enable line 0 in the PIC
+    OUT 0x20, R1        ; timer on
+    STI
+    MOVI R5, 120
+spin:
+    XORI R4, 5
+    DEC R5
+    JNZ spin
+alt:
+    MOVI R3, 77
+    MOVI R1, 0
+    OUT 0x40, R1
+    HALT
+"""
+
+# Two conditional branches in consecutive instructions, each with an
+# explicit wrong (fall-through) arm -- the back-to-back mispredict case.
+TWO_BRANCH_PROGRAM = """
+    MOVI SP, 0x9800
+    MOVI R1, 5
+    CMPI R1, 5
+    JZ first
+wrong_a:
+    MOVI R2, 11
+first:
+    CMPI R1, 6
+    JNZ second
+wrong_b:
+    MOVI R3, 12
+second:
+    MOVI R4, 13
+    MOVI R1, 0
+    OUT 0x40, R1
+    HALT
+"""
+
+
+class TestRollbackEdgeCases:
+    """The cases the fuzzer's oracle matrix hits first: redirects while
+    an interrupt is pending or in flight, rollback that crosses (and
+    truncates) leapfrog checkpoints, and two mispredict resolutions in
+    one trace-buffer drain with no commit between them."""
+
+    @pytest.mark.parametrize("overshoot", [1, 3, 10, 27, 55])
+    def test_set_pc_with_pending_interrupt(self, overshoot):
+        """set_pc landing in interrupt-heavy code == direct execution.
+
+        At the redirect boundary the timer may be raised-but-undelivered
+        or the CPU may be mid-handler; rollback must restore PIC pending
+        state and device time so the alt path sees identical deliveries.
+        """
+        target = 100  # inside the spin loop, after ~3 timer fires
+        alt = assemble(INTERRUPT_PROGRAM, base=0).symbols["alt"]
+
+        direct = fresh_model(INTERRUPT_PROGRAM, base=0)
+        direct.run(max_instructions=target)
+        assert direct.stats.interrupts >= 1  # handlers really interleave
+        direct.set_pc(target, alt)
+        direct.run(max_instructions=100)
+        assert direct.bus.shutdown_requested
+        expected = full_state(direct)
+
+        rolled = fresh_model(INTERRUPT_PROGRAM, base=0)
+        rolled.run(max_instructions=target + overshoot)
+        rolled.set_pc(target, alt)
+        rolled.run(max_instructions=100)
+        assert full_state(rolled) == expected
+
+    def test_rollback_across_leapfrog_checkpoint_boundary(self):
+        """Rollback to a target covered by an *older* checkpoint must
+        truncate the newer ones, and the machinery must re-arm: a second
+        run-forward/roll-back cycle still reproduces direct execution."""
+        direct = fresh_model(MUTATING_PROGRAM)
+        direct.run(max_instructions=20)
+        expected_20 = full_state(direct)
+
+        fm = fresh_model(MUTATING_PROGRAM)  # checkpoints every 8
+        fm.run(max_instructions=45)
+        fm.commit(18)  # releases checkpoints older than the cover of 18
+        fm.rollback_to(20)  # crosses checkpoints 24/32/40
+        assert full_state(fm) == expected_20
+
+        # Checkpoints must have been truncated past 20 and re-taken on
+        # the way forward; a second rollback leans on the new ones.
+        fm.run(max_instructions=25)
+        fm.rollback_to(33)
+        direct2 = fresh_model(MUTATING_PROGRAM)
+        direct2.run(max_instructions=33)
+        assert full_state(fm) == full_state(direct2)
+
+    def test_back_to_back_mispredicts_in_one_drain(self):
+        """Two forced-wrong-path/resolve cycles on consecutive branches,
+        with no commit between them, must leave the committed entry
+        stream and architectural state identical to a clean run."""
+        prog = assemble(TWO_BRANCH_PROGRAM, base=0x1000)
+
+        ref_fm = fresh_model(TWO_BRANCH_PROGRAM)
+        ref_feed = TraceBufferFeed(ref_fm)
+        ref_entries = []
+        for _ in range(50):
+            if ref_feed.peek() is None:
+                break
+            ref_entries.append(ref_feed.consume())
+        assert ref_feed.finished
+        expected = full_state(ref_fm)
+
+        fm = fresh_model(TWO_BRANCH_PROGRAM)
+        feed = TraceBufferFeed(fm)
+        committed = []
+        for _ in range(4):  # through the JZ (in_no 4)
+            assert feed.peek() is not None
+            committed.append(feed.consume())
+        assert committed[-1].in_no == 4  # the JZ, taken
+        assert committed[-1].next_pc == prog.symbols["first"]
+
+        # Mispredict #1: JZ forced down its fall-through arm.
+        feed.force_wrong_path(4, prog.symbols["wrong_a"])
+        for _ in range(2):
+            entry = feed.peek()
+            assert entry is not None and entry.wrong_path
+            feed.consume()
+        feed.resolve_wrong_path(4, prog.symbols["first"])
+
+        # The very next instructions: CMPI and the second branch.  No
+        # commit has happened -- both resolutions land in one drain.
+        for _ in range(2):
+            entry = feed.peek()
+            assert entry is not None and not entry.wrong_path
+            committed.append(feed.consume())
+
+        # Mispredict #2, back to back on the JNZ.
+        feed.force_wrong_path(6, prog.symbols["wrong_b"])
+        entry = feed.peek()
+        assert entry is not None and entry.wrong_path
+        feed.consume()
+        feed.resolve_wrong_path(6, prog.symbols["second"])
+
+        for _ in range(50):
+            if feed.peek() is None:
+                break
+            committed.append(feed.consume())
+        assert feed.finished
+        feed.commit(committed[-1].in_no)
+
+        assert ([(e.in_no, e.pc) for e in committed]
+                == [(e.in_no, e.pc) for e in ref_entries])
+        assert full_state(fm) == expected
+        assert fm.stats.set_pc_calls == 4  # two forces + two resolves
 
 
 @st.composite

@@ -1,0 +1,37 @@
+"""Replay the fuzz regression corpus through the full oracle matrix.
+
+Every ``tests/corpus/repro-*.s`` file is a shrunk program that once
+exposed a divergence (under a real bug or an injected fault).  Each
+replay must now come back clean: all eight matrix cells agree and the
+instruction-mode column matches the golden functional-only run.  A
+failure here means a previously-fixed (or deliberately injected)
+divergence has returned for real.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import iter_corpus
+from repro.fuzz.oracle import OracleConfig, run_matrix
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+REPROS = list(iter_corpus(CORPUS_DIR))
+
+# Corpus entries are shrunk (a handful of instructions), so tight
+# budgets keep the full-matrix replay cheap.
+REPLAY_CONFIG = OracleConfig(max_cycles=600_000, max_instructions=200_000)
+
+
+def test_corpus_is_seeded():
+    assert len(REPROS) >= 5, "the shipped corpus must stay non-trivial"
+
+
+@pytest.mark.parametrize("repro", REPROS, ids=lambda r: r.name)
+def test_corpus_replays_clean(repro):
+    outcome = run_matrix(repro.source, repro.base, seed=repro.seed,
+                         config=REPLAY_CONFIG)
+    assert outcome.golden_status == "ok", (
+        "%s: golden run %s" % (repro.name, outcome.golden_status))
+    assert outcome.ok, "%s diverged:\n%s" % (
+        repro.name, "\n".join(str(d) for d in outcome.divergences))

@@ -1,11 +1,15 @@
-"""Encoding/decoding tests, including a property-based roundtrip."""
+"""Encoding/decoding tests, including property-based roundtrips through
+the binary codec and through the assembler/disassembler text form."""
 
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import format_instr
 from repro.isa.encoding import EncodingError, decode, encode, make
 from repro.isa.instructions import Instr
 from repro.isa.opcodes import FORMAT_LENGTHS, OPCODES, REP_PREFIX, lookup
+from repro.isa.registers import NUM_SRS
 
 
 class TestFormats:
@@ -139,3 +143,83 @@ class TestRoundtripProperty:
             return
         assert 1 <= length <= 7
         assert instr.spec.value in [s.value for s in OPCODES.values()]
+
+
+def _canonical_instr_strategy():
+    """Instructions whose fields are representable in assembly text:
+    register indices within their file (the binary mod nibbles hold
+    0-15 but only 0-7 name a GPR/FPR), src zero where the text form has
+    no second operand.  Covers every format, i.e. all 1-7 byte length
+    classes (6-byte ri32 plus the REP prefix)."""
+    specs = sorted(OPCODES.values(), key=lambda s: s.value)
+    single_operand = ("JR", "CALLR", "NOT", "NEG", "INC", "DEC",
+                      "PUSH", "POP")
+
+    @st.composite
+    def build(draw):
+        spec = draw(st.sampled_from(specs))
+        gpr = st.integers(0, 7)
+        rep = False
+        dst = src = imm = 0
+        fmt = spec.fmt
+        if fmt == "none":
+            rep = spec.iclass == "string" and draw(st.booleans())
+        elif fmt == "r":
+            if spec.name == "MOVSR":
+                dst = draw(st.integers(0, NUM_SRS - 1))
+                src = draw(gpr)
+            elif spec.name == "MOVRS":
+                dst = draw(gpr)
+                src = draw(st.integers(0, NUM_SRS - 1))
+            elif spec.name in single_operand:
+                dst = draw(gpr)
+            else:  # two-register ALU / FP forms (FPRs are also 0-7)
+                dst = draw(gpr)
+                src = draw(gpr)
+        elif fmt == "ri8":
+            dst = draw(gpr)
+            imm = draw(st.integers(-128, 127))
+        elif fmt == "i8":
+            imm = draw(st.integers(0, 255))
+        elif fmt == "ri32":
+            dst = draw(gpr)
+            imm = draw(st.integers(0, 0xFFFFFFFF))
+        elif fmt == "m":
+            dst = draw(gpr)
+            # LOOP's text form is "LOOP Rc, target" -- no base register.
+            src = 0 if spec.name == "LOOP" else draw(gpr)
+            imm = draw(st.integers(-0x8000, 0x7FFF))
+        elif fmt == "rel16":
+            imm = draw(st.integers(-0x8000, 0x7FFF))
+        else:  # port
+            dst = draw(gpr)
+            imm = draw(st.integers(0, 0xFFFF))
+        return Instr(spec=spec, dst=dst, src=src, imm=imm, rep=rep)
+
+    return build()
+
+
+class TestAsmDisasmRoundtrip:
+    """assemble(disassemble(bytes)) == bytes, for every format class.
+
+    The corpus workflow (repro.fuzz.corpus) depends on this: repro
+    files carry the *disassembled* program as assemblable text, so the
+    text form must be a lossless fixed point."""
+
+    @given(_canonical_instr_strategy())
+    def test_text_form_is_lossless(self, instr):
+        pc = 0x10000
+        blob = encode(instr)
+        text = format_instr(instr, pc=pc)
+        assembled = assemble(text, base=pc)
+        assert assembled.data == blob
+        assert assembled.instruction_count == 1
+
+    @given(_canonical_instr_strategy())
+    def test_text_form_is_a_fixed_point(self, instr):
+        pc = 0x10000
+        text = format_instr(instr, pc=pc)
+        assembled = assemble(text, base=pc)
+        redecoded, length = decode(assembled.data)
+        assert length == len(assembled.data)
+        assert format_instr(redecoded, pc=pc) == text
