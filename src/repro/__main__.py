@@ -67,6 +67,12 @@ def _fuzz_main(argv: List[str]) -> int:
     return fuzz_main(argv)
 
 
+def _shardcheck_main(argv: List[str]) -> int:
+    from repro.analysis.shardcheck import main as shardcheck_main
+
+    return shardcheck_main(argv)
+
+
 # Every registered subcommand: name -> (description, entry point taking
 # the remaining argv).  The usage listing below is generated from this
 # table plus EXPERIMENTS, so a new subcommand cannot be forgotten there.
@@ -81,6 +87,8 @@ SUBCOMMANDS: Dict[str, Tuple[str, Callable[[List[str]], int]]] = {
                "diagnosis", _report_main),
     "fuzz": ("FastFuzz differential conformance fuzzing (FM/TM oracle "
              "matrix)", _fuzz_main),
+    "shardcheck": ("FastPart shard-safety analysis and PartitionPlan "
+                   "emission", _shardcheck_main),
 }
 
 

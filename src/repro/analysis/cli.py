@@ -1,17 +1,27 @@
 """The ``python -m repro lint`` entry point.
 
-Runs the four FastLint passes against the default targets:
+Runs the five FastLint passes against the default targets:
 
 1. timing-graph lint over the default 1/2/4/8-issue cores (Table 2
    configurations) from :mod:`repro.timing.core`;
 2. microcode/ISA cross-check over the default microcode table;
 3. determinism lint over the ``repro`` package sources;
 4. statistics-fabric lint (ST001-ST003): the same default cores'
-   stat registries plus an AST pass over the sources.
+   stat registries plus an AST pass over the sources;
+5. shard-safety lint (SH001-SH006): FastPart effect analysis and
+   partition-plan validation over the default 2-issue core.
+
+The AST passes share one :class:`~repro.analysis.suppress.
+SuppressionTracker`, so a ``# fastlint: ignore[RULE]`` escape is
+honored uniformly and an escape no pass ever needed is itself reported
+(IG001) -- but only when every AST pass ran, since a partial run
+cannot know an escape is dead.
 
 Exit code 0 when no diagnostic reaches WARNING severity, 1 otherwise.
 INFO-level notes (the paper's declared FP microcode gap) are printed
-with ``--verbose`` but never fail the lint.
+with ``--verbose`` but never fail the lint.  ``--json`` prints the
+shared machine-readable report document instead (stable sort order;
+the same shape ``shardcheck --json`` embeds next to its plan).
 """
 
 from __future__ import annotations
@@ -23,9 +33,14 @@ from repro.analysis.determinism import lint_determinism
 from repro.analysis.diagnostics import Report, Severity
 from repro.analysis.microcode_rules import lint_microcode
 from repro.analysis.stat_rules import lint_stat_registry, lint_stat_sources
+from repro.analysis.suppress import SuppressionTracker
 from repro.analysis.timing_rules import lint_timing_graph
 
-PASS_NAMES = ("graph", "microcode", "determinism", "stats")
+PASS_NAMES = ("graph", "microcode", "determinism", "stats", "shards")
+
+# Passes that walk source files and honor fastlint ignore escapes.
+# Unused-escape reporting (IG001) requires all of them to have run.
+AST_PASSES = frozenset({"determinism", "stats", "shards"})
 
 
 def _positive_int(text: str) -> int:
@@ -47,6 +62,7 @@ def run_lint(
     from repro.timing.core import DEFAULT_ISSUE_WIDTHS, build_default_core
 
     report = Report()
+    tracker = SuppressionTracker()
     if "graph" in passes:
         for width in issue_widths or DEFAULT_ISSUE_WIDTHS:
             core = build_default_core(width)
@@ -62,7 +78,7 @@ def run_lint(
     if "microcode" in passes:
         report.extend(lint_microcode())
     if "determinism" in passes:
-        report.extend(lint_determinism(paths))
+        report.extend(lint_determinism(paths, tracker))
     if "stats" in passes:
         for width in issue_widths or DEFAULT_ISSUE_WIDTHS:
             core = build_default_core(width)
@@ -74,7 +90,15 @@ def run_lint(
                     diag.message,
                     diag.hint,
                 )
-        report.extend(lint_stat_sources(paths))
+        report.extend(lint_stat_sources(paths, tracker))
+    if "shards" in passes:
+        from repro.analysis.shard_rules import lint_shards
+
+        report.extend(lint_shards(tracker=tracker))
+    if AST_PASSES.issubset(passes) and not paths:
+        # Only a full default-target run of every escape-honoring pass
+        # can prove an escape dead.
+        report.extend(tracker.report_unused())
     return report
 
 
@@ -89,7 +113,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         dest="passes",
         action="append",
         choices=PASS_NAMES,
-        help="run only this pass (repeatable; default: all three)",
+        help="run only this pass (repeatable; default: all five)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report document (stable sort "
+        "order) instead of the human-readable lines",
     )
     parser.add_argument(
         "--issue-width",
@@ -119,7 +149,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         issue_widths=args.issue_widths,
         paths=args.paths or None,
     )
-    min_severity = Severity.INFO if args.verbose else Severity.WARNING
+    min_severity = (
+        Severity.INFO if (args.verbose or args.json) else Severity.WARNING
+    )
+    if args.json:
+        print(report.to_json(min_severity), end="")
+        return 0 if report.clean else 1
     text = report.format(min_severity)
     if text:
         print(text)

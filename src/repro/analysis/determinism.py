@@ -24,17 +24,23 @@ DT004    warning    ``==``/``!=`` between a float literal and a
 =======  =========  ==========================================================
 
 A finding is suppressed by a ``# fastlint: ignore[DTnnn]`` comment on
-the offending line (the explicit escape hatch for audited code).
+the offending line (the explicit escape hatch for audited code; rule
+lists and usage tracking live in :mod:`repro.analysis.suppress`).
 """
 
 from __future__ import annotations
 
 import ast
 import os
-import re
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.diagnostics import Report, Severity
+from repro.analysis.suppress import (
+    FileSuppressions,
+    SuppressionTracker,
+    parse_ignores,
+    python_files,
+)
 
 _WALLCLOCK_TIME_FNS = frozenset(
     {"time", "time_ns", "perf_counter", "perf_counter_ns",
@@ -49,16 +55,10 @@ _TIMEY_TOKENS = frozenset(
     {"cycle", "cycles", "time", "latency", "latencies", "mips",
      "seconds", "secs", "ns", "us", "ms", "hz", "mhz", "ghz"}
 )
-_IGNORE_RE = re.compile(r"#\s*fastlint:\s*ignore(?:\[([A-Z]{2}\d{3})\])?")
-
-
-def _ignored_rules(line: str) -> Optional[Set[str]]:
-    """Rules suppressed on *line*; empty set means "all rules"."""
-    match = _IGNORE_RE.search(line)
-    if not match:
-        return None
-    rule = match.group(1)
-    return {rule} if rule else set()
+# Backwards-compatible aliases: the suppression machinery moved to
+# repro.analysis.suppress when the SH pass joined the rule families.
+_ignored_rules = parse_ignores
+_python_files = python_files
 
 
 def _name_tokens(node: ast.AST) -> Tuple[str, ...]:
@@ -82,22 +82,24 @@ def _is_float_literal(node: ast.AST) -> bool:
 
 
 class _Checker(ast.NodeVisitor):
-    def __init__(self, filename: str, source_lines: Sequence[str]):
+    def __init__(self, filename: str, source_lines: Sequence[str],
+                 suppressions: Optional[FileSuppressions] = None):
         self.filename = filename
         self.lines = source_lines
+        self.suppressions = suppressions or FileSuppressions(
+            filename, source_lines
+        )
         self.report = Report()
         # Names bound by "from time import perf_counter" style imports.
-        self._time_aliases: Set[str] = set()
-        self._random_aliases: Set[str] = set()
+        self._time_aliases: set = set()
+        self._random_aliases: set = set()
 
     # -- plumbing --------------------------------------------------------
 
     def _add(self, rule: str, severity: Severity, node: ast.AST,
              message: str, hint: str = "") -> None:
         line_no = getattr(node, "lineno", 0)
-        line = self.lines[line_no - 1] if 0 < line_no <= len(self.lines) else ""
-        ignored = _ignored_rules(line)
-        if ignored is not None and (not ignored or rule in ignored):
+        if self.suppressions.suppresses(rule, line_no):
             return
         self.report.add(
             rule, severity, "%s:%d" % (self.filename, line_no), message, hint
@@ -114,6 +116,33 @@ class _Checker(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in _RANDOM_MODULE_FNS:
                     self._random_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- alias assignments -------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        """Track ``perf = time.perf_counter`` style local aliases so the
+        later ``perf()`` calls are still recognized as wall-clock reads
+        (aliasing must not launder a DT002/DT003 hazard)."""
+        value = node.value
+        alias_pool = None
+        if isinstance(value, ast.Attribute) and isinstance(
+            value.value, ast.Name
+        ):
+            module, attr = value.value.id, value.attr
+            if module == "time" and attr in _WALLCLOCK_TIME_FNS:
+                alias_pool = self._time_aliases
+            elif module == "random" and attr in _RANDOM_MODULE_FNS:
+                alias_pool = self._random_aliases
+        elif isinstance(value, ast.Name):
+            if value.id in self._time_aliases:
+                alias_pool = self._time_aliases
+            elif value.id in self._random_aliases:
+                alias_pool = self._random_aliases
+        if alias_pool is not None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    alias_pool.add(target.id)
         self.generic_visit(node)
 
     # -- DT001: unordered iteration --------------------------------------
@@ -234,7 +263,8 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_source(source: str, filename: str = "<string>") -> Report:
+def lint_source(source: str, filename: str = "<string>",
+                suppressions: Optional[FileSuppressions] = None) -> Report:
     """Lint one Python source string; *filename* labels diagnostics."""
     report = Report()
     try:
@@ -247,23 +277,19 @@ def lint_source(source: str, filename: str = "<string>") -> Report:
             "syntax error: %s" % exc.msg,
         )
         return report
-    checker = _Checker(filename, source.splitlines())
+    checker = _Checker(filename, source.splitlines(), suppressions)
     checker.visit(tree)
     report.extend(checker.report)
     return report
 
 
-def _python_files(root: str) -> Iterable[str]:
-    for dirpath, dirnames, filenames in os.walk(root):
-        dirnames.sort()
-        for filename in sorted(filenames):
-            if filename.endswith(".py"):
-                yield os.path.join(dirpath, filename)
-
-
-def lint_determinism(paths: Optional[Sequence[str]] = None) -> Report:
+def lint_determinism(
+    paths: Optional[Sequence[str]] = None,
+    tracker: Optional[SuppressionTracker] = None,
+) -> Report:
     """Lint Python files/directories; defaults to the installed
-    ``repro`` package sources."""
+    ``repro`` package sources.  *tracker*, when given, shares ignore
+    usage with the other AST passes (unused-ignore rule IG001)."""
     if paths is None:
         import repro
 
@@ -281,7 +307,7 @@ def lint_determinism(paths: Optional[Sequence[str]] = None) -> Report:
             continue
         if os.path.isdir(path):
             base = os.path.dirname(os.path.abspath(path))
-            files = list(_python_files(path))
+            files = list(python_files(path))
         else:
             base = os.path.dirname(os.path.abspath(path)) or "."
             files = [path]
@@ -289,5 +315,10 @@ def lint_determinism(paths: Optional[Sequence[str]] = None) -> Report:
             rel = os.path.relpath(os.path.abspath(file_path), base)
             with open(file_path, "r", encoding="utf-8") as handle:
                 source = handle.read()
-            report.extend(lint_source(source, rel))
+            suppressions = None
+            if tracker is not None:
+                suppressions = tracker.for_file(
+                    file_path, rel, source.splitlines()
+                )
+            report.extend(lint_source(source, rel, suppressions))
     return report

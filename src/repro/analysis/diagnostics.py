@@ -48,6 +48,20 @@ class Diagnostic:
             text += " (hint: %s)" % self.hint
         return text
 
+    def to_dict(self) -> dict:
+        """Plain-dict form, the shared machine-readable shape used by
+        ``lint --json``, ``shardcheck --json`` and PartitionPlan."""
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def sort_key(self) -> Tuple[str, str, str, str]:
+        return (self.rule, self.location, self.message, self.hint)
+
 
 class Report:
     """An ordered collection of diagnostics with exit-code semantics.
@@ -102,6 +116,38 @@ class Report:
             d.format() for d in self.diagnostics if d.severity >= min_severity
         ]
         return "\n".join(lines)
+
+    def to_dicts(self, min_severity: Severity = Severity.INFO) -> List[dict]:
+        """Diagnostics as plain dicts in stable sort order (by rule,
+        location, message, hint) -- the byte-stable report format CI
+        and shardcheck share."""
+        selected = [
+            d for d in self.diagnostics if d.severity >= min_severity
+        ]
+        return [d.to_dict() for d in sorted(selected,
+                                            key=Diagnostic.sort_key)]
+
+    def to_document(self, min_severity: Severity = Severity.INFO) -> dict:
+        """The shared report document: sorted diagnostics plus a
+        summary block.  ``lint --json`` prints exactly this;
+        ``shardcheck --json`` embeds it next to the plan."""
+        failing = self.failing
+        return {
+            "diagnostics": self.to_dicts(min_severity),
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(failing) - len(self.errors),
+                "infos": len(self.diagnostics) - len(failing),
+                "clean": self.clean,
+            },
+        }
+
+    def to_json(self, min_severity: Severity = Severity.INFO) -> str:
+        """Sorted-key, stable-order JSON document for the report."""
+        import json
+
+        document = self.to_document(min_severity)
+        return json.dumps(document, sort_keys=True, indent=2) + "\n"
 
     def __len__(self) -> int:
         return len(self.diagnostics)

@@ -1,0 +1,946 @@
+"""FastPart effect analysis: per-module read/write footprints.
+
+The paper's partitioned FM/TM decomposition is safe to parallelize
+because every seam between partitions is an explicit latency-carrying
+channel (a Connector); Manticore-style bulk-synchronous simulation
+rests on proving that property *statically*.  This module is the
+proof engine: it walks the AST of every tickable Module's per-cycle
+code (``bind_tick`` and everything reachable from it through ``self``
+method calls, stored references and closures) and computes a
+**footprint** -- the set of ``(object label, attribute)`` locations the
+module reads and writes within one target cycle.
+
+Two footprints *conflict* when one writes a location the other touches;
+conflicting modules must share a shard (the partition planner in
+:mod:`repro.analysis.partition` merges them into one atomic group).
+Three access families are deliberately excluded from race detection:
+
+* **channel effects** -- the sanctioned Connector API (``push``/
+  ``pop``/``peek``/``can_push``/``can_pop``/``tick``/``occupancy``/
+  ``__len__``) used by that Connector's own bound producer or
+  consumer.  The connector's ``min_latency`` discipline orders these
+  accesses across shards; that is the whole point of the FAST seam.
+  Out-of-band mutation (``flush``, ``drop_if``) is *not* sanctioned
+  and is charged as a normal write even by an endpoint.
+* **declared seams** -- attributes listed in a class's
+  ``shard_seams`` declaration (:class:`repro.timing.module.Module`),
+  the audited escape hatch for observability-only shared state.
+* **navigation** -- reading an attribute that merely resolves to
+  another labeled object (``self.hierarchy.l1i``) charges nothing;
+  only terminal data accesses are effects.
+
+The analysis is *hybrid*: AST for the code, the live module tree for
+object identity.  Every module in the tree is labeled by its tree
+path; every mutable object owned by a labeled object is labeled
+``owner_label.attr`` (containers are atomic locations); module-level
+mutable globals are labeled ``module:NAME``.  Aliases created by
+locals (``backend = self.backend``), closures and bound-method values
+are tracked by resolving them to the same live objects.
+
+Unanalyzable constructs surface as source-line diagnostics, routed
+through the shared ``# fastlint: ignore[...]`` machinery:
+
+=======  =========  ==========================================================
+rule id  severity   meaning
+=======  =========  ==========================================================
+SH004    warning    ordering-sensitive listener: a stored-callable hook
+                    invoked on the tick path without a ``shard_seams``
+                    declaration on the owning class
+SH005    warning    unanalyzable dynamic access: ``getattr``/``setattr``
+                    with a non-constant name, ``eval``/``exec``/
+                    ``vars``/``globals``/``locals`` or ``__dict__``
+                    access on the tick path
+=======  =========  ==========================================================
+
+(Rules SH001-SH003 and SH006 are plan-level; see
+:mod:`repro.analysis.partition`.)
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import os
+import textwrap
+import types
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Report, Severity
+from repro.analysis.graph import TimingGraph, extract_graph
+from repro.analysis.suppress import FileSuppressions, SuppressionTracker
+from repro.timing.connector import Connector
+from repro.timing.module import Module
+
+# The wildcard attribute: the whole object (opaque call, truthiness,
+# iteration, container mutation).
+OPAQUE = "*"
+
+# Sentinels.  UNKNOWN is any value the resolver cannot track.
+_MISSING = object()
+
+
+class _Unknown:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<unknown>"
+
+
+UNKNOWN = _Unknown()
+
+# The sanctioned Connector channel API (see module docstring).
+CHANNEL_API = frozenset(
+    {"tick", "can_push", "push", "can_pop", "pop", "peek",
+     "occupancy", "__len__"}
+)
+
+# Purity heuristic for methods whose source is unavailable (builtins,
+# C-implemented container methods).  Anything not recognizably pure is
+# charged as an opaque write -- soundness over precision.
+_PURE_METHOD_NAMES = frozenset(
+    {"get", "keys", "values", "items", "copy", "count", "index",
+     "__len__", "__contains__", "__iter__", "__getitem__", "peek",
+     "value", "union", "intersection", "difference", "issubset",
+     "issuperset", "most_common"}
+)
+_PURE_METHOD_PREFIXES = ("is_", "can_", "has_", "get_")
+
+
+def _method_is_pure(name: str) -> bool:
+    return name in _PURE_METHOD_NAMES or name.startswith(_PURE_METHOD_PREFIXES)
+
+
+def _is_tickable(module: Module) -> bool:
+    return type(module).bind_tick is not Module.bind_tick
+
+
+def declared_seams(klass: type) -> Dict[str, str]:
+    """Merged ``shard_seams`` declarations of *klass* (works for any
+    class, not just Module subclasses)."""
+    merged: Dict[str, str] = {}
+    for base in reversed(klass.__mro__):
+        declared = base.__dict__.get("shard_seams")
+        if isinstance(declared, dict):
+            merged.update(declared)
+    return merged
+
+
+# -- object labeling ---------------------------------------------------------
+
+_ATOMIC_CONTAINERS = (list, dict, set, deque, bytearray)
+
+
+def _mutable_state(value: Any) -> bool:
+    """True if *value* is shared mutable state worth labeling."""
+    if value is None:
+        return False
+    if isinstance(value, (bool, int, float, complex, str, bytes, tuple,
+                          frozenset, range)):
+        return False
+    if isinstance(value, (type, types.ModuleType)):
+        return False
+    if inspect.isroutine(value) or isinstance(value, types.FunctionType):
+        return False
+    return True
+
+
+def _owned_attrs(obj: Any) -> List[Tuple[str, Any]]:
+    """``(name, value)`` attribute pairs of *obj* in sorted-name order,
+    read without triggering descriptors (``__dict__`` first, declared
+    ``__slots__`` otherwise)."""
+    instance_dict = getattr(obj, "__dict__", None)
+    if isinstance(instance_dict, dict):
+        return sorted(instance_dict.items())
+    out: List[Tuple[str, Any]] = []
+    slot_names: List[str] = []
+    for klass in type(obj).__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        slot_names.extend(slots)
+    for name in sorted(set(slot_names)):
+        value = inspect.getattr_static(obj, name, _MISSING)
+        if value is _MISSING or isinstance(value, types.MemberDescriptorType):
+            try:
+                value = getattr(obj, name)
+            except AttributeError:
+                continue
+        out.append((name, value))
+    return out
+
+
+class ObjectRegistry:
+    """Deterministic identity -> label map for the shared-object graph.
+
+    Labels: tree modules by tree path (``timing_model/frontend``);
+    owned mutable objects by ``owner_label.attr`` at first sighting in
+    a fixed breadth-first walk; module-level globals by
+    ``module:NAME``.  Containers are atomic locations -- their contents
+    are not labeled.
+    """
+
+    # How deep the ownership walk descends below the module tree.
+    DEPTH = 3
+
+    def __init__(self, graph: TimingGraph):
+        self._labels: Dict[int, str] = {}
+        self._keep: List[Any] = []  # pin ids for the registry lifetime
+        for path, module in graph.modules:
+            self._add(module, path)
+        frontier: List[Tuple[str, Any]] = [
+            (self._labels[id(module)], module)
+            for _path, module in graph.modules
+        ]
+        for _depth in range(self.DEPTH):
+            next_frontier: List[Tuple[str, Any]] = []
+            for label, obj in frontier:
+                for attr, value in _owned_attrs(obj):
+                    if not _mutable_state(value):
+                        continue
+                    if id(value) in self._labels:
+                        continue
+                    child_label = "%s.%s" % (label, attr)
+                    self._add(value, child_label)
+                    if not isinstance(value, _ATOMIC_CONTAINERS):
+                        next_frontier.append((child_label, value))
+            frontier = next_frontier
+
+    def _add(self, obj: Any, label: str) -> None:
+        if id(obj) not in self._labels:
+            self._labels[id(obj)] = label
+            self._keep.append(obj)
+
+    def label_of(self, obj: Any) -> Optional[str]:
+        return self._labels.get(id(obj))
+
+    def label_global(self, module_name: str, var_name: str,
+                     value: Any) -> str:
+        existing = self._labels.get(id(value))
+        if existing is not None:
+            return existing
+        label = "%s:%s" % (module_name, var_name)
+        self._add(value, label)
+        return label
+
+
+# -- footprints --------------------------------------------------------------
+
+
+class UnitEffects:
+    """The computed effect footprint of one schedulable unit."""
+
+    def __init__(self, path: str, module: Optional[Module]):
+        self.path = path
+        self.module = module
+        self.kind = type(module).__name__ if module is not None else "listener"
+        # (target label, attr-or-OPAQUE) -> first location seen
+        self.reads: Dict[Tuple[str, str], str] = {}
+        self.writes: Dict[Tuple[str, str], str] = {}
+        # Connector labels used through the sanctioned channel API.
+        self.channels: Set[str] = set()
+        # Declared-seam accesses: (owner label, attr).
+        self.seams: Set[Tuple[str, str]] = set()
+
+    def footprint(self) -> dict:
+        """JSON-ready, deterministically ordered footprint."""
+        return {
+            "reads": ["%s::%s" % key for key in sorted(self.reads)],
+            "writes": ["%s::%s" % key for key in sorted(self.writes)],
+            "channels": sorted(self.channels),
+            "seams": ["%s::%s" % key for key in sorted(self.seams)],
+        }
+
+    def __repr__(self) -> str:
+        return "<UnitEffects %s: %d reads, %d writes>" % (
+            self.path, len(self.reads), len(self.writes)
+        )
+
+
+def _covers(target: str, attr: str, other: str) -> bool:
+    """Does an access to ``(target, attr)`` cover the object labeled
+    *other* (an owned container / subtree module of the target)?"""
+    if attr == OPAQUE:
+        return other.startswith(target + ".") or other.startswith(target + "/")
+    return other == "%s.%s" % (target, attr) or other.startswith(
+        "%s.%s." % (target, attr)
+    )
+
+
+def locations_overlap(t1: str, a1: str, t2: str, a2: str) -> bool:
+    """Can accesses to ``(t1, a1)`` and ``(t2, a2)`` alias?"""
+    if t1 == t2:
+        return a1 == OPAQUE or a2 == OPAQUE or a1 == a2
+    return _covers(t1, a1, t2) or _covers(t2, a2, t1)
+
+
+def conflicts_between(a: "UnitEffects", b: "UnitEffects") -> List[str]:
+    """Deterministically ordered reasons why *a* and *b* must share a
+    shard (empty when their footprints are race-free)."""
+    reasons: List[str] = []
+    for first, second in ((a, b), (b, a)):
+        for (wt, wa) in sorted(first.writes):
+            for accesses, verb in ((second.writes, "writes"),
+                                   (second.reads, "reads")):
+                for (ot, oa) in sorted(accesses):
+                    if locations_overlap(wt, wa, ot, oa):
+                        reasons.append(
+                            "%s writes %s::%s while %s %s %s::%s"
+                            % (first.path, wt, wa, second.path, verb, ot, oa)
+                        )
+    # A location pair can match in both directions; dedup, keep order.
+    seen: Set[str] = set()
+    unique = []
+    for reason in reasons:
+        if reason not in seen:
+            seen.add(reason)
+            unique.append(reason)
+    return unique
+
+
+# -- the AST walker ----------------------------------------------------------
+
+
+class _BoundCallable:
+    """A method value resolved to (owner object, class-level function).
+    ``func is None`` marks a C-implemented method known only by name."""
+
+    __slots__ = ("owner", "func", "name")
+
+    def __init__(self, owner: Any, func: Optional[Callable], name: str):
+        self.owner = owner
+        self.func = func
+        self.name = name
+
+
+_SH005_BUILTINS = frozenset({"eval", "exec", "vars", "globals", "locals"})
+
+
+class _UnitAnalyzer:
+    """Analyzes one unit's per-cycle call graph, accumulating effects."""
+
+    def __init__(self, unit: UnitEffects, registry: ObjectRegistry,
+                 report: Report, tracker: Optional[SuppressionTracker],
+                 src_base: str):
+        self.unit = unit
+        self.registry = registry
+        self.report = report
+        self.tracker = tracker
+        self.src_base = src_base
+        self._visited: Set[Tuple[int, int]] = set()
+        self._files: Dict[str, Tuple[str, Optional[FileSuppressions]]] = {}
+
+    # -- entry points ----------------------------------------------------
+
+    def run(self) -> None:
+        module = self.unit.module
+        if module is None:
+            return
+        self.analyze_function(type(module).bind_tick, module, [])
+
+    def run_callable(self, listener: Callable) -> None:
+        """Analyze a registered listener (commit/cycle hook)."""
+        func = listener
+        owner = None
+        if inspect.ismethod(listener):
+            owner = listener.__self__
+            func = listener.__func__
+        if isinstance(func, types.FunctionType):
+            self.analyze_function(func, owner, [])
+
+    # -- plumbing --------------------------------------------------------
+
+    def _file_context(
+        self, func: Callable
+    ) -> Tuple[str, Optional[FileSuppressions]]:
+        source_file = inspect.getsourcefile(func) or "<unknown>"
+        cached = self._files.get(source_file)
+        if cached is not None:
+            return cached
+        abspath = os.path.abspath(source_file)
+        label = os.path.relpath(abspath, self.src_base)
+        if label.startswith(".."):
+            label = os.path.basename(abspath)
+        suppressions: Optional[FileSuppressions] = None
+        try:
+            with open(abspath, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            lines = []
+        if lines:
+            if self.tracker is not None:
+                suppressions = self.tracker.for_file(abspath, label, lines)
+            else:
+                suppressions = FileSuppressions(label, lines)
+        context = (label, suppressions)
+        self._files[source_file] = context
+        return context
+
+    def analyze_function(self, func: Callable, self_obj: Any,
+                         argvals: Sequence[Any],
+                         kwargvals: Optional[Dict[str, Any]] = None) -> None:
+        """Walk *func* with ``self`` bound to *self_obj* (may be None)
+        and positional/keyword arguments bound where resolvable."""
+        key = (id(func), id(self_obj) if self_obj is not None else 0)
+        if key in self._visited:
+            return
+        self._visited.add(key)
+        try:
+            lines, start = inspect.getsourcelines(func)
+        except (OSError, TypeError):
+            return
+        try:
+            tree = ast.parse(textwrap.dedent("".join(lines)))
+        except SyntaxError:
+            return  # lambdas defined mid-expression, or exotic source
+        if not tree.body or not isinstance(
+            tree.body[0], (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return
+        fdef = tree.body[0]
+        ast.increment_lineno(fdef, start - 1)
+        scope: Dict[str, Any] = {}
+        params = [
+            a.arg for a in list(fdef.args.posonlyargs) + list(fdef.args.args)
+        ]
+        bound: List[Any] = []
+        if self_obj is not None:
+            bound.append(self_obj)
+        bound.extend(argvals)
+        for index, name in enumerate(params):
+            scope[name] = bound[index] if index < len(bound) else UNKNOWN
+        for arg in list(fdef.args.kwonlyargs) + (
+            [fdef.args.vararg] if fdef.args.vararg else []
+        ) + ([fdef.args.kwarg] if fdef.args.kwarg else []):
+            scope[arg.arg] = UNKNOWN
+        if kwargvals:
+            for name, value in kwargvals.items():
+                if name in params:
+                    scope[name] = value
+        label, suppressions = self._file_context(func)
+        walker = _FunctionWalker(self, func, scope, label, suppressions)
+        walker.exec_block(fdef.body)
+
+    # -- effect recording ------------------------------------------------
+
+    def is_endpoint(self, connector: Connector) -> bool:
+        """True when the analyzed unit is the bound producer/consumer
+        of *connector* (its own analysis charges self-effects)."""
+        module = self.unit.module
+        if module is None or connector is module:
+            return False
+        return connector.producer is module or connector.consumer is module
+
+    def charge(self, kind: str, obj: Any, attr: str, location: str) -> None:
+        if obj is UNKNOWN or obj is None or isinstance(obj, _BoundCallable):
+            return
+        label = self.registry.label_of(obj)
+        if label is None:
+            return
+        if attr != OPAQUE and attr in declared_seams(type(obj)):
+            self.unit.seams.add((label, attr))
+            return
+        store = self.unit.writes if kind == "write" else self.unit.reads
+        store.setdefault((label, attr), location)
+
+    def channel(self, connector: Connector) -> None:
+        label = self.registry.label_of(connector)
+        if label is not None:
+            self.unit.channels.add(label)
+
+    def diagnose(self, rule: str, node: ast.AST, file_label: str,
+                 suppressions: Optional[FileSuppressions],
+                 message: str, hint: str = "") -> None:
+        line_no = getattr(node, "lineno", 0)
+        if suppressions is not None and suppressions.suppresses(rule, line_no):
+            return
+        self.report.add(
+            rule,
+            Severity.WARNING,
+            "%s:%d" % (file_label, line_no),
+            "%s (unit %s)" % (message, self.unit.path),
+            hint,
+        )
+
+
+class _FunctionWalker:
+    """Walks one function body, resolving expressions against live
+    objects and charging effects to the owning :class:`_UnitAnalyzer`."""
+
+    def __init__(self, analyzer: _UnitAnalyzer, func: Callable,
+                 scope: Dict[str, Any], file_label: str,
+                 suppressions: Optional[FileSuppressions]):
+        self.analyzer = analyzer
+        self.func_globals = getattr(func, "__globals__", {})
+        self.module_name = self.func_globals.get("__name__", "<module>")
+        self.scope = scope
+        self.file_label = file_label
+        self.suppressions = suppressions
+
+    # -- helpers ---------------------------------------------------------
+
+    def _location(self, node: ast.AST) -> str:
+        return "%s:%d" % (self.file_label, getattr(node, "lineno", 0))
+
+    def _charge(self, kind: str, obj: Any, attr: str, node: ast.AST) -> None:
+        self.analyzer.charge(kind, obj, attr, self._location(node))
+
+    def _sh005(self, node: ast.AST, what: str) -> None:
+        self.analyzer.diagnose(
+            "SH005", node, self.file_label, self.suppressions,
+            "unanalyzable dynamic access: %s" % what,
+            hint="use a static attribute, or suppress with "
+            "'# fastlint: ignore[SH005]' after auditing",
+        )
+
+    def _sh004(self, node: ast.AST, owner: Any, attr: str) -> None:
+        self.analyzer.diagnose(
+            "SH004", node, self.file_label, self.suppressions,
+            "ordering-sensitive listener: stored callable %r invoked on "
+            "the tick path without a shard_seams declaration on %s"
+            % (attr, type(owner).__name__),
+            hint="declare the hook in the owning class's shard_seams "
+            "(observability-only hooks) or replace it with a Connector",
+        )
+
+    # -- statements ------------------------------------------------------
+
+    def exec_block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, value)
+        elif isinstance(stmt, ast.AugAssign):
+            self.eval_used(stmt.value)
+            self._augment_target(stmt.target)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign_target(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.For):
+            iterable = self.eval(stmt.iter)
+            if iterable is not UNKNOWN:
+                self._charge("read", iterable, OPAQUE, stmt.iter)
+            self._assign_target(stmt.target, UNKNOWN)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self.eval(stmt.value)
+                # bind_tick-style factories return the per-cycle entry
+                # point; a returned bound method is itself tick code.
+                if isinstance(value, _BoundCallable) and value.func is not None:
+                    self.analyzer.analyze_function(value.func, value.owner, [])
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested def: walk its body under the captured scope.
+            child = dict(self.scope)
+            for arg in stmt.args.args + stmt.args.kwonlyargs:
+                child[arg.arg] = UNKNOWN
+            nested = _FunctionWalker(
+                self.analyzer, types.SimpleNamespace(  # type: ignore[arg-type]
+                    __globals__=self.func_globals
+                ), child, self.file_label, self.suppressions,
+            )
+            nested.exec_block(stmt.body)
+            self.scope[stmt.name] = UNKNOWN
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Attribute):
+                    base = self.eval(target.value)
+                    self._charge("write", base, target.attr, target)
+                elif isinstance(target, ast.Subscript):
+                    base = self.eval(target.value)
+                    self.eval_used(target.slice)
+                    self._charge("write", base, OPAQUE, target)
+        else:
+            self._walk_generic(stmt)
+
+    def _walk_generic(self, node: ast.AST) -> None:
+        for _field, value in ast.iter_fields(node):
+            if isinstance(value, list):
+                for item in value:
+                    self._walk_generic_item(item)
+            else:
+                self._walk_generic_item(value)
+
+    def _walk_generic_item(self, item: Any) -> None:
+        if isinstance(item, ast.stmt):
+            self.exec_stmt(item)
+        elif isinstance(item, ast.expr):
+            self.eval_used(item)
+        elif isinstance(item, ast.excepthandler):
+            if item.name:
+                self.scope[item.name] = UNKNOWN
+            self.exec_block(item.body)
+        elif isinstance(item, ast.withitem):
+            value = self.eval_used(item.context_expr)
+            if item.optional_vars is not None:
+                self._assign_target(item.optional_vars, value)
+
+    def _assign_target(self, target: ast.expr, value: Any) -> None:
+        if isinstance(target, ast.Name):
+            self.scope[target.id] = value
+        elif isinstance(target, ast.Attribute):
+            base = self.eval(target.value)
+            self._charge("write", base, target.attr, target)
+        elif isinstance(target, ast.Subscript):
+            base = self.eval(target.value)
+            self.eval_used(target.slice)
+            self._charge("write", base, OPAQUE, target)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign_target(element, UNKNOWN)
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, UNKNOWN)
+
+    def _augment_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.scope[target.id] = UNKNOWN
+        elif isinstance(target, ast.Attribute):
+            base = self.eval(target.value)
+            self._charge("read", base, target.attr, target)
+            self._charge("write", base, target.attr, target)
+        elif isinstance(target, ast.Subscript):
+            base = self.eval(target.value)
+            self.eval_used(target.slice)
+            self._charge("read", base, OPAQUE, target)
+            self._charge("write", base, OPAQUE, target)
+
+    # -- expressions -----------------------------------------------------
+
+    def eval_used(self, node: Optional[ast.expr]) -> Any:
+        """Evaluate *node* in a value-consuming context: a labeled
+        object whose value is observed (truthiness, arithmetic,
+        comparison, containment in a new container) is an opaque read."""
+        if node is None:
+            return UNKNOWN
+        value = self.eval(node)
+        if value is not UNKNOWN and not isinstance(value, _BoundCallable):
+            self._charge("read", value, OPAQUE, node)
+        return value
+
+    def eval(self, node: ast.expr) -> Any:
+        if isinstance(node, ast.Name):
+            if node.id in self.scope:
+                return self.scope[node.id]
+            return self._resolve_global(node.id, node)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Constant):
+            return UNKNOWN
+        if isinstance(node, ast.Subscript):
+            base = self.eval(node.value)
+            self.eval_used(node.slice)
+            self._charge("read", base, OPAQUE, node)
+            return UNKNOWN
+        if isinstance(node, ast.Lambda):
+            child = dict(self.scope)
+            for arg in node.args.args + node.args.kwonlyargs:
+                child[arg.arg] = UNKNOWN
+            nested = _FunctionWalker(
+                self.analyzer, types.SimpleNamespace(  # type: ignore[arg-type]
+                    __globals__=self.func_globals
+                ), child, self.file_label, self.suppressions,
+            )
+            nested.eval_used(node.body)
+            return UNKNOWN
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval(node.value)
+            if isinstance(node.target, ast.Name):
+                self.scope[node.target.id] = value
+            return value
+        if isinstance(node, ast.Compare) and all(
+            isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+        ):
+            # Identity checks (`backend is None`) observe the binding,
+            # not the object's state: no read charge.
+            self.eval(node.left)
+            for comparator in node.comparators:
+                self.eval(comparator)
+            return UNKNOWN
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            for generator in node.generators:
+                iterable = self.eval(generator.iter)
+                if iterable is not UNKNOWN:
+                    self._charge("read", iterable, OPAQUE, generator.iter)
+                self._assign_target(generator.target, UNKNOWN)
+                for condition in generator.ifs:
+                    self.eval_used(condition)
+            if isinstance(node, ast.DictComp):
+                self.eval_used(node.key)
+                self.eval_used(node.value)
+            else:
+                self.eval_used(node.elt)
+            return UNKNOWN
+        # Everything else (BoolOp, BinOp, UnaryOp, Compare, IfExp,
+        # containers, f-strings, slices, ...): value-consuming walk of
+        # child expressions.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval_used(child)
+        return UNKNOWN
+
+    def _resolve_global(self, name: str, node: ast.expr) -> Any:
+        value = self.func_globals.get(name, _MISSING)
+        if value is _MISSING:
+            return UNKNOWN
+        if isinstance(value, types.FunctionType):
+            return value
+        if not _mutable_state(value):
+            return UNKNOWN
+        # A module-level mutable global: label it so that two units
+        # touching it conflict.
+        self.analyzer.registry.label_global(self.module_name, name, value)
+        return value
+
+    def _eval_attribute(self, node: ast.Attribute) -> Any:
+        if node.attr == "__dict__":
+            self._sh005(node, "__dict__ access")
+        base = self.eval(node.value)
+        if base is UNKNOWN or base is None or isinstance(base, _BoundCallable):
+            return UNKNOWN
+        # Sanctioned channel reads resolve before attribute dispatch so
+        # properties like `occupancy` stay channel effects.
+        if (
+            isinstance(base, Connector)
+            and node.attr in CHANNEL_API
+            and self.analyzer.is_endpoint(base)
+        ):
+            self.analyzer.channel(base)
+            return UNKNOWN
+        try:
+            value = inspect.getattr_static(base, node.attr, _MISSING)
+        except (AttributeError, TypeError):
+            value = _MISSING
+        if isinstance(value, property):
+            if value.fget is not None and isinstance(
+                value.fget, types.FunctionType
+            ):
+                self.analyzer.analyze_function(value.fget, base, [])
+            else:
+                self._charge("read", base, OPAQUE, node)
+            return UNKNOWN
+        if value is _MISSING:
+            self._charge("read", base, node.attr, node)
+            return UNKNOWN
+        if isinstance(value, types.FunctionType):
+            return _BoundCallable(base, value, node.attr)
+        if isinstance(value, (staticmethod, classmethod)):
+            inner = value.__func__
+            if isinstance(inner, types.FunctionType):
+                return _BoundCallable(None, inner, node.attr)
+            return UNKNOWN
+        if isinstance(value, (types.BuiltinFunctionType,
+                              types.MethodDescriptorType,
+                              types.WrapperDescriptorType,
+                              types.ClassMethodDescriptorType)):
+            return _BoundCallable(base, None, node.attr)
+        label = self.analyzer.registry.label_of(value)
+        if label is not None:
+            return value  # navigation: no charge
+        if _mutable_state(value):
+            # Unlabeled mutable object (e.g. created after the registry
+            # walk): fall back to attr-level effects on the base.
+            self._charge("read", base, node.attr, node)
+            return UNKNOWN
+        self._charge("read", base, node.attr, node)
+        return UNKNOWN
+
+    def _eval_call(self, node: ast.Call) -> Any:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _SH005_BUILTINS:
+                self._sh005(node, "%s() on the tick path" % func.id)
+                for arg in node.args:
+                    self.eval_used(arg)
+                return UNKNOWN
+            if func.id in ("getattr", "setattr", "delattr") and node.args:
+                return self._eval_dynattr(node, func.id)
+            if func.id == "len" and len(node.args) == 1:
+                target = self.eval(node.args[0])
+                if (
+                    isinstance(target, Connector)
+                    and self.analyzer.is_endpoint(target)
+                ):
+                    self.analyzer.channel(target)
+                elif target is not UNKNOWN:
+                    self._charge("read", target, OPAQUE, node)
+                return UNKNOWN
+        target = self.eval(func)
+        if isinstance(target, _BoundCallable):
+            return self._call_bound(target, node)
+        if isinstance(target, types.FunctionType):
+            argvals = [self.eval(arg) for arg in node.args]
+            kwargvals = {
+                kw.arg: self.eval(kw.value)
+                for kw in node.keywords if kw.arg is not None
+            }
+            self.analyzer.analyze_function(target, None, argvals, kwargvals)
+            return UNKNOWN
+        if target is not UNKNOWN:
+            # A labeled object called directly -- opaque.
+            self._charge("write", target, OPAQUE, node)
+        for arg in node.args:
+            self.eval_used(arg)
+        for keyword in node.keywords:
+            self.eval_used(keyword.value)
+        # Stored-callable hook: the attribute resolved to instance data,
+        # not class code, and it is being invoked.
+        if isinstance(func, ast.Attribute) and target is UNKNOWN:
+            self._check_hook(node, func)
+        return UNKNOWN
+
+    def _check_hook(self, node: ast.Call, func: ast.Attribute) -> None:
+        base = self.eval(func.value)
+        if base is UNKNOWN or base is None or isinstance(base, _BoundCallable):
+            return
+        try:
+            value = inspect.getattr_static(base, func.attr, _MISSING)
+        except (AttributeError, TypeError):
+            value = _MISSING
+        if isinstance(value, (types.FunctionType, property, staticmethod,
+                              classmethod, types.BuiltinFunctionType,
+                              types.MethodDescriptorType,
+                              types.WrapperDescriptorType,
+                              types.ClassMethodDescriptorType)):
+            return  # class code, already handled
+        label = self.analyzer.registry.label_of(base)
+        if label is None:
+            return
+        if func.attr in declared_seams(type(base)):
+            self.analyzer.unit.seams.add((label, func.attr))
+            return
+        self._sh004(node, base, func.attr)
+
+    def _eval_dynattr(self, node: ast.Call, builtin: str) -> Any:
+        base = self.eval(node.args[0])
+        name_arg = node.args[1] if len(node.args) > 1 else None
+        for extra in node.args[2:]:
+            self.eval_used(extra)
+        if (
+            isinstance(name_arg, ast.Constant)
+            and isinstance(name_arg.value, str)
+        ):
+            kind = "read" if builtin == "getattr" else "write"
+            self._charge(kind, base, name_arg.value, node)
+        else:
+            if name_arg is not None:
+                self.eval_used(name_arg)
+            self._sh005(node, "%s() with a non-constant attribute name"
+                        % builtin)
+        return UNKNOWN
+
+    def _call_bound(self, bound: _BoundCallable, node: ast.Call) -> Any:
+        owner, func, name = bound.owner, bound.func, bound.name
+        # Sanctioned channel calls by the connector's own endpoints.
+        if (
+            isinstance(owner, Connector)
+            and name in CHANNEL_API
+            and self.analyzer.is_endpoint(owner)
+        ):
+            self.analyzer.channel(owner)
+            for arg in node.args:
+                self.eval_used(arg)
+            return UNKNOWN
+        if func is not None:
+            argvals = [self.eval(arg) for arg in node.args]
+            kwargvals = {
+                kw.arg: self.eval(kw.value)
+                for kw in node.keywords if kw.arg is not None
+            }
+            self.analyzer.analyze_function(func, owner, argvals, kwargvals)
+            return UNKNOWN
+        # C-implemented method (container mutation, builtin): purity by
+        # name, defaulting to an opaque write.
+        kind = "read" if _method_is_pure(name) else "write"
+        self._charge(kind, owner, OPAQUE, node)
+        for arg in node.args:
+            self.eval_used(arg)
+        for keyword in node.keywords:
+            self.eval_used(keyword.value)
+        return UNKNOWN
+
+
+# -- tree-level driver -------------------------------------------------------
+
+
+class TreeEffects:
+    """Every unit footprint of one module tree, plus the SH004/SH005
+    diagnostics raised while computing them."""
+
+    def __init__(self, root: Module, graph: TimingGraph,
+                 registry: ObjectRegistry, units: List[UnitEffects],
+                 listeners: List[UnitEffects], report: Report):
+        self.root = root
+        self.graph = graph
+        self.registry = registry
+        self.units = units
+        self.listeners = listeners
+        self.report = report
+        self._by_path = {unit.path: unit for unit in units + listeners}
+
+    def unit(self, path: str) -> UnitEffects:
+        return self._by_path[path]
+
+    def unit_paths(self) -> List[str]:
+        return [unit.path for unit in self.units]
+
+    def conflicts(self, path_a: str, path_b: str) -> List[str]:
+        return conflicts_between(self._by_path[path_a], self._by_path[path_b])
+
+    def footprints(self) -> dict:
+        """JSON-ready ``path -> footprint`` map, deterministic order."""
+        out = {}
+        for unit in sorted(self.units + self.listeners,
+                           key=lambda u: u.path):
+            out[unit.path] = unit.footprint()
+        return out
+
+
+def _source_base() -> str:
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def analyze_tree(root: Module,
+                 tracker: Optional[SuppressionTracker] = None) -> TreeEffects:
+    """Compute per-unit effect footprints for the Module tree at *root*.
+
+    Units are the tickable modules (those overriding ``bind_tick``),
+    Connectors included; registered commit/cycle listeners on the root
+    (when present) are analyzed as pseudo-units named
+    ``<commit-listener:...>`` / ``<cycle-listener:...>``.
+    """
+    graph = extract_graph(root)
+    registry = ObjectRegistry(graph)
+    report = Report()
+    src_base = _source_base()
+    units: List[UnitEffects] = []
+    for path, module in graph.modules:
+        if not _is_tickable(module):
+            continue
+        unit = UnitEffects(path, module)
+        analyzer = _UnitAnalyzer(unit, registry, report, tracker, src_base)
+        analyzer.run()
+        units.append(unit)
+    listeners: List[UnitEffects] = []
+    for family, registered in (
+        ("commit-listener", list(getattr(root, "commit_listeners", ()) or ())),
+        ("cycle-listener", list(getattr(root, "cycle_listeners", ()) or ())),
+    ):
+        for index, listener in enumerate(registered):
+            name = getattr(listener, "__qualname__",
+                           type(listener).__name__)
+            unit = UnitEffects("<%s:%d:%s>" % (family, index, name), None)
+            analyzer = _UnitAnalyzer(unit, registry, report, tracker,
+                                     src_base)
+            analyzer.run_callable(listener)
+            listeners.append(unit)
+    return TreeEffects(root, graph, registry, units, listeners, report)

@@ -1,0 +1,605 @@
+"""FastPart partition planning: from footprints to a PartitionPlan.
+
+Overlaying the effect footprints (:mod:`repro.analysis.effects`) on the
+TimingGraph's dataflow structure (:mod:`repro.analysis.graph`) yields
+the shard-safety picture the future bulk-synchronous tick engine
+(ROADMAP item 2) needs: which tickable units *must* share a shard
+(zero-latency edges, conflicting footprints, out-of-band connector
+access), and how to balance the rest across K workers using a cost
+model fed by TickProfiler/FastFlight ``profile.json`` data.
+
+The planner merges constrained units into **atomic groups** (recording
+why), packs groups onto shards longest-processing-time-first, and emits
+a :data:`PartitionPlan` -- a plain JSON document that is the contract
+between this analysis and the sharded engine.  By construction every
+cut edge is a ``min_latency >= 1`` Connector and every cross-shard
+footprint pair is disjoint; :func:`validate_plan` re-checks any plan
+(including hand-written or seeded ones) and reports violations as lint
+rules:
+
+=======  =========  ==========================================================
+rule id  severity   meaning
+=======  =========  ==========================================================
+SH001    error      a zero-latency Connector edge crosses shards: the
+                    consumer would observe same-cycle pushes from
+                    another worker (evaluation order becomes
+                    load-bearing)
+SH002    error      a shared mutable location (owned object or module
+                    global) is written by one shard and touched by
+                    another within the same tick span
+SH003    error/     a module object assigned to one shard has its
+         warning    attributes written (error) or read (warning)
+                    directly from a unit on another shard -- an aliased
+                    module reference escaped its shard
+SH006    warning/   a shard exceeds the balance threshold; WARNING when
+         info       regrouping could fix it, INFO when a single atomic
+                    group forces the imbalance
+=======  =========  ==========================================================
+
+(SH004/SH005 are source-level; see :mod:`repro.analysis.effects`.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Report, Severity
+from repro.analysis.effects import (
+    TreeEffects,
+    UnitEffects,
+    analyze_tree,
+    conflicts_between,
+    locations_overlap,
+)
+from repro.analysis.suppress import SuppressionTracker
+from repro.timing.connector import Connector
+from repro.timing.module import Module
+
+PLAN_VERSION = 1
+
+# A shard costing more than this multiple of the ideal (total/K) is
+# reported imbalanced (SH006).
+BALANCE_THRESHOLD = 1.5
+
+
+# -- cost model --------------------------------------------------------------
+
+
+def load_cost_model(ref: str) -> Dict[str, float]:
+    """``module path -> seconds`` from a TickProfiler ``profile.json``
+    -- either a direct file path or a FastFlight run reference."""
+    if os.path.isfile(ref):
+        with open(ref, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        from repro.observability.flight.artifact import load_artifact
+
+        artifact = load_artifact(ref)
+        data = artifact.profile()
+        if data is None:
+            raise FileNotFoundError(
+                "flight run %r has no profile.json artifact" % ref
+            )
+    costs: Dict[str, float] = {}
+    for row in data.get("modules", ()):
+        costs[row["path"]] = float(row.get("seconds", 0.0))
+    return costs
+
+
+# -- union-find with reasons -------------------------------------------------
+
+
+class _Groups:
+    def __init__(self, members: Sequence[str]):
+        self.parent: Dict[str, str] = {m: m for m in members}
+        self.reasons: Dict[str, List[str]] = {m: [] for m in members}
+
+    def find(self, member: str) -> str:
+        root = member
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[member] != root:  # path compression
+            self.parent[member], member = root, self.parent[member]
+        return root
+
+    def merge(self, a: str, b: str, reason: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            self.reasons[ra].append(reason)
+            return
+        # Deterministic representative: lexicographically smallest.
+        keep, drop = (ra, rb) if ra < rb else (rb, ra)
+        self.parent[drop] = keep
+        self.reasons[keep].extend(self.reasons.pop(drop))
+        self.reasons[keep].append(reason)
+
+    def groups(self) -> List[Tuple[List[str], List[str]]]:
+        """``(sorted members, reasons)`` per group, ordered by first
+        member."""
+        by_root: Dict[str, List[str]] = {}
+        for member in self.parent:
+            by_root.setdefault(self.find(member), []).append(member)
+        out = []
+        for root in sorted(by_root):
+            members = sorted(by_root[root])
+            seen: Set[str] = set()
+            reasons = []
+            for reason in self.reasons[root]:
+                if reason not in seen:
+                    seen.add(reason)
+                    reasons.append(reason)
+            out.append((members, reasons))
+        return out
+
+
+# -- planning ----------------------------------------------------------------
+
+
+def _is_planning_unit(unit: UnitEffects) -> bool:
+    return unit.module is not None and not isinstance(unit.module, Connector)
+
+
+def _ride_target(connector: Connector, graph) -> Optional[str]:
+    """The unit path a Connector rides with: its consumer, else its
+    producer."""
+    for endpoint in (connector.consumer, connector.producer):
+        if endpoint is not None and graph.contains(endpoint):
+            return graph.path_of(endpoint)
+    return None
+
+
+def _base_module_path(label: str, module_paths: Set[str]) -> Optional[str]:
+    """The tree-module path a footprint label belongs to, or None for
+    module-level globals (``pkg.mod:NAME``)."""
+    if ":" in label:
+        return None
+    base = label.split(".", 1)[0]
+    return base if base in module_paths else None
+
+
+def _touches(unit: UnitEffects, prefix: str) -> bool:
+    """Does *unit* have any charged effect on *prefix* or below?"""
+    for store in (unit.writes, unit.reads):
+        for target, _attr in store:
+            if target == prefix or target.startswith(prefix + ".") or (
+                target.startswith(prefix + "/")
+            ):
+                return True
+    return False
+
+
+def plan_partition(
+    root: Module,
+    shards: int = 2,
+    profile: Optional[str] = None,
+    effects: Optional[TreeEffects] = None,
+    tracker: Optional[SuppressionTracker] = None,
+) -> Tuple[dict, Report]:
+    """Compute a K-shard PartitionPlan for the tree at *root*.
+
+    Returns ``(plan, report)``; the report carries the planner's own
+    diagnostics (currently SH006) which are also embedded in the plan.
+    The plan is deterministic: identical trees and inputs produce
+    byte-identical :func:`render_plan` output.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if effects is None:
+        effects = analyze_tree(root, tracker)
+    graph = effects.graph
+    report = Report()
+
+    planning = [u for u in effects.units if _is_planning_unit(u)]
+    connectors = [
+        u for u in effects.units
+        if u.module is not None and isinstance(u.module, Connector)
+    ]
+    unit_paths = [u.path for u in planning]
+    groups = _Groups(unit_paths)
+
+    # 1. Zero-latency dataflow edges force co-location.
+    for edge in graph.edges:
+        if not edge.bound or edge.latency >= 1:
+            continue
+        producer = graph.path_of(edge.producer)
+        consumer = graph.path_of(edge.consumer)
+        if producer in groups.parent and consumer in groups.parent:
+            if producer != consumer:
+                groups.merge(
+                    producer, consumer,
+                    "zero-latency connector %s" % graph.path_of(edge.connector),
+                )
+
+    # 2. Conflicting footprints force co-location.
+    for i, a in enumerate(planning):
+        for b in planning[i + 1:]:
+            reasons = conflicts_between(a, b)
+            if reasons:
+                summary = reasons[0]
+                if len(reasons) > 1:
+                    summary += " (+%d more)" % (len(reasons) - 1)
+                groups.merge(a.path, b.path, summary)
+
+    # 3. Out-of-band connector access (flush/drop_if/trace by anyone,
+    # or any charged effect on connector state) pins the accessor to
+    # the connector's ride target.
+    for conn_unit in connectors:
+        assert conn_unit.module is not None
+        target = _ride_target(conn_unit.module, graph)
+        if target is None or target not in groups.parent:
+            continue
+        for unit in planning:
+            if unit.path == target:
+                continue
+            if _touches(unit, conn_unit.path):
+                groups.merge(
+                    unit.path, target,
+                    "%s accesses connector %s out of band"
+                    % (unit.path, conn_unit.path),
+                )
+
+    # 4. Listener footprints: every unit conflicting with a registered
+    # commit/cycle listener must share the listener's shard.
+    for listener in effects.listeners:
+        anchored: Optional[str] = None
+        for unit in planning:
+            reasons = conflicts_between(listener, unit)
+            if not reasons:
+                continue
+            if anchored is None:
+                anchored = unit.path
+            else:
+                groups.merge(
+                    anchored, unit.path,
+                    "both touched by listener %s" % listener.path,
+                )
+
+    # 5. Costs.
+    costs = load_cost_model(profile) if profile else {}
+    uniform = not costs
+
+    def unit_cost(path: str) -> float:
+        if uniform:
+            return 1.0
+        return costs.get(path, 0.0)
+
+    def connector_cost(path: str) -> float:
+        if uniform:
+            return 0.0
+        return costs.get(path, 0.0)
+
+    ride: Dict[str, str] = {}
+    for conn_unit in connectors:
+        assert conn_unit.module is not None
+        target = _ride_target(conn_unit.module, graph)
+        if target is not None:
+            ride[conn_unit.path] = target
+
+    group_list = groups.groups()
+    group_costs: List[float] = []
+    for members, _reasons in group_list:
+        cost = sum(unit_cost(path) for path in members)
+        for conn_path, target in sorted(ride.items()):
+            if target in members:
+                cost += connector_cost(conn_path)
+        group_costs.append(cost)
+
+    # 6. LPT packing: heaviest group first onto the lightest shard.
+    shard_loads = [0.0] * shards
+    shard_groups: List[List[int]] = [[] for _ in range(shards)]
+    order = sorted(
+        range(len(group_list)),
+        key=lambda idx: (-group_costs[idx], group_list[idx][0][0]),
+    )
+    for index in order:
+        lightest = min(range(shards), key=lambda s: (shard_loads[s], s))
+        shard_loads[lightest] += group_costs[index]
+        shard_groups[lightest].append(index)
+
+    unit_shard: Dict[str, int] = {}
+    for shard_index, indices in enumerate(shard_groups):
+        for group_index in indices:
+            for path in group_list[group_index][0]:
+                unit_shard[path] = shard_index
+
+    # 7. Assign every tree module to a shard: units first, connectors
+    # ride, passives follow their writer (else first reader, else their
+    # nearest assigned ancestor, else shard 0).
+    module_shard: Dict[str, int] = dict(unit_shard)
+    for conn_path, target in ride.items():
+        if target in unit_shard:
+            module_shard[conn_path] = unit_shard[target]
+    for path, _module in graph.modules:
+        if path in module_shard:
+            continue
+        owner: Optional[int] = None
+        for store_name in ("writes", "reads"):
+            if owner is not None:
+                break
+            for unit in planning:
+                store = getattr(unit, store_name)
+                if any(
+                    target == path or target.startswith(path + ".")
+                    or target.startswith(path + "/")
+                    for target, _attr in store
+                ):
+                    owner = unit_shard[unit.path]
+                    break
+        if owner is None:
+            ancestor = path
+            while "/" in ancestor and owner is None:
+                ancestor = ancestor.rsplit("/", 1)[0]
+                owner = module_shard.get(ancestor)
+        module_shard[path] = owner if owner is not None else 0
+
+    # 8. Cut edges (all latency >= 1 by construction of step 1).
+    cut_edges = []
+    for edge in graph.edges:
+        if not edge.bound:
+            continue
+        producer = graph.path_of(edge.producer)
+        consumer = graph.path_of(edge.consumer)
+        ps = module_shard.get(producer)
+        cs = module_shard.get(consumer)
+        if ps is None or cs is None or ps == cs:
+            continue
+        cut_edges.append({
+            "connector": graph.path_of(edge.connector),
+            "producer": producer,
+            "consumer": consumer,
+            "latency": edge.latency,
+            "producer_shard": ps,
+            "consumer_shard": cs,
+        })
+    cut_edges.sort(key=lambda e: (e["connector"], e["producer"]))
+
+    # 9. Shard descriptors with merged footprints.
+    by_path = {unit.path: unit for unit in effects.units}
+    shard_rows = []
+    for shard_index in range(shards):
+        members = sorted(
+            path for path, s in unit_shard.items() if s == shard_index
+        )
+        modules = sorted(
+            path for path, s in module_shard.items() if s == shard_index
+        )
+        reads: Set[str] = set()
+        writes: Set[str] = set()
+        for path in members:
+            unit = by_path[path]
+            reads.update("%s::%s" % key for key in unit.reads)
+            writes.update("%s::%s" % key for key in unit.writes)
+        shard_rows.append({
+            "index": shard_index,
+            "cost": round(shard_loads[shard_index], 9),
+            "units": members,
+            "modules": modules,
+            "groups": sorted(shard_groups[shard_index]),
+            "footprint": {
+                "reads": sorted(reads),
+                "writes": sorted(writes),
+            },
+        })
+
+    total_cost = sum(group_costs)
+    ideal = total_cost / shards if shards else 0.0
+    max_load = max(shard_loads) if shard_loads else 0.0
+    ratio = (max_load / ideal) if ideal > 0 else 1.0
+    balance = {
+        "total_cost": round(total_cost, 9),
+        "ideal": round(ideal, 9),
+        "max": round(max_load, 9),
+        "ratio": round(ratio, 9),
+        "threshold": BALANCE_THRESHOLD,
+    }
+
+    if ratio > BALANCE_THRESHOLD:
+        heaviest = max(
+            range(shards), key=lambda s: (shard_loads[s], -s)
+        )
+        forced = len(shard_groups[heaviest]) <= 1 or len(group_list) < shards
+        report.add(
+            "SH006",
+            Severity.INFO if forced else Severity.WARNING,
+            "shard[%d]" % heaviest,
+            "shard cost %.3f exceeds %.1fx the ideal %.3f%s" % (
+                max_load, BALANCE_THRESHOLD, ideal,
+                " (forced: a single atomic group dominates)"
+                if forced else "",
+            ),
+            hint="break the dominating atomic group's couplings "
+            "(see its recorded reasons) or reduce --shards",
+        )
+
+    plan = {
+        "version": PLAN_VERSION,
+        "tool": "fastpart",
+        "root": graph.path_of(root),
+        "shard_count": shards,
+        "cost_model": ("profile:%s" % profile) if profile else "uniform",
+        "atomic_groups": [
+            {
+                "units": members,
+                "reasons": reasons,
+                "cost": round(group_costs[index], 9),
+            }
+            for index, (members, reasons) in enumerate(group_list)
+        ],
+        "shards": shard_rows,
+        "cut_edges": cut_edges,
+        "balance": balance,
+        "diagnostics": report.to_dicts(),
+    }
+    return plan, report
+
+
+def render_plan(plan: dict) -> str:
+    """Canonical byte-stable JSON rendering of a plan."""
+    from repro.observability.flight.artifact import canonical_json
+
+    return canonical_json(plan)
+
+
+# -- validation --------------------------------------------------------------
+
+
+def validate_plan(plan: dict, effects: TreeEffects) -> Report:
+    """Re-check *plan* (planner output, or hand-written/seeded) against
+    freshly computed effects; returns SH001/SH002/SH003/SH006 findings."""
+    report = Report()
+    graph = effects.graph
+    unit_shard: Dict[str, int] = {}
+    for shard in plan.get("shards", ()):
+        for path in shard.get("units", ()):
+            unit_shard[path] = shard["index"]
+    module_paths = {path for path, _module in graph.modules}
+
+    # Module home shards: explicit assignment, else the shard of the
+    # unit itself.
+    module_shard: Dict[str, int] = {}
+    for shard in plan.get("shards", ()):
+        for path in shard.get("modules", ()):
+            module_shard[path] = shard["index"]
+    module_shard.update(unit_shard)
+
+    # SH001: zero-latency cross-shard edges.
+    for edge in graph.edges:
+        if not edge.bound:
+            continue
+        producer = graph.path_of(edge.producer)
+        consumer = graph.path_of(edge.consumer)
+        ps = unit_shard.get(producer, module_shard.get(producer))
+        cs = unit_shard.get(consumer, module_shard.get(consumer))
+        if ps is None or cs is None or ps == cs:
+            continue
+        if edge.latency < 1:
+            report.add(
+                "SH001",
+                Severity.ERROR,
+                graph.path_of(edge.connector),
+                "zero-latency connector crosses shards %d -> %d: the "
+                "consumer would observe same-cycle pushes from another "
+                "worker" % (ps, cs),
+                hint="raise min_latency to >= 1 or co-locate %s and %s"
+                % (producer, consumer),
+            )
+
+    # SH002/SH003: cross-shard footprint overlaps.
+    placed = [
+        unit for unit in effects.units
+        if unit.path in unit_shard
+    ]
+    seen: Set[Tuple[str, str, str, str]] = set()
+    for i, a in enumerate(placed):
+        for b in placed[i + 1:]:
+            if unit_shard[a.path] == unit_shard[b.path]:
+                continue
+            for first, second in ((a, b), (b, a)):
+                for (wt, wa) in sorted(first.writes):
+                    for accesses, verb in ((second.writes, "written"),
+                                           (second.reads, "read")):
+                        for (ot, oa) in sorted(accesses):
+                            if not locations_overlap(wt, wa, ot, oa):
+                                continue
+                            key = (first.path, second.path, wt, wa)
+                            if key in seen:
+                                continue
+                            seen.add(key)
+                            _classify_overlap(
+                                report, first, second, wt, wa, verb,
+                                module_paths, module_shard, unit_shard,
+                            )
+
+    # SH006: recomputed balance.
+    balance = plan.get("balance", {})
+    ratio = balance.get("ratio", 1.0)
+    threshold = balance.get("threshold", BALANCE_THRESHOLD)
+    if ratio > threshold:
+        shard_rows = plan.get("shards", ())
+        heaviest = max(
+            shard_rows, key=lambda s: (s.get("cost", 0.0), -s["index"]),
+            default=None,
+        )
+        if heaviest is not None:
+            forced = (
+                len(heaviest.get("groups", ())) <= 1
+                or len(plan.get("atomic_groups", ())) < len(shard_rows)
+            )
+            report.add(
+                "SH006",
+                Severity.INFO if forced else Severity.WARNING,
+                "shard[%d]" % heaviest["index"],
+                "shard cost %.3f is %.2fx the ideal (threshold %.1fx)%s"
+                % (
+                    heaviest.get("cost", 0.0), ratio, threshold,
+                    " (forced: a single atomic group dominates)"
+                    if forced else "",
+                ),
+                hint="rebalance groups across shards"
+                if not forced else
+                "break the dominating atomic group's couplings",
+            )
+    return report
+
+
+def _classify_overlap(
+    report: Report,
+    writer: UnitEffects,
+    other: UnitEffects,
+    target: str,
+    attr: str,
+    verb: str,
+    module_paths: Set[str],
+    module_shard: Dict[str, int],
+    unit_shard: Dict[str, int],
+) -> None:
+    base = _base_module_path(target, module_paths)
+    # SH003 covers direct attribute access on a module object in a
+    # foreign shard; owned sub-objects (labels with a ".") and globals
+    # are shared mutable state, SH002.
+    if base == target and base is not None and base in module_shard:
+        home = module_shard[base]
+        writer_shard = unit_shard[writer.path]
+        if home != writer_shard:
+            report.add(
+                "SH003",
+                Severity.ERROR,
+                "%s::%s" % (target, attr),
+                "module %s (shard %d) is written through an aliased "
+                "reference by %s (shard %d)"
+                % (base, home, writer.path, writer_shard),
+                hint="route the interaction through a latency>=1 "
+                "Connector or co-locate the modules",
+            )
+            return
+        other_shard = unit_shard[other.path]
+        if home != other_shard:
+            severity = (
+                Severity.ERROR if verb == "written" else Severity.WARNING
+            )
+            report.add(
+                "SH003",
+                severity,
+                "%s::%s" % (target, attr),
+                "module %s (shard %d) is %s through an aliased "
+                "reference by %s (shard %d)"
+                % (base, home, verb, other.path, other_shard),
+                hint="route the interaction through a latency>=1 "
+                "Connector or co-locate the modules",
+            )
+            return
+    report.add(
+        "SH002",
+        Severity.ERROR,
+        "%s::%s" % (target, attr),
+        "shared mutable state: %s (shard %d) writes it while %s "
+        "(shard %d) has it %s in the same tick span"
+        % (
+            writer.path, unit_shard[writer.path],
+            other.path, unit_shard[other.path], verb,
+        ),
+        hint="give the state a single owner, exchange it through a "
+        "Connector, or declare an audited shard_seams entry",
+    )

@@ -1,0 +1,74 @@
+"""FastPart as a lint pass: shard-safety rules SH001-SH006.
+
+``python -m repro lint --pass shards`` runs the effect analyzer
+(:mod:`repro.analysis.effects`) and partition planner
+(:mod:`repro.analysis.partition`) over the default core and reports
+every shard-safety finding through the shared diagnostic model:
+
+* source-level findings from the analyzer itself -- SH004
+  (ordering-sensitive listener / undeclared hook) and SH005
+  (unanalyzable dynamic access);
+* plan-level findings from validating the planner's own output --
+  SH001 (zero-latency cross-shard edge), SH002 (shared mutable
+  footprint), SH003 (aliased module reference escaping its shard) and
+  SH006 (imbalanced shard).
+
+The planner merges conflicting units into atomic groups, so on a
+well-formed tree SH001-SH003 cannot fire here; they exist to catch
+hand-written or stale PartitionPlans (see
+:func:`repro.analysis.partition.validate_plan`) and regressions where
+the analyzer's conflict rule and the planner's merge rule drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.analysis.diagnostics import Report
+from repro.analysis.effects import TreeEffects, analyze_tree
+from repro.analysis.partition import plan_partition, validate_plan
+from repro.analysis.suppress import SuppressionTracker
+from repro.timing.module import Module
+
+DEFAULT_SHARDS = 2
+DEFAULT_ISSUE_WIDTH = 2
+
+
+def check_shards(
+    root: Module,
+    shards: int = DEFAULT_SHARDS,
+    profile: Optional[str] = None,
+    tracker: Optional[SuppressionTracker] = None,
+) -> Tuple[dict, Report, TreeEffects]:
+    """Analyze, plan and validate in one step.
+
+    Returns ``(plan, report, effects)`` where the report merges the
+    analyzer's source-level diagnostics (SH004/SH005) with the plan
+    validation (SH001-SH003, SH006).  The planner's own SH006 note is
+    embedded in the plan artifact; the merged report carries the
+    validator's recomputation instead, so nothing is double-counted.
+    """
+    effects = analyze_tree(root, tracker)
+    plan, _planner_report = plan_partition(
+        root, shards=shards, profile=profile, effects=effects
+    )
+    report = Report()
+    report.extend(effects.report)
+    report.extend(validate_plan(plan, effects))
+    return plan, report, effects
+
+
+def lint_shards(
+    root: Optional[Module] = None,
+    shards: int = DEFAULT_SHARDS,
+    tracker: Optional[SuppressionTracker] = None,
+) -> Report:
+    """The ``shards`` lint pass over the default 2-issue core."""
+    if root is None:
+        from repro.timing.core import build_default_core
+
+        root = build_default_core(DEFAULT_ISSUE_WIDTH)
+    _plan, report, _effects = check_shards(
+        root, shards=shards, tracker=tracker
+    )
+    return report

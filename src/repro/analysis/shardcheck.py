@@ -1,0 +1,157 @@
+"""The ``python -m repro shardcheck`` entry point.
+
+Runs the FastPart effect analyzer and partition planner over the
+default core and emits a :mod:`PartitionPlan <repro.analysis.partition>`
+artifact -- the contract between the static analysis and the future
+sharded tick engine (ROADMAP item 2).
+
+Usage::
+
+    python -m repro shardcheck                       # 2 shards, summary
+    python -m repro shardcheck --shards 4 -v
+    python -m repro shardcheck --out plan.json       # canonical artifact
+    python -m repro shardcheck --profile <flight-run-or-profile.json>
+    python -m repro shardcheck --json                # plan + diagnostics
+
+Exit code 0 when no diagnostic reaches WARNING severity, 1 otherwise.
+The plan written by ``--out`` is byte-identical across repeated runs on
+the same tree and cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.partition import render_plan
+from repro.analysis.shard_rules import check_shards
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "value must be >= 1 (got %d)" % value
+        )
+    return value
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro shardcheck",
+        description="FastPart: static shard-safety analysis and "
+        "partition planning for the parallel tick engine.",
+    )
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=2,
+        metavar="K",
+        help="number of shards to plan for (default: 2)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="REF",
+        help="cost model: a TickProfiler profile.json path or a "
+        "FastFlight run reference (default: uniform unit costs)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the PartitionPlan artifact (canonical JSON) here",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the plan and the diagnostic report as one JSON "
+        "document instead of the human summary",
+    )
+    parser.add_argument(
+        "--issue-width",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="issue width of the default core to analyze (default: 2)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print INFO-level notes and per-shard footprints",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.timing.core import build_default_core
+
+    root = build_default_core(args.issue_width)
+    plan, report, _effects = check_shards(
+        root, shards=args.shards, profile=args.profile
+    )
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(render_plan(plan))
+
+    min_severity = (
+        Severity.INFO if (args.verbose or args.json) else Severity.WARNING
+    )
+    if args.json:
+        document = report.to_document(min_severity)
+        document["plan"] = plan
+        print(json.dumps(document, sort_keys=True, indent=2))
+    else:
+        text = report.format(min_severity)
+        if text:
+            print(text)
+        _print_summary(plan, report, args)
+    return 0 if report.clean else 1
+
+
+def _print_summary(plan: dict, report, args) -> None:
+    print(
+        "fastpart: %d shard(s) over %d atomic group(s), "
+        "%d cut edge(s), balance ratio %.2f"
+        % (
+            plan["shard_count"],
+            len(plan["atomic_groups"]),
+            len(plan["cut_edges"]),
+            plan["balance"]["ratio"],
+        )
+    )
+    for shard in plan["shards"]:
+        print(
+            "  shard[%d] cost %.3f: %s"
+            % (
+                shard["index"],
+                shard["cost"],
+                ", ".join(shard["units"]) or "(empty)",
+            )
+        )
+        if args.verbose:
+            footprint = shard["footprint"]
+            for kind in ("writes", "reads"):
+                for location in footprint[kind]:
+                    print("    %s %s" % (kind[:-1], location))
+    for edge in plan["cut_edges"]:
+        print(
+            "  cut %s (latency %d): shard[%d] -> shard[%d]"
+            % (
+                edge["connector"],
+                edge["latency"],
+                edge["producer_shard"],
+                edge["consumer_shard"],
+            )
+        )
+    if args.out:
+        print("plan written to %s" % args.out)
+    failing = report.failing
+    print(
+        "shardcheck: %d error(s), %d warning(s), %d info note(s)"
+        % (
+            len(report.errors),
+            len(failing) - len(report.errors),
+            len(report) - len(failing),
+        )
+    )

@@ -35,8 +35,12 @@ import ast
 import os
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.determinism import _ignored_rules, _python_files
 from repro.analysis.diagnostics import Report, Severity
+from repro.analysis.suppress import (
+    FileSuppressions,
+    SuppressionTracker,
+    python_files,
+)
 from repro.timing.module import Module
 
 # Function names inside which stat registration is construction-time by
@@ -91,22 +95,20 @@ def lint_stat_registry(root: Module) -> Report:
 
 
 class _StatChecker(ast.NodeVisitor):
-    def __init__(self, filename: str, source_lines: Sequence[str]):
+    def __init__(self, filename: str, source_lines: Sequence[str],
+                 suppressions: Optional[FileSuppressions] = None):
         self.filename = filename
         self.lines = source_lines
+        self.suppressions = suppressions or FileSuppressions(
+            filename, source_lines
+        )
         self.report = Report()
         self._function_stack: List[str] = []
 
     def _add(self, rule: str, severity: Severity, node: ast.AST,
              message: str, hint: str = "") -> None:
         line_no = getattr(node, "lineno", 0)
-        line = (
-            self.lines[line_no - 1]
-            if 0 < line_no <= len(self.lines)
-            else ""
-        )
-        ignored = _ignored_rules(line)
-        if ignored is not None and (not ignored or rule in ignored):
+        if self.suppressions.suppresses(rule, line_no):
             return
         self.report.add(
             rule, severity, "%s:%d" % (self.filename, line_no), message, hint
@@ -188,7 +190,8 @@ class _StatChecker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_stat_source(source: str, filename: str = "<string>") -> Report:
+def lint_stat_source(source: str, filename: str = "<string>",
+                     suppressions: Optional[FileSuppressions] = None) -> Report:
     """Run ST002/ST003 over one Python source string."""
     report = Report()
     try:
@@ -201,13 +204,16 @@ def lint_stat_source(source: str, filename: str = "<string>") -> Report:
             "syntax error: %s" % exc.msg,
         )
         return report
-    checker = _StatChecker(filename, source.splitlines())
+    checker = _StatChecker(filename, source.splitlines(), suppressions)
     checker.visit(tree)
     report.extend(checker.report)
     return report
 
 
-def lint_stat_sources(paths: Optional[Sequence[str]] = None) -> Report:
+def lint_stat_sources(
+    paths: Optional[Sequence[str]] = None,
+    tracker: Optional[SuppressionTracker] = None,
+) -> Report:
     """ST002/ST003 over Python files/directories; defaults to the
     installed ``repro`` package sources."""
     if paths is None:
@@ -222,7 +228,7 @@ def lint_stat_sources(paths: Optional[Sequence[str]] = None) -> Report:
             continue
         if os.path.isdir(path):
             base = os.path.dirname(os.path.abspath(path))
-            files = list(_python_files(path))
+            files = list(python_files(path))
         else:
             base = os.path.dirname(os.path.abspath(path)) or "."
             files = [path]
@@ -230,5 +236,10 @@ def lint_stat_sources(paths: Optional[Sequence[str]] = None) -> Report:
             rel = os.path.relpath(os.path.abspath(file_path), base)
             with open(file_path, "r", encoding="utf-8") as handle:
                 source = handle.read()
-            report.extend(lint_stat_source(source, rel))
+            suppressions = None
+            if tracker is not None:
+                suppressions = tracker.for_file(
+                    file_path, rel, source.splitlines()
+                )
+            report.extend(lint_stat_source(source, rel, suppressions))
     return report

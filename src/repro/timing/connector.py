@@ -25,6 +25,17 @@ from repro.timing.module import Module
 class Connector(Module):
     """A latency/throughput-constrained FIFO between two Modules."""
 
+    # Tracing state is an intentional shared-state seam (FastPart):
+    # the trace log and trigger predicate observe traffic but are never
+    # consulted for simulation decisions, so their cross-shard ordering
+    # is benign.
+    shard_seams = {
+        "_trace_log": "observability-only push log; never read on the "
+                      "simulation path",
+        "_trigger": "observability-only trace predicate hook",
+        "_trace_limit": "observability-only trace log bound",
+    }
+
     def __init__(
         self,
         name: str,

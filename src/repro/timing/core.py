@@ -209,6 +209,19 @@ def default_cores() -> "List[TimingModel]":
 class TimingModel(Module):
     """The complete target pipeline (Figure 3)."""
 
+    # Listener plumbing is an intentional shared-state seam (FastPart):
+    # commit/cycle listeners and the tracer observe the run but are
+    # never consulted for simulation decisions, so the effect analyzer
+    # records accesses to them without treating them as races.
+    shard_seams = {
+        "_commit_listeners": "observability commit fan-out list; "
+                             "rebinds backend.on_instr_commit",
+        "cycle_listeners": "observability per-cycle hook list",
+        "_cycle_idle_hints": "idle-span hints for the compiled engine",
+        "tracer": "FastScope seam-event tracer; write-only from the "
+                  "engine",
+    }
+
     def __init__(
         self,
         feed: InstructionFeed,

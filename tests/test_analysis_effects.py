@@ -1,0 +1,228 @@
+"""FastPart effect analyzer: footprints, seams, SH004/SH005."""
+
+from repro.analysis.effects import analyze_tree, conflicts_between
+from repro.timing.connector import Connector
+from repro.timing.core import build_default_core
+from repro.timing.module import Module
+
+
+# -- toy units with known footprints --------------------------------------
+
+
+class Producer(Module):
+    def __init__(self, name, outq):
+        super().__init__(name)
+        self.outq = outq
+        self.sent = 0
+
+    def bind_tick(self):
+        return self.tick
+
+    def tick(self, cycle):
+        if self.outq.can_push():
+            self.outq.push(cycle)
+            self.sent += 1
+
+
+class ConsumerUnit(Module):
+    def __init__(self, name, inq):
+        super().__init__(name)
+        self.inq = inq
+        self.received = 0
+
+    def bind_tick(self):
+        return self.tick
+
+    def tick(self, cycle):
+        item = self.inq.pop()
+        if item is not None:
+            self.received += 1
+
+
+def build_toy():
+    root = Module("toy")
+    queue = Connector("q", min_latency=1)
+    producer = Producer("prod", queue)
+    consumer = ConsumerUnit("cons", queue)
+    queue.bind_endpoints(producer, consumer)
+    for child in (producer, queue, consumer):
+        root.add_child(child)
+    return root
+
+
+def test_toy_golden_footprints():
+    effects = analyze_tree(build_toy())
+    prod = effects.unit("toy/prod")
+    cons = effects.unit("toy/cons")
+    assert prod.footprint() == {
+        "reads": ["toy/prod::sent"],
+        "writes": ["toy/prod::sent"],
+        "channels": ["toy/q"],
+        "seams": [],
+    }
+    assert cons.footprint() == {
+        "reads": ["toy/cons::received"],
+        "writes": ["toy/cons::received"],
+        "channels": ["toy/q"],
+        "seams": [],
+    }
+
+
+def test_toy_channel_use_is_not_a_conflict():
+    effects = analyze_tree(build_toy())
+    assert conflicts_between(
+        effects.unit("toy/prod"), effects.unit("toy/cons")
+    ) == []
+
+
+def test_connector_unit_reports_its_own_tick_writes():
+    effects = analyze_tree(build_toy())
+    queue = effects.unit("toy/q")
+    assert "toy/q::_now" in queue.footprint()["writes"]
+    assert queue.footprint()["channels"] == []
+
+
+# -- default-core golden membership ----------------------------------------
+
+
+def test_default_core_frontend_reads_backend_rob():
+    effects = analyze_tree(build_default_core())
+    frontend = effects.unit("timing_model/frontend")
+    reads = frontend.footprint()["reads"]
+    assert "timing_model/backend.rob::*" in reads
+
+
+def test_default_core_backend_writes_frontend_drain_state():
+    effects = analyze_tree(build_default_core())
+    backend = effects.unit("timing_model/backend")
+    writes = backend.footprint()["writes"]
+    assert "timing_model/frontend::mode" in writes
+    assert "timing_model/frontend::resume_pc" in writes
+
+
+def test_default_core_microcode_shared_object_labeled():
+    effects = analyze_tree(build_default_core())
+    frontend = effects.unit("timing_model/frontend")
+    assert any(
+        location.startswith("timing_model.microcode")
+        for location in frontend.footprint()["reads"]
+    )
+
+
+def test_default_core_cache_hierarchy_footprint():
+    effects = analyze_tree(build_default_core())
+    frontend = effects.unit("timing_model/frontend")
+    reads = frontend.footprint()["reads"]
+    assert "timing_model/memhier/iL1._sets::*" in reads
+    assert "timing_model/memhier.geometry::l1_hit_latency" in reads
+
+
+def test_default_core_frontend_backend_conflict_detected():
+    effects = analyze_tree(build_default_core())
+    reasons = effects.conflicts(
+        "timing_model/frontend", "timing_model/backend"
+    )
+    assert reasons  # combinationally coupled: not shardable apart
+
+
+def test_default_core_source_diagnostics_clean():
+    effects = analyze_tree(build_default_core())
+    assert effects.report.clean, effects.report.format()
+
+
+def test_seam_accesses_are_recorded_not_charged():
+    effects = analyze_tree(build_default_core())
+    backend = effects.unit("timing_model/backend")
+    seams = backend.footprint()["seams"]
+    assert any("on_instr_commit" in seam for seam in seams)
+    assert not any(
+        "on_instr_commit" in location
+        for location in backend.footprint()["writes"]
+    )
+
+
+# -- SH004: ordering-sensitive stored-callable hooks ------------------------
+
+
+class HookedUnit(Module):
+    def __init__(self, name):
+        super().__init__(name)
+        self.on_event = None
+        self.count = 0
+
+    def bind_tick(self):
+        return self.tick
+
+    def tick(self, cycle):
+        self.count += 1
+        if self.on_event is not None:
+            self.on_event(cycle)
+
+
+class DeclaredHookedUnit(HookedUnit):
+    shard_seams = {"on_event": "audited observability hook"}
+
+
+def test_sh004_fires_on_undeclared_hook():
+    root = Module("toy")
+    root.add_child(HookedUnit("hooked"))
+    effects = analyze_tree(root)
+    assert "SH004" in effects.report.rules()
+
+
+def test_sh004_quiet_when_hook_is_a_declared_seam():
+    root = Module("toy")
+    root.add_child(DeclaredHookedUnit("hooked"))
+    effects = analyze_tree(root)
+    assert "SH004" not in effects.report.rules()
+    seams = effects.unit("toy/hooked").footprint()["seams"]
+    assert any("on_event" in seam for seam in seams)
+
+
+def test_shard_seams_merge_over_mro():
+    merged = DeclaredHookedUnit.declared_shard_seams()
+    assert "on_event" in merged
+
+
+# -- SH005: unanalyzable dynamic access -------------------------------------
+
+
+class DynamicUnit(Module):
+    def __init__(self, name):
+        super().__init__(name)
+        self.field = 0
+
+    def bind_tick(self):
+        return self.tick
+
+    def tick(self, cycle):
+        name = "field" if cycle else "other"
+        setattr(self, name, cycle)
+
+
+class SuppressedDynamicUnit(Module):
+    def __init__(self, name):
+        super().__init__(name)
+        self.field = 0
+
+    def bind_tick(self):
+        return self.tick
+
+    def tick(self, cycle):
+        name = "field" if cycle else "other"
+        setattr(self, name, cycle)  # fastlint: ignore[SH005]
+
+
+def test_sh005_fires_on_dynamic_attribute_name():
+    root = Module("toy")
+    root.add_child(DynamicUnit("dyn"))
+    effects = analyze_tree(root)
+    diags = effects.report.by_rule("SH005")
+    assert diags, effects.report.format()
+
+
+def test_sh005_suppressible_with_ignore_comment():
+    root = Module("toy")
+    root.add_child(SuppressedDynamicUnit("dyn"))
+    effects = analyze_tree(root)
+    assert "SH005" not in effects.report.rules()

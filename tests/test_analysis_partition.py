@@ -1,0 +1,321 @@
+"""FastPart partition planner: PartitionPlan, SH001-SH006, CLI."""
+
+import json
+
+from repro.analysis.effects import analyze_tree, locations_overlap
+from repro.analysis.partition import (
+    plan_partition,
+    render_plan,
+    validate_plan,
+)
+from repro.analysis.shardcheck import main as shardcheck_main
+from repro.timing.connector import Connector
+from repro.timing.core import build_default_core
+from repro.timing.module import Module
+
+
+class Stage(Module):
+    """One pipeline stage: pops from inq (if any), pushes to outq."""
+
+    def __init__(self, name, inq=None, outq=None):
+        super().__init__(name)
+        self.inq = inq
+        self.outq = outq
+        self.count = 0
+
+    def bind_tick(self):
+        return self.tick
+
+    def tick(self, cycle):
+        if self.inq is not None:
+            item = self.inq.pop()
+            if item is None:
+                return
+            self.count += 1
+        else:
+            item = cycle
+        if self.outq is not None and self.outq.can_push():
+            self.outq.push(item)
+
+
+def build_chain(latencies=(1, 1, 1)):
+    """a -> q1 -> b -> q2 -> c -> q3 -> d with the given latencies."""
+    root = Module("pipe")
+    queues = [
+        Connector("q%d" % (i + 1), min_latency=latency)
+        for i, latency in enumerate(latencies)
+    ]
+    stages = [
+        Stage("a", outq=queues[0]),
+        Stage("b", inq=queues[0], outq=queues[1]),
+        Stage("c", inq=queues[1], outq=queues[2]),
+        Stage("d", inq=queues[2]),
+    ]
+    for queue, producer, consumer in zip(queues, stages, stages[1:]):
+        queue.bind_endpoints(producer, consumer)
+    for stage, queue in zip(stages, queues):
+        root.add_child(stage)
+        root.add_child(queue)
+    root.add_child(stages[-1])
+    return root
+
+
+# -- planning a genuinely shardable tree ------------------------------------
+
+
+def test_chain_splits_into_two_balanced_shards():
+    plan, report = plan_partition(build_chain(), shards=2)
+    sizes = sorted(len(s["units"]) for s in plan["shards"])
+    assert sizes == [2, 2]
+    assert report.clean
+    assert plan["cut_edges"]
+    for edge in plan["cut_edges"]:
+        assert edge["latency"] >= 1
+
+
+def test_chain_cross_shard_footprints_are_disjoint():
+    root = build_chain()
+    effects = analyze_tree(root)
+    plan, _report = plan_partition(root, shards=2, effects=effects)
+    shard_of = {}
+    for shard in plan["shards"]:
+        for path in shard["units"]:
+            shard_of[path] = shard["index"]
+    units = [u for u in effects.units if u.path in shard_of]
+    for i, a in enumerate(units):
+        for b in units[i + 1:]:
+            if shard_of[a.path] == shard_of[b.path]:
+                continue
+            for (wt, wa) in a.writes:
+                for store in (b.writes, b.reads):
+                    for (ot, oa) in store:
+                        assert not locations_overlap(wt, wa, ot, oa)
+
+
+def test_chain_plan_validates_clean():
+    root = build_chain()
+    plan, _report = plan_partition(root, shards=2)
+    report = validate_plan(plan, analyze_tree(root))
+    assert report.clean, report.format()
+
+
+def test_every_module_is_assigned_to_exactly_one_shard():
+    plan, _report = plan_partition(build_chain(), shards=2)
+    assigned = [m for shard in plan["shards"] for m in shard["modules"]]
+    assert len(assigned) == len(set(assigned))
+    assert "pipe" in assigned  # the root rides along too
+
+
+# -- the default core: honest result ----------------------------------------
+
+
+def test_default_core_plan_is_clean_and_cuts_only_latency_edges():
+    core = build_default_core()
+    effects = analyze_tree(core)
+    plan, _report = plan_partition(core, shards=2, effects=effects)
+    for edge in plan["cut_edges"]:
+        assert edge["latency"] >= 1
+    report = validate_plan(plan, effects)
+    assert report.clean, report.format()
+    # The combinationally-coupled frontend/backend pair must share an
+    # atomic group (drain control writes + combinational ROB reads).
+    groups = [set(g["units"]) for g in plan["atomic_groups"]]
+    assert any(
+        {"timing_model/frontend", "timing_model/backend"} <= group
+        for group in groups
+    )
+
+
+def test_default_core_plan_is_byte_identical_across_runs():
+    first, _ = plan_partition(build_default_core(), shards=2)
+    second, _ = plan_partition(build_default_core(), shards=2)
+    assert render_plan(first) == render_plan(second)
+
+
+# -- seeded violations caught by the SH rules --------------------------------
+
+
+def _hand_plan(shard_units, ratio=1.0, costs=None):
+    """A minimal hand-written plan assigning *shard_units* directly."""
+    shards = []
+    for index, units in enumerate(shard_units):
+        shards.append({
+            "index": index,
+            "cost": (costs or {}).get(index, float(len(units))),
+            "units": sorted(units),
+            "modules": sorted(units),
+            "groups": [],
+            "footprint": {"reads": [], "writes": []},
+        })
+    return {
+        "version": 1,
+        "tool": "fastpart",
+        "shard_count": len(shard_units),
+        "atomic_groups": [{"units": sorted(u)} for u in shard_units],
+        "shards": shards,
+        "cut_edges": [],
+        "balance": {"ratio": ratio, "threshold": 1.5},
+        "diagnostics": [],
+    }
+
+
+def test_sh001_zero_latency_edge_crossing_shards():
+    root = build_chain(latencies=(0, 1, 1))
+    effects = analyze_tree(root)
+    plan = _hand_plan([["pipe/a"], ["pipe/b", "pipe/c", "pipe/d"]])
+    report = validate_plan(plan, effects)
+    diags = report.by_rule("SH001")
+    assert diags and all(d.severity.name == "ERROR" for d in diags)
+    assert any("pipe/q1" in d.location for d in diags)
+
+
+def test_planner_never_cuts_a_zero_latency_edge():
+    root = build_chain(latencies=(0, 1, 1))
+    plan, report = plan_partition(root, shards=2)
+    assert report.clean
+    for edge in plan["cut_edges"]:
+        assert edge["latency"] >= 1
+    assert validate_plan(plan, analyze_tree(root)).clean
+
+
+class SharedDictWriter(Module):
+    def __init__(self, name, shared):
+        super().__init__(name)
+        self.shared = shared
+
+    def bind_tick(self):
+        return self.tick
+
+    def tick(self, cycle):
+        self.shared["last"] = cycle
+
+
+class SharedDictReader(Module):
+    def __init__(self, name, shared):
+        super().__init__(name)
+        self.shared = shared
+        self.seen = 0
+
+    def bind_tick(self):
+        return self.tick
+
+    def tick(self, cycle):
+        if self.shared:
+            self.seen += 1
+
+
+def test_sh002_shared_mutable_state_split_across_shards():
+    root = Module("toy")
+    shared = {}
+    writer = SharedDictWriter("writer", shared)
+    reader = SharedDictReader("reader", shared)
+    root.add_child(writer)
+    root.add_child(reader)
+    effects = analyze_tree(root)
+    plan = _hand_plan([["toy/writer"], ["toy/reader"]])
+    report = validate_plan(plan, effects)
+    assert report.by_rule("SH002"), report.format()
+
+
+def test_planner_colocates_shared_mutable_state():
+    root = Module("toy")
+    shared = {}
+    root.add_child(SharedDictWriter("writer", shared))
+    root.add_child(SharedDictReader("reader", shared))
+    plan, _report = plan_partition(root, shards=2)
+    populated = [s for s in plan["shards"] if s["units"]]
+    assert len(populated) == 1  # forced into one atomic group
+
+
+class PeerWriter(Module):
+    def __init__(self, name, peer):
+        super().__init__(name)
+        self.peer = peer
+
+    def bind_tick(self):
+        return self.tick
+
+    def tick(self, cycle):
+        self.peer.poked = cycle
+
+
+class Peer(Module):
+    def __init__(self, name):
+        super().__init__(name)
+        self.poked = 0
+
+    def bind_tick(self):
+        return self.tick
+
+    def tick(self, cycle):
+        self.poked += 0
+
+
+def test_sh003_aliased_module_reference_escaping_shard():
+    root = Module("toy")
+    peer = Peer("peer")
+    writer = PeerWriter("writer", peer)
+    root.add_child(peer)
+    root.add_child(writer)
+    effects = analyze_tree(root)
+    plan = _hand_plan([["toy/writer"], ["toy/peer"]])
+    report = validate_plan(plan, effects)
+    diags = report.by_rule("SH003")
+    assert diags, report.format()
+    assert any(d.severity.name == "ERROR" for d in diags)
+
+
+def test_sh006_imbalanced_plan_reported():
+    root = build_chain()
+    effects = analyze_tree(root)
+    plan = _hand_plan(
+        [["pipe/a", "pipe/b", "pipe/c", "pipe/d"], []],
+        ratio=2.0,
+        costs={0: 4.0, 1: 0.0},
+    )
+    report = validate_plan(plan, effects)
+    assert report.by_rule("SH006"), report.format()
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_shardcheck_cli_writes_byte_identical_plan(tmp_path, capsys):
+    first = tmp_path / "plan1.json"
+    second = tmp_path / "plan2.json"
+    assert shardcheck_main(["--shards", "2", "--out", str(first)]) == 0
+    assert shardcheck_main(["--shards", "2", "--out", str(second)]) == 0
+    capsys.readouterr()
+    assert first.read_bytes() == second.read_bytes()
+    plan = json.loads(first.read_text())
+    assert plan["shard_count"] == 2
+    assert plan["tool"] == "fastpart"
+
+
+def test_shardcheck_cli_json_document(capsys):
+    exit_code = shardcheck_main(["--json"])
+    out = capsys.readouterr().out
+    document = json.loads(out)
+    assert exit_code == 0
+    assert document["summary"]["clean"] is True
+    assert document["plan"]["shard_count"] == 2
+
+
+def test_lint_json_mode_is_sorted_and_parsable(capsys):
+    from repro.analysis.cli import main as lint_main
+
+    exit_code = lint_main(["--json", "--pass", "graph", "--pass", "shards"])
+    out = capsys.readouterr().out
+    document = json.loads(out)
+    assert exit_code == 0
+    keys = [
+        (d["rule"], d["location"], d["message"], d["hint"])
+        for d in document["diagnostics"]
+    ]
+    assert keys == sorted(keys)
+
+
+def test_lint_shards_pass_registered():
+    from repro.analysis.cli import PASS_NAMES
+
+    assert "shards" in PASS_NAMES
