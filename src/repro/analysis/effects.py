@@ -63,6 +63,7 @@ import inspect
 import os
 import textwrap
 import types
+from array import array
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -93,6 +94,15 @@ UNKNOWN = _Unknown()
 CHANNEL_API = frozenset(
     {"tick", "can_push", "push", "can_pop", "pop", "peek",
      "occupancy", "__len__"}
+)
+
+# The internal state those channel methods operate on.  The compiled
+# engine's fused ticks (repro.timing.pipeline.fastpath) inline the
+# channel API, so a bound endpoint touching exactly this state is still
+# channel discipline, not a shared-state violation.
+CHANNEL_STATE = frozenset(
+    {"_now", "_pushed_this_cycle", "_popped_this_cycle", "_queue",
+     "_counters"}
 )
 
 # Purity heuristic for methods whose source is unavailable (builtins,
@@ -128,7 +138,7 @@ def declared_seams(klass: type) -> Dict[str, str]:
 
 # -- object labeling ---------------------------------------------------------
 
-_ATOMIC_CONTAINERS = (list, dict, set, deque, bytearray)
+_ATOMIC_CONTAINERS = (list, dict, set, deque, bytearray, array)
 
 
 def _mutable_state(value: Any) -> bool:
@@ -185,6 +195,7 @@ class ObjectRegistry:
 
     def __init__(self, graph: TimingGraph):
         self._labels: Dict[int, str] = {}
+        self._owners: Dict[int, Tuple[Any, str]] = {}
         self._keep: List[Any] = []  # pin ids for the registry lifetime
         for path, module in graph.modules:
             self._add(module, path)
@@ -202,6 +213,7 @@ class ObjectRegistry:
                         continue
                     child_label = "%s.%s" % (label, attr)
                     self._add(value, child_label)
+                    self._owners[id(value)] = (obj, attr)
                     if not isinstance(value, _ATOMIC_CONTAINERS):
                         next_frontier.append((child_label, value))
             frontier = next_frontier
@@ -213,6 +225,11 @@ class ObjectRegistry:
 
     def label_of(self, obj: Any) -> Optional[str]:
         return self._labels.get(id(obj))
+
+    def owner_of(self, obj: Any) -> Optional[Tuple[Any, str]]:
+        """``(owner, attr)`` under which *obj* was first sighted, or
+        None for tree modules and globals."""
+        return self._owners.get(id(obj))
 
     def label_global(self, module_name: str, var_name: str,
                      value: Any) -> str:
@@ -440,6 +457,27 @@ class _UnitAnalyzer:
         if attr != OPAQUE and attr in declared_seams(type(obj)):
             self.unit.seams.add((label, attr))
             return
+        # Channel discipline, inlined form: the fused compiled-engine
+        # ticks open-code the Connector push/pop/tick protocol, so an
+        # endpoint touching exactly the channel-internal state is the
+        # same sanctioned dataflow as calling the channel API.
+        if (
+            isinstance(obj, Connector)
+            and attr in CHANNEL_STATE
+            and self.is_endpoint(obj)
+        ):
+            self.channel(obj)
+            return
+        owner = self.registry.owner_of(obj)
+        if owner is not None:
+            owner_obj, owner_attr = owner
+            if (
+                isinstance(owner_obj, Connector)
+                and owner_attr in CHANNEL_STATE
+                and self.is_endpoint(owner_obj)
+            ):
+                self.channel(owner_obj)
+                return
         store = self.unit.writes if kind == "write" else self.unit.reads
         store.setdefault((label, attr), location)
 
@@ -718,6 +756,12 @@ class _FunctionWalker:
             value = inspect.getattr_static(base, node.attr, _MISSING)
         except (AttributeError, TypeError):
             value = _MISSING
+        if isinstance(value, types.MemberDescriptorType):
+            # ``__slots__`` storage: getattr_static hands back the slot
+            # descriptor, not the stored value.  Resolve to the live
+            # instance value so labeled children (flat tables etc.)
+            # navigate instead of collapsing to an attr-level charge.
+            value = getattr(base, node.attr, _MISSING)
         if isinstance(value, property):
             if value.fget is not None and isinstance(
                 value.fget, types.FunctionType

@@ -1,23 +1,32 @@
-"""Hot-path benchmark: compiled tick engine vs the legacy engine.
+"""Hot-path benchmark: the fast busy path vs the pre-FastBlock baseline.
 
 ``python -m repro bench`` times the FAST-coupled simulator wall-clock
-on a linux-boot slice plus three SPECINT-like kernels, once per engine
-(``TimingConfig(engine=...)``), and writes ``BENCH_hotpath.json``:
-per-workload cycles/sec for each engine, the compiled/legacy speedup,
-a stats-equivalence bit, and the geometric-mean speedup.
+on a linux-boot slice plus SPECINT-like and fuzz-derived busy kernels
+and writes ``BENCH_hotpath.json``: per-workload cycles/sec for each
+configuration, the speedup, a stats-equivalence bit, and geometric
+means overall and per workload class.
 
-Two of the workloads are HALT-heavy by construction -- the phenomena
-the compiled engine's idle fast-forward targets (section 3.4's
-timing-model-starving sleeps; boot-phase idling):
+The two rows per workload are the *before* and *after* of the busy
+path work:
 
-* ``linux-boot``: a full Linux-2.4 boot whose init sleeps for many
-  kernel ticks before exiting, so the kernel parks in its HALT idle
-  loop and almost every post-boot cycle is skippable.
-* ``perlbmk-sleep``: the 253.perlbmk interpreter hash loop punctuated
-  by long ``SYS_SLEEP`` calls (Figure 4's HALT behaviour, amplified).
+* ``legacy``: the legacy tick engine with the FM superblock cache
+  disabled -- the interpreter the fast path replaced;
+* ``compiled``: the compiled tick engine with superblock capture and
+  replay on -- the full busy-path stack (fused ticks, span-batched
+  commit, flat TM tables, FM superblocks).
 
-``164.gzip`` and ``181.mcf`` never idle; they pin the busy-cycle
-overhead of the compiled engine (target: parity, >= 1.0x).
+Both produce bit-identical ``TimingStats`` (the ``cycles_match`` bit).
+
+Workloads fall into two classes:
+
+* **idle-heavy** (``linux-boot``, ``perlbmk-sleep``): HALT-heavy by
+  construction -- the phenomena idle fast-forward targets (section
+  3.4's timing-model-starving sleeps; boot-phase idling).
+* **busy** (``164.gzip``, ``181.mcf``, ``fuzz-alu``, ``fuzz-chase``):
+  never idle; they pin the per-cycle busy path.  The ``fuzz-*`` pair
+  is generated from the FastFuzz atom machinery with fixed seeds: a
+  tight seeded ALU/mem kernel and a pointer-chase over a seeded
+  permutation ring.
 
 This file reads the host clock on purpose -- it *measures* the
 simulator instead of simulating -- so the DT002 wall-clock rule is
@@ -36,18 +45,25 @@ from repro.experiments.harness import (
     flight_enabled,
     flight_root,
 )
+from repro.fuzz.generator import alu_burst
 from repro.kernel.image import UserProgram
 from repro.kernel.sources import linux24_config
 from repro.timing.core import TimingConfig
 from repro.workloads import build as build_workload
-from repro.workloads.generator import EXIT_SNIPPET, Workload, data_bytes, seeded
+from repro.workloads.generator import (
+    EXIT_SNIPPET,
+    Workload,
+    data_bytes,
+    data_words,
+    seeded,
+)
 
 BENCH_PATH = "BENCH_hotpath.json"
 OVERHEAD_PATH = "BENCH_observability.json"
 MAX_CYCLES = 8_000_000
 
 # Workloads whose wall time the idle fast-forward should dominate; the
-# acceptance bar is >= 2x on these and >= 1.3x geomean overall.
+# acceptance bar is >= 2.4x on these, >= 1.3x on the busy class.
 IDLE_HEAVY = ("linux-boot", "perlbmk-sleep")
 
 _SLEEPER_INIT = """
@@ -125,29 +141,131 @@ def _perlbmk_sleep(iterations: int, sleep_ticks: int) -> Workload:
     )
 
 
+_FUZZ_ALU = """
+main:
+    MOVI R7, %(outer)d
+fa_outer:
+    MOVI R6, buf
+    MOVI R5, %(inner)d
+fa_inner:
+    %(burst)s
+    ST [R6+0], R1
+    LD R2, [R6+4]
+    ADDI R6, 8
+    DEC R5
+    JNZ fa_inner
+    DEC R7
+    JNZ fa_outer
+%(exit)s
+.align 4
+%(data)s
+"""
+
+_FUZZ_CHASE = """
+main:
+    MOVI R7, %(outer)d
+pc_outer:
+    MOVI R4, %(steps)d
+    MOVI R5, 0
+pc_step:
+    MOVI R3, ring
+    ADD R3, R5
+    LD R5, [R3+0]
+    DEC R4
+    JNZ pc_step
+    DEC R7
+    JNZ pc_outer
+%(exit)s
+.align 4
+%(ring)s
+"""
+
+
+def _fuzz_alu(outer: int, inner: int, seed: int = 7001) -> Workload:
+    """Tight seeded ALU/mem kernel: a FastFuzz ALU burst (registers
+    R1..R4; R5-R7 are the loop/pointer registers) inside a counted
+    store/load loop -- one hot basic block, superblock catnip."""
+    burst = alu_burst(seeded(seed), 10, regs=(1, 2, 3, 4))
+    source = _FUZZ_ALU % {
+        "outer": outer,
+        "inner": inner,
+        "burst": "\n    ".join(burst),
+        "exit": EXIT_SNIPPET,
+        "data": data_bytes("buf", bytes(inner * 8 + 8)),
+    }
+    return Workload(
+        name="fuzz-alu",
+        programs=[UserProgram("fuzz-alu", source, entry="main")],
+        kernel_config=linux24_config(),
+        description="seeded FastFuzz ALU burst x%d in a %d-deep "
+        "store/load loop (seed %d)" % (inner, outer, seed),
+    )
+
+
+def _fuzz_chase(outer: int, steps: int, words: int = 512,
+                seed: int = 7002) -> Workload:
+    """Pointer-chase over a seeded permutation ring: every load's
+    address depends on the previous load's value, so the backend
+    serializes on the L1 -- the anti-ILP busy workload."""
+    rng = seeded(seed)
+    order = list(range(1, words))
+    rng.shuffle(order)
+    cycle = [0] + order
+    next_of = [0] * words
+    for k, node in enumerate(cycle):
+        next_of[node] = cycle[(k + 1) % words] * 4
+    source = _FUZZ_CHASE % {
+        "outer": outer,
+        "steps": steps,
+        "exit": EXIT_SNIPPET,
+        "ring": data_words("ring", next_of),
+    }
+    return Workload(
+        name="fuzz-chase",
+        programs=[UserProgram("fuzz-chase", source, entry="main")],
+        kernel_config=linux24_config(),
+        description="pointer-chase over a %d-word seeded permutation "
+        "ring, %d steps x%d (seed %d)" % (words, steps, outer, seed),
+    )
+
+
 def bench_workloads(smoke: bool) -> List[Workload]:
-    """The bench set: one boot slice + three SPECINT-like kernels."""
+    """The bench set: one boot slice, one sleeper, four busy kernels."""
     if smoke:
         return [
             _linux_boot(sleep_ticks=20),
             _perlbmk_sleep(iterations=2, sleep_ticks=10),
             build_workload("164.gzip", scale=1),
             build_workload("181.mcf", scale=1),
+            _fuzz_alu(outer=12, inner=48),
+            _fuzz_chase(outer=6, steps=384),
         ]
     return [
         _linux_boot(sleep_ticks=60),
         _perlbmk_sleep(iterations=4, sleep_ticks=20),
         build_workload("164.gzip", scale=1),
         build_workload("181.mcf", scale=1),
+        _fuzz_alu(outer=40, inner=48),
+        _fuzz_chase(outer=20, steps=384),
     ]
 
 
 def _time_run(
-    workload: Workload, engine: str, instrument: bool = False
+    workload: Workload,
+    engine: str,
+    instrument: bool = False,
+    superblocks: bool = True,
 ) -> Tuple[object, float]:
     sim = build_fast_simulator(
         workload, timing_config=TimingConfig(engine=engine)
     )
+    if not superblocks:
+        # The pre-FastBlock baseline: interpret every instruction.
+        # Post-construction disable so both rows share one build path.
+        fm = sim.fm
+        fm.config.superblocks = False
+        fm.blocks = None
+        fm._sb_pages = {}
     if instrument:
         # Full FastScope at default sampling: fabric + tracer + the two
         # canonical trigger queries (no profiler -- that one is opt-in
@@ -205,23 +323,37 @@ def _emit_bench_artifact(
     )
 
 
+def _geomean(values: List[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values)) if values else 1.0
+
+
 def run_bench(smoke: bool = False, reps: Optional[int] = None) -> Dict:
-    """Time every bench workload under both engines."""
+    """Time every bench workload: pre-FastBlock legacy baseline vs the
+    full compiled busy-path stack."""
     if reps is None:
         reps = 1 if smoke else 2
     workloads = bench_workloads(smoke)
     rows: Dict[str, Dict] = {}
-    speedups: List[float] = []
+    busy: List[float] = []
+    idle: List[float] = []
     for workload in workloads:
         stats: Dict[str, object] = {}
         best: Dict[str, float] = {}
         for _rep in range(reps):
             for engine in ("legacy", "compiled"):
-                timing, dt = _time_run(workload, engine)
+                # The baseline row is the engine this PR sequence
+                # replaced: legacy ticks, no superblock replay.
+                timing, dt = _time_run(
+                    workload, engine, superblocks=(engine == "compiled")
+                )
                 stats[engine] = timing
                 best[engine] = min(best.get(engine, dt), dt)
         speedup = best["legacy"] / best["compiled"]
-        speedups.append(speedup)
+        idle_heavy = workload.name in IDLE_HEAVY
+        (idle if idle_heavy else busy).append(speedup)
         cycles = stats["compiled"].cycles
         _emit_bench_artifact(
             "bench", workload, stats["compiled"], best["compiled"],
@@ -231,7 +363,7 @@ def run_bench(smoke: bool = False, reps: Optional[int] = None) -> Dict:
         rows[workload.name] = {
             "cycles": cycles,
             "idle_cycles": stats["compiled"].idle_cycles,
-            "idle_heavy": workload.name in IDLE_HEAVY,
+            "idle_heavy": idle_heavy,
             "cycles_match": stats["legacy"] == stats["compiled"],
             "legacy": {
                 "seconds": round(best["legacy"], 4),
@@ -243,17 +375,15 @@ def run_bench(smoke: bool = False, reps: Optional[int] = None) -> Dict:
             },
             "speedup": round(speedup, 3),
         }
-    geomean = 1.0
-    for s in speedups:
-        geomean *= s
-    geomean **= 1.0 / len(speedups)
     return {
         "bench": "hotpath",
         "smoke": smoke,
         "reps": reps,
         "max_cycles": MAX_CYCLES,
         "workloads": rows,
-        "geomean_speedup": round(geomean, 3),
+        "geomean_speedup": round(_geomean(busy + idle), 3),
+        "geomean_busy": round(_geomean(busy), 3),
+        "geomean_idle_heavy": round(_geomean(idle), 3),
     }
 
 
@@ -341,16 +471,17 @@ def render_overhead(report: Dict) -> str:
 
 def render(report: Dict) -> str:
     lines = [
-        "hot-path bench (compiled vs legacy tick engine)",
-        "%-16s %10s %10s %9s %9s %8s %6s"
-        % ("workload", "cycles", "idle", "legacy", "compiled", "speedup",
-           "match"),
+        "hot-path bench (compiled+FastBlock vs pre-FastBlock legacy)",
+        "%-16s %5s %10s %10s %9s %9s %8s %6s"
+        % ("workload", "class", "cycles", "idle", "legacy", "compiled",
+           "speedup", "match"),
     ]
     for name, row in report["workloads"].items():
         lines.append(
-            "%-16s %10d %10d %8.2fs %8.2fs %7.2fx %6s"
+            "%-16s %5s %10d %10d %8.2fs %8.2fs %7.2fx %6s"
             % (
                 name,
+                "idle" if row["idle_heavy"] else "busy",
                 row["cycles"],
                 row["idle_cycles"],
                 row["legacy"]["seconds"],
@@ -359,7 +490,14 @@ def render(report: Dict) -> str:
                 "ok" if row["cycles_match"] else "FAIL",
             )
         )
-    lines.append("geomean speedup: %.2fx" % report["geomean_speedup"])
+    lines.append(
+        "geomean speedup: %.2fx overall, %.2fx busy, %.2fx idle-heavy"
+        % (
+            report["geomean_speedup"],
+            report["geomean_busy"],
+            report["geomean_idle_heavy"],
+        )
+    )
     return "\n".join(lines)
 
 
@@ -391,10 +529,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--fail-below",
-        type=float,
+        type=str,
         default=None,
-        metavar="X",
-        help="exit 1 if the geomean speedup is below X",
+        metavar="SPEC",
+        help="exit 1 if a geomean speedup is below its bar; SPEC is a "
+        "comma list of X (overall), busy:X or idle:X "
+        "(e.g. 'busy:1.15,idle:2.0')",
     )
     parser.add_argument(
         "--instrumented",
@@ -430,15 +570,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     if failed:
         print("FAIL: engines disagree on TimingStats")
         return 1
-    if args.fail_below is not None and (
-        report["geomean_speedup"] < args.fail_below
-    ):
-        print(
-            "FAIL: geomean speedup %.2fx below threshold %.2fx"
-            % (report["geomean_speedup"], args.fail_below)
-        )
-        return 1
+    for label, key, bar in _parse_fail_below(args.fail_below):
+        if report[key] < bar:
+            print(
+                "FAIL: %s geomean speedup %.2fx below threshold %.2fx"
+                % (label, report[key], bar)
+            )
+            return 1
     return 0
+
+
+_GEOMEAN_KEYS = {
+    "overall": "geomean_speedup",
+    "busy": "geomean_busy",
+    "idle": "geomean_idle_heavy",
+}
+
+
+def _parse_fail_below(spec: Optional[str]) -> List[Tuple[str, str, float]]:
+    """``--fail-below`` spec -> [(label, report key, bar)].
+
+    Each comma-separated part is ``X`` (overall geomean) or
+    ``busy:X`` / ``idle:X`` (per-class geomeans).
+    """
+    out: List[Tuple[str, str, float]] = []
+    if not spec:
+        return out
+    for part in spec.split(","):
+        part = part.strip()
+        label, _, number = part.rpartition(":")
+        label = label.strip() or "overall"
+        if label not in _GEOMEAN_KEYS:
+            raise SystemExit(
+                "--fail-below: unknown class %r (expected one of %s)"
+                % (label, ", ".join(sorted(_GEOMEAN_KEYS)))
+            )
+        out.append((label, _GEOMEAN_KEYS[label], float(number)))
+    return out
 
 
 def _overhead_main(args) -> int:

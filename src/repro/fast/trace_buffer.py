@@ -87,6 +87,26 @@ class TraceBufferFeed(InstructionFeed, Module):
         self._replay_hist = self.new_histogram(
             "rollback_replay", bounds=(0, 1, 2, 4, 8, 16, 32, 64),
             desc="instructions re-executed per set_pc rollback")
+        self._span_hist = self.new_histogram(
+            "span_batch", bounds=(1, 2, 4, 8, 16, 32, 64),
+            desc="trace entries produced per batched refill span")
+        self.new_gauge("superblock_hits", probe=self._sb_probe("hits"),
+                       desc="cumulative superblock replays in the FM")
+        self.new_gauge("superblock_misses",
+                       probe=self._sb_probe("misses"),
+                       desc="cumulative superblock lookup misses")
+        self.new_gauge("superblock_invalidations",
+                       probe=self._sb_probe("invalidations"),
+                       desc="cumulative superblocks killed by stores/"
+                            "rollback/generation bumps")
+
+    def _sb_probe(self, field_name: str):
+        def probe() -> float:
+            blocks = self.fm.blocks
+            if blocks is None:
+                return 0.0
+            return float(getattr(blocks.stats, field_name))
+        return probe
 
     # -- trace-buffer filling -----------------------------------------------
 
@@ -130,17 +150,26 @@ class TraceBufferFeed(InstructionFeed, Module):
                 self._buffer.append(entry)
                 self.protocol.entries_streamed += 1
             return
-        while (
-            len(self._buffer) < self.lookahead
-            and self._tb_occupancy() < self.depth
-        ):
-            if not self._can_produce():
+        # Batched refill: hand the FM a span budget bounded by both the
+        # lookahead and the remaining trace-buffer capacity, and let it
+        # produce the whole span in one call (superblock replay skips
+        # per-instruction fetch/decode inside it).  Entry-for-entry
+        # identical to the old execute_next loop -- the budget is the
+        # same fixpoint the per-entry conditions enforced.
+        fm = self.fm
+        buffer = self._buffer
+        while True:
+            budget = self.lookahead - len(buffer)
+            room = self.depth - (fm.in_count - self._last_committed)
+            if room < budget:
+                budget = room
+            if budget <= 0 or not self._can_produce():
                 break
-            entry = self.fm.execute_next()
-            if entry is None:
+            produced = fm.execute_into(buffer, budget)
+            if produced == 0:
                 break
-            self._buffer.append(entry)
-            self.protocol.entries_streamed += 1
+            self.protocol.entries_streamed += produced
+            self._span_hist.observe(produced)
         runahead = self._tb_occupancy()
         if runahead > self.protocol.max_runahead:
             self.protocol.max_runahead = runahead

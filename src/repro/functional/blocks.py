@@ -1,0 +1,584 @@
+"""FastBlock: a superblock trace cache for the functional model.
+
+The busy-path analog of the idle fast-forward: once a straight-line
+region (entry PC up to and including the first control transfer, or up
+to the first serializing/privileged instruction) has been interpreted
+``threshold`` times, it is captured as a *superblock* -- every
+instruction pre-translated, pre-decoded and pre-cracked -- and later
+executions replay it with one fused loop that skips per-instruction
+fetch, decode and dispatch-table lookups.  This is the paper's
+heavily-modified-QEMU translation cache in miniature (and Manticore's
+static-compilation thesis applied to an interpreter): per-instruction
+decision-making moves to a one-time capture step.
+
+Replay is *observationally identical* to interpretation:
+
+* trace entries carry exactly the fields ``FunctionalModel._complete``
+  would have produced (excluded opcodes guarantee the TLB/IO trace
+  fields stay at their defaults);
+* ``FunctionalStats`` counters advance by the same amounts, including
+  Table 1 microcode-coverage accounting;
+* device time advances one bus tick per instruction.  Ticks are
+  *deferred* and applied in one batch, which is device-state-identical
+  to single ticks (the idle fast-forward already relies on this)
+  provided no device effect lands inside the span -- so the replay
+  length is clamped to the interrupt horizon (when interrupts are
+  enabled) and to the DMA horizon (always; see
+  ``Device.ticks_until_dma``), and the deferred ticks are flushed
+  before every mid-block checkpoint, fault, and block exit;
+* checkpoints are taken at exactly the interpreted run's boundaries
+  (the ``CheckpointManager.next_due`` grid);
+* a fault inside the block flushes the deferred state and delegates to
+  ``FunctionalModel._exec_fault`` -- the same code path interpretation
+  takes -- so partial string-op mutation and precise-exception
+  behavior match bit-for-bit.
+
+Validity.  A superblock is keyed by ``(entry PC, kernel_mode)`` and
+records the physical pages its instruction bytes span.  Instead of a
+global memory-image generation, invalidation is eager: every logged
+physical write probes the (tiny) page index and kills any block whose
+code range it touches, and rollback kills blocks on every page its
+undo log rewrites.  A killed block also sets ``dead`` so an in-flight
+replay of it exits cleanly after the offending store's instruction.
+User-mode blocks additionally pin the TLB generation (bumped by TLBWR,
+TLBFLUSH and rollback's TLB restore) since their per-instruction fetch
+translations were resolved at capture time; kernel-mode blocks use
+identity mapping and need no pin.  Every block pins the microcode
+table version (hand-patching re-cracks) and the trace-compression mode
+(it bakes per-entry trace-word counts).
+
+Serializing and trace-visible-side-effect opcodes (HALT, SYSCALL, INT,
+IRET, CLI, STI, IN, OUT, TLBWR, TLBFLUSH, MOVSR, MOVRS) never enter a
+block: mode, interrupt-enable and device-port state are therefore
+constant across a replay, which is what makes hoisting the interrupt
+check to the block boundary sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.functional.cpu import ExecResult, Fault, MASK32
+from repro.functional.trace import TraceEntry
+from repro.isa.causes import CAUSE_INVALID_OPCODE
+from repro.isa.encoding import EncodingError
+from repro.system.memory import MemoryError_
+from repro.system.mmu import PAGE_SHIFT, ProtectionFault, TLBMiss
+
+# Opcodes that terminate capture *without* being included: they
+# serialize (mode/IE changes, HALT), touch device ports, read host
+# counters, or carry TLB/IO payloads in their trace entries.
+EXCLUDED_OPCODES = frozenset({
+    "HALT", "SYSCALL", "INT", "IRET", "CLI", "STI",
+    "IN", "OUT", "TLBWR", "TLBFLUSH", "MOVSR", "MOVRS",
+})
+
+# Opcodes whose trace entry always carries a data address (strings are
+# conditional: a REP with count 0 never touches memory).
+MEM_OPCODES = frozenset({
+    "LD", "LDB", "ST", "STB", "PUSH", "POP", "CALL", "CALLR", "RET",
+    "FLD", "FST",
+})
+
+MIN_BLOCK_LEN = 2
+
+# Spec values at which a block-entry boundary follows: control
+# transfers, excluded (serializing) opcodes.  The model's batched loop
+# only consults the block cache right after one of these (or after an
+# exception/interrupt), so hotness counts mean "times this basic-block
+# entry was reached" and straight-line interior PCs never pollute the
+# tables.
+def _boundary_values() -> frozenset:
+    from repro.isa.opcodes import OPCODES
+
+    return frozenset(
+        spec.value for name, spec in OPCODES.items()
+        if spec.is_control or name in EXCLUDED_OPCODES
+    )
+
+
+BOUNDARY_SPEC_VALUES = _boundary_values()
+
+# Bound on the hotness-counter table; wholesale reset on overflow is
+# deterministic and only costs re-warming.
+_HEAT_LIMIT = 1 << 16
+
+_NO_BOUND = 1 << 40
+
+# Sentinel stored in the block table for entry points that failed
+# capture (first instruction excluded/undecodable), so they are not
+# re-walked on every execution.
+_UNCAPTURABLE = False
+
+
+class SuperblockStats:
+    """Replay-engine counters (FastScope-exposed via the feed)."""
+
+    __slots__ = ("hits", "replayed_instructions", "misses", "captures",
+                 "capture_failures", "invalidations", "horizon_bails")
+
+    def __init__(self) -> None:
+        self.hits = 0  # block replays started
+        self.replayed_instructions = 0
+        self.misses = 0  # lookups finding no (valid) block
+        self.captures = 0
+        self.capture_failures = 0
+        self.invalidations = 0  # blocks killed (stores/rollback/etc.)
+        self.horizon_bails = 0  # replays clipped to zero by a horizon
+
+
+class Superblock:
+    """One captured straight-line region.
+
+    ``steps`` is a tuple of per-instruction tuples
+    ``(pc, ppc, instr, handler, seq_next, is_ctrl, words, uop_n,
+    translated, is_string)`` -- everything the fused replay loop needs
+    without touching the decode path.
+    """
+
+    __slots__ = ("key", "steps", "n", "pages", "intervals", "tlb_gen",
+                 "mc_version", "compression", "dead")
+
+    def __init__(self, key: Tuple[int, bool], steps: Tuple[tuple, ...],
+                 pages: Set[int], intervals: Tuple[Tuple[int, int], ...],
+                 tlb_gen: int, mc_version: int, compression: str):
+        self.key = key
+        self.steps = steps
+        self.n = len(steps)
+        self.pages = pages
+        # Merged [start, end) physical byte ranges of the instruction
+        # bytes -- writes are checked against these, so data sharing a
+        # page with hot code does not kill the block.
+        self.intervals = intervals
+        self.tlb_gen = tlb_gen
+        self.mc_version = mc_version
+        self.compression = compression
+        self.dead = False
+
+
+class SuperblockCache:
+    """Owns the block table, hotness counters and the page index."""
+
+    def __init__(self, fm, threshold: int = 16, max_len: int = 64):
+        self.fm = fm
+        self.threshold = max(2, threshold)
+        self.max_len = max(MIN_BLOCK_LEN, max_len)
+        self.stats = SuperblockStats()
+        self._blocks: Dict[Tuple[int, bool], object] = {}
+        self._heat: Dict[Tuple[int, bool], int] = {}
+        # page -> set of block keys whose code bytes touch that page.
+        # FunctionalModel._invalidate_code probes this dict's key set
+        # on every logged physical write.
+        self.page_index: Dict[int, Set[Tuple[int, bool]]] = {}
+        # Whether the last replay exited at a basic-block boundary (the
+        # batched loop resumes cache lookups there) or mid-block (a
+        # budget/horizon clip: the interpreter carries on to the next
+        # control transfer without consulting the cache).
+        self.exited_at_boundary = True
+
+    # -- invalidation -----------------------------------------------------
+
+    def invalidate_all(self) -> None:
+        """Drop every block and reset hotness (fresh memory image).
+        ``page_index`` is cleared in place -- the model aliases it."""
+        for block in self._blocks.values():
+            if isinstance(block, Superblock):
+                block.dead = True
+                self.stats.invalidations += 1
+        self._blocks.clear()
+        self._heat.clear()
+        self.page_index.clear()
+
+    def invalidate_write(self, paddr: int) -> None:
+        """A logged physical write landed at *paddr* (treated as 4
+        bytes wide, covering both write32 and an unaligned write8):
+        kill only the blocks whose instruction bytes it overlaps.  The
+        page index is the first-level filter; the interval check is
+        what lets data stores share a page with hot code without
+        killing it -- by far the common case in small images."""
+        keys = self.page_index.get(paddr >> PAGE_SHIFT)
+        if not keys:
+            return
+        end = paddr + 4
+        doomed = None
+        for key in keys:
+            block = self._blocks.get(key)
+            if isinstance(block, Superblock):
+                for lo, hi in block.intervals:
+                    if lo < end and paddr < hi:
+                        if doomed is None:
+                            doomed = [block]
+                        else:
+                            doomed.append(block)
+                        break
+        if doomed:
+            for block in doomed:
+                self._drop(block)
+
+    def invalidate_page(self, page: int) -> None:
+        """A physical write (or rollback undo) touched *page*: kill
+        every block whose code bytes span it."""
+        keys = self.page_index.pop(page, None)
+        if not keys:
+            return
+        for key in keys:
+            block = self._blocks.pop(key, None)
+            if isinstance(block, Superblock):
+                block.dead = True
+                self.stats.invalidations += 1
+                for other in block.pages:
+                    if other != page:
+                        index = self.page_index.get(other)
+                        if index is not None:
+                            index.discard(key)
+                            if not index:
+                                del self.page_index[other]
+
+    def _drop(self, block: Superblock) -> None:
+        """Remove one stale (version/generation-mismatched) block."""
+        self._blocks.pop(block.key, None)
+        block.dead = True
+        self.stats.invalidations += 1
+        for page in block.pages:
+            index = self.page_index.get(page)
+            if index is not None:
+                index.discard(block.key)
+                if not index:
+                    del self.page_index[page]
+
+    # -- lookup / capture -------------------------------------------------
+
+    def step(self, sink: List[TraceEntry], budget: int) -> int:
+        """Replay a superblock at the FM's current PC if one applies.
+
+        Returns the number of trace entries appended to *sink* (0 means
+        no block: the caller falls back to single-step interpretation).
+        """
+        fm = self.fm
+        state = fm.state
+        key = (state.pc, state.kernel_mode)
+        block = self._blocks.get(key)
+        if block is None:
+            heat = self._heat
+            count = heat.get(key, 0) + 1
+            if count < self.threshold:
+                if len(heat) >= _HEAT_LIMIT:
+                    heat.clear()
+                heat[key] = count
+                self.stats.misses += 1
+                return 0
+            heat.pop(key, None)
+            block = self._capture(key)
+            if block is None:
+                self._blocks[key] = _UNCAPTURABLE
+                self.stats.capture_failures += 1
+                return 0
+            self.stats.captures += 1
+            self._blocks[key] = block
+            page_index = self.page_index
+            for page in block.pages:
+                index = page_index.get(page)
+                if index is None:
+                    index = page_index[page] = set()
+                index.add(key)
+        elif block is _UNCAPTURABLE:
+            return 0
+        elif (
+            block.mc_version != fm.microcode.version
+            or block.compression != fm.config.trace_compression
+            or (not key[1] and block.tlb_gen != fm.tlb_generation)
+        ):
+            self._drop(block)
+            self.stats.misses += 1
+            return 0
+        return self._replay(block, sink, budget)
+
+    def _capture(self, key: Tuple[int, bool]) -> Optional[Superblock]:
+        """Walk forward from the entry PC, pre-decoding and pre-cracking
+        until the first control transfer, excluded opcode, fault-at-
+        fetch, or the length cap."""
+        fm = self.fm
+        vpc, _kernel = key
+        microcode = fm.microcode
+        compression = fm.config.trace_compression
+        base_words = 2 if compression == "bb" else 4
+        dispatch = fm._dispatch
+        steps: List[tuple] = []
+        pages: Set[int] = set()
+        intervals: List[list] = []
+        for _ in range(self.max_len):
+            try:
+                ppc = fm._translate(vpc, False)
+                instr = fm._decode_at(ppc)
+            except (TLBMiss, ProtectionFault, EncodingError, IndexError,
+                    MemoryError_):
+                break
+            spec = instr.spec
+            if spec.name in EXCLUDED_OPCODES:
+                break
+            length = instr.length
+            seq_next = (vpc + length) & MASK32
+            is_ctrl = spec.is_control
+            is_string = spec.iclass == "string"
+            uops, translated = microcode.crack(instr, count=False)
+            words = base_words
+            if not is_string and spec.name in MEM_OPCODES:
+                words += 1
+            pages.update(range(ppc >> PAGE_SHIFT,
+                               ((ppc + length - 1) >> PAGE_SHIFT) + 1))
+            if intervals and intervals[-1][1] == ppc:
+                intervals[-1][1] = ppc + length
+            else:
+                intervals.append([ppc, ppc + length])
+            steps.append((vpc, ppc, instr, dispatch[spec.value], seq_next,
+                          is_ctrl, words, len(uops), translated, is_string))
+            if is_ctrl:
+                break
+            vpc = seq_next
+        if len(steps) < MIN_BLOCK_LEN:
+            return None
+        return Superblock(key, tuple(steps), pages,
+                          tuple((lo, hi) for lo, hi in intervals),
+                          fm.tlb_generation, microcode.version, compression)
+
+    # -- replay horizons --------------------------------------------------
+
+    def _horizon(self, interrupts_enabled: bool) -> int:
+        """How many instructions may replay before a deferred bus tick
+        could change what the block observes: the earliest enabled IRQ
+        (checked at block boundaries only) and the earliest DMA memory
+        effect (mid-block loads must see it land on time).
+
+        With the interrupt check happening *before* instruction k --
+        i.e. after k-1 device ticks -- a bound of B ticks admits
+        exactly B replayed instructions.
+        """
+        fm = self.fm
+        horizon = _NO_BOUND
+        intctrl = fm._intctrl
+        if interrupts_enabled and intctrl is not None:
+            if intctrl.output:
+                return 0
+            enabled = intctrl.enabled
+            for device in fm.bus.devices:
+                bound = device.ticks_until_irq(enabled)
+                if bound is not None and bound < horizon:
+                    horizon = bound
+        for device in fm.bus.devices:
+            bound = device.ticks_until_dma()
+            if bound is not None and bound < horizon:
+                horizon = bound
+        return horizon
+
+    # -- the fused replay loop -------------------------------------------
+
+    def _replay(self, block: Superblock, sink: List[TraceEntry],
+                budget: int) -> int:
+        fm = self.fm
+        state = fm.state
+        horizon = self._horizon(state.interrupts_enabled)
+        cap = budget if budget < horizon else horizon
+        if cap <= 0:
+            self.stats.horizon_bails += 1
+            return 0
+        bus = fm.bus
+        tlb = fm.tlb
+        stats = fm.stats
+        ckpt = fm.ckpt
+        config = fm.config
+        collect = config.collect_coverage
+        kernel = block.key[1]
+        append = sink.append
+        in_count = fm.in_count
+        next_ckpt = ckpt.next_due(in_count)
+        handler_entry = fm._handler_pending
+        fm._handler_pending = False
+        res = ExecResult(0)
+        produced = 0
+        ticks = 0  # deferred bus ticks (flushed before any observer)
+        words_total = 0
+        blocks_ended = 0
+        cov_translated = 0
+        cov_untranslated = 0
+        cov_uops = 0
+        # Chain-lookup state.  None of these can change mid-chain: the
+        # opcodes that move them (TLBWR/TLBFLUSH, MOVSR, IRET, ...) are
+        # excluded from blocks, and a fault exits through
+        # _replay_fault.
+        sb_stats = self.stats
+        blocks_map = self._blocks
+        mc_version = fm.microcode.version
+        compression = config.trace_compression
+        tlb_gen = fm.tlb_generation
+        while True:
+            steps = block.steps
+            bn = block.n
+            m = cap - produced
+            if bn < m:
+                m = bn
+            i = 0
+            while i < m:
+                (pc, ppc, instr, handler, seq_next, is_ctrl, words, uop_n,
+                 translated, is_string) = steps[i]
+                if is_ctrl:
+                    # Control handlers compute targets from state.pc
+                    # (branch_target, CALL's return address).
+                    state.pc = pc
+                res.next_pc = seq_next
+                res.mem_vaddr = -1
+                res.mem_paddr = -1
+                res.iterations = 1
+                try:
+                    handler(instr, res)
+                except Fault as fault:
+                    return self._replay_fault(
+                        block, sink, pc, ppc, instr, fault, in_count,
+                        produced, ticks, words_total, blocks_ended,
+                        cov_translated, cov_untranslated, cov_uops)
+                except (TLBMiss, ProtectionFault) as exc:
+                    return self._replay_fault(
+                        block, sink, pc, ppc, instr, fm._mmu_fault(exc),
+                        in_count, produced, ticks, words_total, blocks_ended,
+                        cov_translated, cov_untranslated, cov_uops)
+                except (IndexError, MemoryError_):
+                    return self._replay_fault(
+                        block, sink, pc, ppc, instr,
+                        Fault(CAUSE_INVALID_OPCODE, pc), in_count, produced,
+                        ticks, words_total, blocks_ended, cov_translated,
+                        cov_untranslated, cov_uops)
+                in_count += 1
+                entry = TraceEntry(in_count, pc, ppc, instr, res.next_pc,
+                                   res.iterations, res.mem_vaddr,
+                                   res.mem_paddr)
+                if handler_entry:
+                    entry.handler_entry = True
+                    handler_entry = False
+                append(entry)
+                produced += 1
+                ticks += 1
+                if is_string:
+                    words_total += words + (1 if res.mem_vaddr >= 0 else 0)
+                else:
+                    words_total += words
+                if is_ctrl:
+                    blocks_ended += 1
+                if collect:
+                    if translated:
+                        cov_translated += 1
+                    else:
+                        cov_untranslated += 1
+                    if is_string:
+                        cov_uops += (uop_n * res.iterations
+                                     if res.iterations > 0 else 1)
+                    else:
+                        cov_uops += uop_n
+                i += 1
+                if in_count >= next_ckpt:
+                    # Checkpoint exactly where interpretation would
+                    # have: flush deferred device time and the post-
+                    # instruction PC first, since the snapshot captures
+                    # both.
+                    state.pc = res.next_pc
+                    fm.in_count = in_count
+                    bus.tick(ticks)
+                    if not kernel:
+                        tlb.lookups += ticks  # skipped fetch translations
+                    ticks = 0
+                    fm._take_checkpoint()
+                    next_ckpt = in_count + ckpt.interval
+                if block.dead:
+                    # A store in this very block rewrote its code range;
+                    # later pre-decoded steps are stale.  Exit after the
+                    # offending instruction -- interpretation resumes
+                    # with fresh bytes.
+                    break
+            sb_stats.hits += 1
+            if block.dead:
+                at_boundary = True
+                break
+            if i < bn:
+                # Clipped by the budget/horizon cap: mid-block exit.
+                at_boundary = False
+                break
+            at_boundary = True
+            if produced >= cap:
+                break
+            # Chain: the block ended at a boundary with cap to spare and
+            # no observer due (within the horizon the interrupt check
+            # between blocks is a guaranteed no-op), so the block at the
+            # fall-through/taken PC replays in the same invocation.  A
+            # missing or stale successor exits instead -- the caller's
+            # next blocks.step() call repeats the heat/miss/drop
+            # accounting exactly as an unchained replay would.
+            nxt = blocks_map.get((res.next_pc, kernel))
+            if (
+                nxt is None
+                or nxt is _UNCAPTURABLE
+                or nxt.dead
+                or nxt.mc_version != mc_version
+                or nxt.compression != compression
+                or (not kernel and nxt.tlb_gen != tlb_gen)
+            ):
+                break
+            block = nxt
+        state.pc = res.next_pc
+        fm.in_count = in_count
+        if ticks:
+            bus.tick(ticks)
+            if not kernel:
+                tlb.lookups += ticks
+        # A full replay ends where capture stopped -- a block boundary
+        # either way (control transfer, excluded opcode, or length
+        # cap); a dead block's exit point is fresh code and also worth
+        # a lookup.  Only a budget/horizon clip leaves the PC
+        # mid-block.
+        self.exited_at_boundary = at_boundary
+        stats.executed += produced
+        stats.traced += produced
+        stats.trace_words += words_total
+        stats.basic_blocks += blocks_ended
+        stats.decode_hits += produced
+        if collect:
+            coverage = fm.microcode.coverage
+            coverage.translated += cov_translated
+            coverage.untranslated += cov_untranslated
+            coverage.uops += cov_uops
+        self.stats.replayed_instructions += produced
+        return produced
+
+    def _replay_fault(self, block: Superblock, sink: List[TraceEntry],
+                      pc: int, ppc: int, instr, fault: Fault,
+                      in_count: int, produced: int, ticks: int,
+                      words_total: int, blocks_ended: int,
+                      cov_translated: int, cov_untranslated: int,
+                      cov_uops: int) -> int:
+        """A step faulted mid-replay: flush the deferred state for the
+        completed prefix, then delegate the faulting instruction to the
+        interpreter's own fault path (bit-identical entry + handler
+        redirection + its own bus tick and checkpoint check)."""
+        fm = self.fm
+        fm.in_count = in_count
+        if ticks:
+            fm.bus.tick(ticks)
+        kernel = block.key[1]
+        if not kernel:
+            # One fetch translation per completed step, plus the
+            # faulting instruction's own (successful) fetch.
+            fm.tlb.lookups += ticks + 1
+        stats = fm.stats
+        stats.executed += produced
+        stats.traced += produced
+        stats.trace_words += words_total
+        stats.basic_blocks += blocks_ended
+        stats.decode_hits += produced + 1
+        if fm.config.collect_coverage:
+            coverage = fm.microcode.coverage
+            coverage.translated += cov_translated
+            coverage.untranslated += cov_untranslated
+            coverage.uops += cov_uops
+        entry = fm._exec_fault(pc, ppc, instr, fault)
+        sink.append(entry)
+        self.exited_at_boundary = True  # the handler entry follows
+        self.stats.hits += 1
+        self.stats.replayed_instructions += produced
+        return produced + 1

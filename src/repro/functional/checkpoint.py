@@ -70,6 +70,14 @@ class CheckpointManager:
             return True
         return in_no - self._checkpoints[-1].in_no >= self.interval
 
+    def next_due(self, in_no: int) -> int:
+        """The smallest instruction count > *in_no* at which ``due``
+        becomes true -- the superblock replay loop precomputes this so
+        its fused loop checkpoints on exactly the interpreted grid."""
+        if not self._checkpoints:
+            return in_no + 1
+        return self._checkpoints[-1].in_no + self.interval
+
     def take(self, in_no: int, arch: Tuple, tlb: Tuple, bus: Tuple) -> None:
         if self._checkpoints and in_no <= self._checkpoints[-1].in_no:
             raise ValueError("checkpoints must advance monotonically")

@@ -589,12 +589,14 @@ class CPUMixin:
         regs = self.state.regs
         vpn, pte = regs[instr.dst], regs[instr.src]
         self.tlb.write(vpn, pte)
+        self._bump_tlb_generation()  # user-mode superblocks pin translations
         res.tlb_vpn = vpn
         res.tlb_pte = pte
 
     def _op_tlbflush(self, instr: Instr, res: ExecResult) -> None:
         self._require_kernel()
         self.tlb.flush()
+        self._bump_tlb_generation()
 
     def _op_movsr(self, instr: Instr, res: ExecResult) -> None:
         self._require_kernel()

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.functional.blocks import BOUNDARY_SPEC_VALUES
 from repro.functional.checkpoint import CheckpointManager
 from repro.functional.cpu import MASK32, CPUMixin, ExecResult, Fault
 from repro.functional.state import (
@@ -80,6 +81,14 @@ class FunctionalConfig:
     trace_compression: str = "full"  # or "bb"
     # Collect Table 1 microcode-coverage statistics while executing.
     collect_coverage: bool = True
+    # FastBlock superblock trace cache (repro.functional.blocks):
+    # capture hot straight-line regions after `superblock_threshold`
+    # executions and replay them with a fused loop.  Observationally
+    # identical to interpretation; requires block_chaining (it is the
+    # same translation-cache ablation knob, only more so).
+    superblocks: bool = True
+    superblock_threshold: int = 16
+    superblock_max_len: int = 64
 
 
 @dataclass
@@ -137,6 +146,32 @@ class FunctionalModel(CPUMixin):
         self.in_count = 0  # IN of the most recently executed instruction
         self._dispatch = self._build_dispatch()
         self._decode_cache: dict = {}
+        # Identifies the current TLB content; pins the fetch
+        # translations baked into user-mode superblocks.  Values come
+        # from a never-reused allocator (TLBWR/TLBFLUSH take a fresh
+        # one) so a generation maps one-to-one onto a TLB image:
+        # rollback restores the checkpoint's generation alongside the
+        # checkpoint's TLB snapshot, and blocks captured under it stay
+        # valid while blocks from an abandoned divergent path can never
+        # alias a live value.
+        self.tlb_generation = 0
+        self._tlb_gen_next = 1
+        # True when the next PC is a basic-block entry (right after a
+        # control transfer, serializing opcode, exception or interrupt):
+        # the batched loop only consults the superblock cache there.
+        self._at_boundary = True
+        if self.config.superblocks and self.config.block_chaining:
+            from repro.functional.blocks import SuperblockCache
+
+            self.blocks: Optional[SuperblockCache] = SuperblockCache(
+                self,
+                threshold=self.config.superblock_threshold,
+                max_len=self.config.superblock_max_len,
+            )
+            self._sb_pages = self.blocks.page_index
+        else:
+            self.blocks = None
+            self._sb_pages = {}
         self._memview = memory.view()
         self._wrong_path = False
         self._replaying = False
@@ -173,6 +208,9 @@ class FunctionalModel(CPUMixin):
             self.memory.load_blob(segment.base, segment.data)
         self.state.pc = image.entry
         self._decode_cache.clear()
+        self._at_boundary = True
+        if self.blocks is not None:
+            self.blocks.invalidate_all()
         self._take_checkpoint()  # baseline checkpoint at IN 0
 
     # ------------------------------------------------------------------
@@ -198,6 +236,51 @@ class FunctionalModel(CPUMixin):
         else:
             self._maybe_take_interrupt()
         return self._step()
+
+    def execute_into(self, sink, budget: int) -> int:
+        """Execute up to *budget* instructions, appending their trace
+        entries to *sink* (any object with ``append``).
+
+        The batched busy-path producer: entry-for-entry identical to
+        calling :meth:`execute_next` in a loop, but hot straight-line
+        regions replay through the superblock cache
+        (:mod:`repro.functional.blocks`), skipping per-instruction
+        fetch/decode/dispatch.  Stops early (returning the count
+        produced so far) when the CPU halts or the system shuts down --
+        halted stepping stays with ``execute_next`` so device time
+        advances exactly as the feeds expect.
+        """
+        produced = 0
+        bus = self.bus
+        state = self.state
+        blocks = self.blocks
+        # Consult the block cache only at basic-block boundaries, so
+        # hotness counters see entry PCs (not every straight-line
+        # interior PC) and the common interpreted instruction pays no
+        # lookup.  The flag persists across calls: a span clipped by
+        # the budget resumes mid-block and stays on the interpreter
+        # until the next control transfer.
+        boundary = self._at_boundary
+        while produced < budget:
+            if bus.shutdown_requested or state.halted:
+                break
+            if self._maybe_take_interrupt():
+                boundary = True
+            if boundary and blocks is not None and not self._wrong_path:
+                n = blocks.step(sink, budget - produced)
+                if n:
+                    produced += n
+                    boundary = blocks.exited_at_boundary
+                    continue
+            entry = self._step()
+            if entry is None:  # unreachable outside rollback replay
+                break
+            sink.append(entry)
+            produced += 1
+            boundary = (entry.exception != 0
+                        or entry.instr.spec.value in BOUNDARY_SPEC_VALUES)
+        self._at_boundary = boundary
+        return produced
 
     def idle_horizon(self) -> int:
         """How many further :meth:`execute_next` calls are guaranteed to
@@ -275,6 +358,7 @@ class FunctionalModel(CPUMixin):
         srs[SR_STATUS] = new_status
         state.pc = VECTOR_BASE
         self._handler_pending = True
+        self._at_boundary = True  # the handler entry starts a block
 
     def _step(self) -> Optional[TraceEntry]:
         state = self.state
@@ -460,16 +544,29 @@ class FunctionalModel(CPUMixin):
         # span into this one.
         if (paddr & ((1 << PAGE_SHIFT) - 1)) < 8 and (page - 1) in self._decode_cache:
             del self._decode_cache[page - 1]
+        # Superblock pages cover each instruction's full byte range, so
+        # one probe of the written page suffices (no prev-page case).
+        # The write then kills only blocks whose instruction bytes it
+        # overlaps -- data stores into a code page leave them alone.
+        if page in self._sb_pages:
+            self.blocks.invalidate_write(paddr)
 
     # ------------------------------------------------------------------
     # Checkpoints and rollback
     # ------------------------------------------------------------------
 
+    def _bump_tlb_generation(self) -> None:
+        """TLB content changed (TLBWR/TLBFLUSH): move to a fresh, never
+        previously used generation so stale user-mode superblocks
+        lazily drop on their next lookup."""
+        self.tlb_generation = self._tlb_gen_next
+        self._tlb_gen_next += 1
+
     def _take_checkpoint(self) -> None:
         self.ckpt.take(
             self.in_count,
             self.state.snapshot(),
-            self.tlb.snapshot(),
+            (self.tlb.snapshot(), self.tlb_generation),
             self.bus.snapshot(),
         )
         if self.observer is not None:
@@ -498,8 +595,25 @@ class FunctionalModel(CPUMixin):
         touched_pages = {addr >> PAGE_SHIFT for addr, _ in undo}
         for page in touched_pages:
             self._decode_cache.pop(page, None)
+        sb_pages = self._sb_pages
+        if sb_pages:
+            # Undoing a write changes memory at exactly that word: kill
+            # only the blocks whose instruction bytes it overlaps (the
+            # overwhelmingly common undo entry is a data store).
+            invalidate_write = self.blocks.invalidate_write
+            for addr, _ in undo:
+                if (addr >> PAGE_SHIFT) in sb_pages:
+                    invalidate_write(addr)
         self.state.restore(ckpt.arch)
-        self.tlb.restore(ckpt.tlb)
+        tlb_snapshot, tlb_gen = ckpt.tlb
+        self.tlb.restore(tlb_snapshot)
+        if tlb_gen != self.tlb_generation:
+            # TLBWR/TLBFLUSH effects were rewound.  Restoring the
+            # checkpoint's generation is exact: generations map
+            # one-to-one onto TLB images (the allocator never reuses a
+            # value), so superblocks captured under it remain valid and
+            # blocks from the abandoned path stale-drop lazily.
+            self.tlb_generation = tlb_gen
         self.bus.restore(ckpt.bus)
         self.ckpt.truncate_to(ckpt)
         self.in_count = ckpt.in_no
@@ -548,6 +662,7 @@ class FunctionalModel(CPUMixin):
         replayed = self.rollback_to(in_no - 1)
         self.state.pc = new_pc & MASK32
         self.state.halted = False
+        self._at_boundary = True  # resteer targets start a block
         return replayed
 
     def commit(self, in_no: int) -> None:
@@ -614,7 +729,40 @@ class FunctionalModel(CPUMixin):
         is exhausted.  Returns the number of instructions executed."""
         executed = 0
         idle = 0
+        sink: list = []
         while executed < max_instructions:
+            if (
+                self.blocks is not None
+                and not self.state.halted
+                and not self.bus.shutdown_requested
+            ):
+                n = self.execute_into(
+                    sink, min(4096, max_instructions - executed)
+                )
+                if n:
+                    if self.bus.shutdown_requested:
+                        # Mirror the stepped loop below: the shutdown-
+                        # raising instruction executes but is neither
+                        # counted nor reported.
+                        sink.pop()
+                        n -= 1
+                    if on_entry is not None:
+                        for batched in sink:
+                            on_entry(batched)
+                    del sink[:]
+                    before = executed
+                    executed += n
+                    idle = 0
+                    if executed // 1024 > before // 1024:
+                        # Standalone runs have no timing model
+                        # committing for them; release rollback state
+                        # on the same 1024-instruction grid the stepped
+                        # loop below uses (in_count == executed here).
+                        self.commit((executed // 1024) * 1024)
+                    if self.bus.shutdown_requested:
+                        break
+                    continue
+                del sink[:]
             entry = self.execute_next()
             if self.bus.shutdown_requested:
                 break

@@ -1,11 +1,15 @@
-"""The differential oracle: one program, eight simulators, one answer.
+"""The differential oracle: one program, nine simulators, one answer.
 
 For each generated program the harness runs the full oracle matrix
 
     {compiled, legacy} engine x {lockstep, trace-buffer} feed
                               x {instruction, cycle} interrupt mode
 
-and asserts that within each interrupt mode all four cells report
+plus a ninth cell -- the compiled/trace-buffer coupling with the FM's
+FastBlock superblock cache forced *off* -- so superblock capture and
+replay under speculation and rollback is differentially pinned against
+the interpreted path, and asserts that within each interrupt mode all
+coupled cells report
 bit-identical ``TimingStats``, console output and final architectural
 state -- the FAST invariant (paper section 2/3): speculation + rollback
 must be observationally equivalent to in-order execution, and the
@@ -56,10 +60,14 @@ class OracleCell:
     engine: str  # "compiled" | "legacy"
     feed: str  # "lockstep" | "tb"
     irq: str  # "instr" | "cycle"
+    blocks: str = "on"  # "on" | "off": FM superblock capture/replay
 
     @property
     def label(self) -> str:
-        return "%s/%s/%s" % (self.engine, self.feed, self.irq)
+        label = "%s/%s/%s" % (self.engine, self.feed, self.irq)
+        if self.blocks != "on":
+            return label + "/noblocks"
+        return label
 
 
 ORACLE_CELLS: Tuple[OracleCell, ...] = tuple(
@@ -67,6 +75,11 @@ ORACLE_CELLS: Tuple[OracleCell, ...] = tuple(
     for irq in ("instr", "cycle")
     for engine in ("legacy", "compiled")
     for feed in ("lockstep", "tb")
+) + (
+    # The ninth cell: the most speculative coupling, interpreted.  Any
+    # FastBlock replay bug diverges it from the (superblocks-on)
+    # reference without perturbing the eight canonical cells.
+    OracleCell("compiled", "tb", "instr", blocks="off"),
 )
 
 # Per interrupt mode, the cell every other cell is diffed against.  The
@@ -194,6 +207,10 @@ def run_cell(source: str, base: int, cell: OracleCell,
              config: OracleConfig) -> CellResult:
     """Run one simulator configuration over the program."""
     fm, console = _build(source, base, config)
+    if cell.blocks != "on":
+        fm.config.superblocks = False
+        fm.blocks = None
+        fm._sb_pages = {}
     feed_cls = LockStepFeed if cell.feed == "lockstep" else TraceBufferFeed
     feed = feed_cls(fm)
     tm = TimingModel(

@@ -20,6 +20,7 @@ format:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.isa.opcodes import OpSpec
 
@@ -38,12 +39,12 @@ class Instr:
     def name(self) -> str:
         return self.spec.name
 
-    @property
+    @cached_property
     def length(self) -> int:
         """Encoded length in bytes, including the REP prefix if present."""
         return self.spec.length + (1 if self.rep else 0)
 
-    @property
+    @cached_property
     def is_control(self) -> bool:
         return self.spec.is_control
 

@@ -26,6 +26,7 @@ variable-length-CISC decode problem the paper highlights for x86.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Optional
 
 REP_PREFIX = 0xFF
@@ -69,11 +70,14 @@ class OpSpec:
     reads_flags: bool = False
     privileged: bool = False
 
-    @property
+    # cached_property: specs are frozen and shared, and these two are
+    # on the per-instruction hot path of both models -- after the first
+    # access they are plain instance-dict lookups.
+    @cached_property
     def length(self) -> int:
         return FORMAT_LENGTHS[self.fmt]
 
-    @property
+    @cached_property
     def is_control(self) -> bool:
         return self.iclass in (
             CLASS_BRANCH,

@@ -60,7 +60,12 @@ class Uop:
     dynamic µop and the simulator executes millions of them.
     """
 
-    __slots__ = ("kind", "op", "dst", "src1", "src2", "lat", "wflags", "rflags")
+    # "meta" is a lazily-computed cache of dispatch/issue metadata used
+    # by the compiled engine's fused tick (repro.timing.pipeline
+    # .fastpath); it is derived from the other fields and excluded from
+    # equality and hashing.
+    _FIELDS = ("kind", "op", "dst", "src1", "src2", "lat", "wflags", "rflags")
+    __slots__ = _FIELDS + ("meta",)
 
     def __init__(
         self,
@@ -81,6 +86,7 @@ class Uop:
         self.lat = lat
         self.wflags = wflags
         self.rflags = rflags
+        self.meta = None
 
     @property
     def unit(self) -> str:
@@ -122,11 +128,11 @@ class Uop:
         if not isinstance(other, Uop):
             return NotImplemented
         return all(
-            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__
+            getattr(self, field) == getattr(other, field) for field in self._FIELDS
         )
 
     def __hash__(self) -> int:
-        return hash(tuple(getattr(self, slot) for slot in self.__slots__))
+        return hash(tuple(getattr(self, field) for field in self._FIELDS))
 
 
 def fpr(index: int) -> int:

@@ -12,6 +12,12 @@ shadowing -- ``Backend.tick`` calls ``self._writeback(cycle)``, so an
 instance attribute wins over the class method without any change to the
 pipeline code.
 
+The same shadowing covers the *functional* side of the busy path --
+the trace-buffer span fill and FastBlock superblock capture/replay --
+so a profile can split host time between "the TM ticking" and "the FM
+streaming the trace", and show how much of the stream was replayed
+rather than interpreted (``repro report``'s busy-path explanation).
+
 Install **before** ``run()``: the run loop hoists ``self._steps`` into
 a local once at entry, so a mid-run install would never be observed.
 
@@ -59,6 +65,9 @@ class TickProfiler:
         self.module_calls: Dict[str, int] = {}
         self.stage_seconds: Dict[str, float] = {}
         self.stage_calls: Dict[str, int] = {}
+        # Functional-side busy path: feed span fill, superblock work.
+        self.fm_seconds: Dict[str, float] = {}
+        self.fm_calls: Dict[str, int] = {}
         self._orig_steps: Optional[tuple] = None
         self._orig_stages: List[Tuple[object, str]] = []
         self.installed = False
@@ -79,9 +88,11 @@ class TickProfiler:
 
         return profiled_step
 
-    def _wrap_stage(self, label: str, method: Callable) -> Callable:
-        seconds = self.stage_seconds
-        calls = self.stage_calls
+    def _wrap_stage(self, label: str, method: Callable,
+                    seconds: Optional[Dict[str, float]] = None,
+                    calls: Optional[Dict[str, int]] = None) -> Callable:
+        seconds = self.stage_seconds if seconds is None else seconds
+        calls = self.stage_calls if calls is None else calls
         perf = time.perf_counter
 
         def profiled_stage(*args):
@@ -107,6 +118,28 @@ class TickProfiler:
             self.stage_calls[label] = 0
             # Bound method from the class; shadow it on the instance.
             setattr(owner, name, self._wrap_stage(label, getattr(owner, name)))
+            self._orig_stages.append((owner, name))
+        # Functional-side brackets: the span fill that streams the
+        # trace, and FastBlock capture/replay inside it.  All are
+        # called through dynamic self-attribute lookups, so instance
+        # shadowing applies without touching the hot code.
+        feed = getattr(self.tm, "feed", None)
+        fm_targets: List[Tuple[object, str, str]] = []
+        if feed is not None and hasattr(feed, "_fill"):
+            fm_targets.append((feed, "_fill", "feed.fill"))
+        blocks = getattr(getattr(feed, "fm", None), "blocks", None)
+        if blocks is not None:
+            fm_targets.append((blocks, "_capture", "blocks.capture"))
+            fm_targets.append((blocks, "_replay", "blocks.replay"))
+        for owner, name, label in fm_targets:
+            self.fm_seconds[label] = 0.0
+            self.fm_calls[label] = 0
+            setattr(
+                owner,
+                name,
+                self._wrap_stage(label, getattr(owner, name),
+                                 self.fm_seconds, self.fm_calls),
+            )
             self._orig_stages.append((owner, name))
         self.installed = True
         return self
@@ -149,10 +182,22 @@ class TickProfiler:
                 key=lambda s: -self.stage_seconds[s],
             )
         ]
+        functional = [
+            {
+                "label": label,
+                "seconds": round(self.fm_seconds[label], 6),
+                "calls": self.fm_calls[label],
+            }
+            for label in sorted(
+                self.fm_seconds,
+                key=lambda s: -self.fm_seconds[s],
+            )
+        ]
         return {
             "engine_seconds": round(total, 6),
             "modules": modules,
             "stages": stages,
+            "functional": functional,
         }
 
     def render(self) -> str:
@@ -175,4 +220,13 @@ class TickProfiler:
                 "%-40s %10.4f %12d"
                 % (row["stage"], row["seconds"], row["calls"])
             )
+        if report["functional"]:
+            lines.append("")
+            lines.append("%-40s %10s %12s"
+                         % ("functional busy path", "seconds", "calls"))
+            for row in report["functional"]:
+                lines.append(
+                    "%-40s %10.4f %12d"
+                    % (row["label"], row["seconds"], row["calls"])
+                )
         return "\n".join(lines)

@@ -56,6 +56,22 @@ class Device:
             return None
         return 0
 
+    def ticks_until_dma(self) -> Optional[int]:
+        """Lower bound on the time units until :meth:`tick` could next
+        write physical memory (DMA), or ``None`` if it cannot.
+
+        Used by the superblock replay loop (``repro.functional.blocks``)
+        to bound how many executed instructions may share one deferred
+        batched bus tick: a DMA landing mid-span would be observed late
+        by the span's loads.  Same conservatism contract as
+        :meth:`ticks_until_irq` -- under-estimating is safe, and an
+        undeclared custom tick returns 0 (disables batching around this
+        device) rather than risking a misplaced DMA.
+        """
+        if type(self).tick is Device.tick:
+            return None
+        return 0
+
     def snapshot(self):
         """Immutable state for checkpoint/rollback."""
         return None

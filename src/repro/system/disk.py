@@ -111,6 +111,13 @@ class Disk(Device):
             return None
         return max(1, self._countdown)
 
+    def ticks_until_dma(self):
+        # A command in flight completes (and DMAs) when the countdown
+        # expires, whether or not the IRQ line is enabled.
+        if self.status != STATUS_BUSY:
+            return None
+        return max(1, self._countdown)
+
     def _complete(self) -> None:
         offset = self.sector * SECTOR_SIZE
         if self._pending_cmd == CMD_READ:

@@ -124,6 +124,13 @@ class Nic(Device):
         # wake a halted CPU -- no bound needed for them.
         return horizon
 
+    def ticks_until_dma(self):
+        # Only an in-flight receive writes memory from tick(); scripted
+        # arrivals merely queue until software starts the DMA via ports.
+        if self._rx_inflight is None:
+            return None
+        return max(1, self._rx_countdown)
+
     # -- checkpointing ------------------------------------------------------
 
     def snapshot(self):

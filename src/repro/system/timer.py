@@ -68,6 +68,9 @@ class Timer(Device):
             return None
         return max(1, self.interval - self.count)
 
+    def ticks_until_dma(self):
+        return None  # the timer never touches memory
+
     def snapshot(self):
         return (self.enabled, self.interval, self.count, self.fires,
                 self.external)

@@ -1,13 +1,17 @@
 """Branch target buffer: set-associative, LRU within a set.
 
 The paper's default target uses a "4-way and 8K BTB gshare" predictor.
+Storage is a flat :class:`~repro.timing.tables.LruTagStore` (the
+host-side analogue of the BTB's tag/target block RAMs); replacement
+decisions are identical to the per-set dict implementation it replaced.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.timing.module import Module
+from repro.timing.tables import LruTagStore
 
 
 class BTB(Module):
@@ -20,34 +24,75 @@ class BTB(Module):
         self.entries = entries
         self.ways = ways
         self.sets = entries // ways
-        # Per-set ordered dict {pc: target}; first key is LRU.
-        self._table: List[Dict[int, int]] = [dict() for _ in range(self.sets)]
+        # Flat LRU-first tag store: tag is the full pc, payload the target.
+        self._table = LruTagStore(self.sets, ways)
 
-    def _set_for(self, pc: int) -> Dict[int, int]:
-        return self._table[(pc >> 1) % self.sets]
+    def _index(self, pc: int) -> int:
+        return (pc >> 1) % self.sets
 
     def lookup(self, pc: int) -> Optional[int]:
         self.bump("lookups")
-        entry_set = self._set_for(pc)
-        target = entry_set.get(pc)
-        if target is None:
+        store = self._table
+        index = (pc >> 1) % self.sets
+        tags = store._tags
+        base = index * self.ways
+        end = base + store._count[index]
+        try:
+            slot = tags.index(pc, base, end)
+        except ValueError:
             self.bump("misses")
             return None
+        payloads = store._payload
+        target = payloads[slot]
         # Refresh LRU position.
-        del entry_set[pc]
-        entry_set[pc] = target
+        last = end - 1
+        if slot != last:
+            tags[slot:last] = tags[slot + 1:end]
+            payloads[slot:last] = payloads[slot + 1:end]
+            tags[last] = pc
+            payloads[last] = target
         self.bump("hits")
         return target
 
+    def probe_many(self, pcs: Sequence[int]) -> List[Optional[int]]:
+        """Batch non-LRU-updating, non-counting target lookups for span
+        consumers and probes."""
+        sets = self.sets
+        return self._table.probe_many([((pc >> 1) % sets, pc) for pc in pcs])
+
     def install(self, pc: int, target: int) -> None:
-        entry_set = self._set_for(pc)
-        if pc in entry_set:
-            del entry_set[pc]
-        elif len(entry_set) >= self.ways:
-            oldest = next(iter(entry_set))
-            del entry_set[oldest]
+        store = self._table
+        index = (pc >> 1) % self.sets
+        tags = store._tags
+        payloads = store._payload
+        ways = self.ways
+        base = index * ways
+        count = store._count[index]
+        end = base + count
+        try:
+            slot = tags.index(pc, base, end)
+        except ValueError:
+            slot = -1
+        if slot >= 0:
+            # Refresh to MRU with the (possibly new) target.
+            last = end - 1
+            if slot != last:
+                tags[slot:last] = tags[slot + 1:end]
+                payloads[slot:last] = payloads[slot + 1:end]
+                tags[last] = pc
+            payloads[last] = target
+            return
+        if count >= ways:
+            last = end - 1
+            tags[base:last] = tags[base + 1:end]
+            payloads[base:last] = payloads[base + 1:end]
             self.bump("evictions")
-        entry_set[pc] = target
+            slot = last
+        else:
+            slot = end
+            store._count[index] = count + 1
+        tags[slot] = pc
+        payloads[slot] = target
 
     def resource_estimate(self):
         # Target + tag storage maps naturally onto block RAMs.

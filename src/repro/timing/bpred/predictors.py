@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 from repro.functional.trace import TraceEntry
 from repro.timing.bpred.base import BranchPredictor
 from repro.timing.bpred.btb import BTB
+from repro.timing.tables import SaturatingCounterTable
 
 _COND = "branch"  # OpSpec.iclass for conditional branches
 
@@ -87,7 +88,7 @@ class TwoBitPredictor(BranchPredictor):
     ):
         super().__init__(name)
         self.table_size = table_size
-        self._table = [2] * table_size  # weakly taken
+        self._table = SaturatingCounterTable(table_size)  # weakly taken
         self.btb = btb or BTB()
         self.add_child(self.btb)
 
@@ -95,7 +96,7 @@ class TwoBitPredictor(BranchPredictor):
         return (pc >> 1) % self.table_size
 
     def _direction(self, pc: int) -> bool:
-        return self._table[self._index(pc)] >= 2
+        return self._table.direction(self._index(pc))
 
     def predict(self, entry: TraceEntry) -> Tuple[bool, int]:
         iclass = entry.instr.spec.iclass
@@ -112,12 +113,7 @@ class TwoBitPredictor(BranchPredictor):
 
     def update(self, entry: TraceEntry, taken: bool, target: int) -> None:
         if entry.instr.spec.iclass == _COND:
-            index = self._index(entry.pc)
-            counter = self._table[index]
-            if taken:
-                self._table[index] = min(3, counter + 1)
-            else:
-                self._table[index] = max(0, counter - 1)
+            self._table.update(self._index(entry.pc), taken)
         if taken:
             self.btb.install(entry.pc, target)
 
@@ -143,7 +139,7 @@ class GsharePredictor(BranchPredictor):
         self.table_size = table_size
         self.history_bits = history_bits
         self._history = 0
-        self._table = [2] * table_size
+        self._table = SaturatingCounterTable(table_size)
         self.btb = btb or BTB()
         self.add_child(self.btb)
 
@@ -153,7 +149,7 @@ class GsharePredictor(BranchPredictor):
     def predict(self, entry: TraceEntry) -> Tuple[bool, int]:
         iclass = entry.instr.spec.iclass
         if iclass == _COND:
-            taken = self._table[self._index(entry.pc)] >= 2
+            taken = self._table.direction(self._index(entry.pc))
         else:
             taken = True
         if not taken:
@@ -165,12 +161,7 @@ class GsharePredictor(BranchPredictor):
 
     def update(self, entry: TraceEntry, taken: bool, target: int) -> None:
         if entry.instr.spec.iclass == _COND:
-            index = self._index(entry.pc)
-            counter = self._table[index]
-            if taken:
-                self._table[index] = min(3, counter + 1)
-            else:
-                self._table[index] = max(0, counter - 1)
+            self._table.update(self._index(entry.pc), taken)
             mask = (1 << self.history_bits) - 1
             self._history = ((self._history << 1) | (1 if taken else 0)) & mask
         if taken:

@@ -3,14 +3,14 @@
 "Because data values are often not required to predict performance,
 data path components such as ... cache values are generally not
 included in the timing model."  (paper section 2) -- so this tracks
-tags and replacement state only.
+tags and replacement state only, in the flat array-backed tag store of
+:mod:`repro.timing.tables` (the host-side analogue of a tag BRAM).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 from repro.timing.module import Module
+from repro.timing.tables import LruTagStore
 
 
 class SetAssocCache(Module):
@@ -31,46 +31,83 @@ class SetAssocCache(Module):
         self.line_bytes = line_bytes
         self.num_sets = size_bytes // (ways * line_bytes)
         self._line_shift = line_bytes.bit_length() - 1
-        # Per-set ordered dict of tags (LRU first).
-        self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.num_sets)]
+        # Flat tag array, LRU-first within each set; the payload slot
+        # carries the line's dirty bit.
+        self._sets = LruTagStore(self.num_sets, ways)
 
     def line_of(self, paddr: int) -> int:
         return paddr >> self._line_shift
 
     def access(self, paddr: int, is_write: bool = False) -> bool:
         """Access the line containing *paddr*.  Returns hit/miss and
-        updates tag + LRU state (allocate-on-miss, write-allocate)."""
+        updates tag + LRU state (allocate-on-miss, write-allocate).
+
+        Works on the tag store's parallel arrays directly (BRAM ports
+        wired into the stage): one C-level scan plus slice moves, no
+        per-entry Python objects."""
         line = paddr >> self._line_shift
         index = line % self.num_sets
         tag = line // self.num_sets
-        cache_set = self._sets[index]
+        store = self._sets
+        tags = store._tags
+        payloads = store._payload
+        ways = self.ways
+        base = index * ways
+        count = store._count[index]
+        end = base + count
         self.bump("accesses")
         if is_write:
             self.bump("writes")
-        hit = tag in cache_set
-        if hit:
-            dirty = cache_set.pop(tag) or is_write
-            cache_set[tag] = dirty
+        try:
+            slot = tags.index(tag, base, end)
+        except ValueError:
+            slot = -1
+        if slot >= 0:
+            dirty = 1 if (payloads[slot] or is_write) else 0
+            last = end - 1
+            if slot != last:
+                tags[slot:last] = tags[slot + 1:end]
+                payloads[slot:last] = payloads[slot + 1:end]
+                tags[last] = tag
+            payloads[last] = dirty
             self.bump("hits")
+            return True
+        self.bump("misses")
+        if count >= ways:
+            # Evict the LRU entry at the base slot; slot order shifts
+            # down and the set stays full.
+            dirty = payloads[base]
+            last = end - 1
+            tags[base:last] = tags[base + 1:end]
+            payloads[base:last] = payloads[base + 1:end]
+            self.bump("evictions")
+            if dirty:
+                self.bump("writebacks")
+            slot = last
         else:
-            self.bump("misses")
-            if len(cache_set) >= self.ways:
-                _evicted_tag, dirty = next(iter(cache_set.items()))
-                del cache_set[_evicted_tag]
-                self.bump("evictions")
-                if dirty:
-                    self.bump("writebacks")
-            cache_set[tag] = is_write
-        return hit
+            slot = end
+            store._count[index] = count + 1
+        tags[slot] = tag
+        payloads[slot] = 1 if is_write else 0
+        return False
 
     def probe(self, paddr: int) -> bool:
         """Non-allocating, non-LRU-updating lookup."""
         line = paddr >> self._line_shift
-        return (line // self.num_sets) in self._sets[line % self.num_sets]
+        return self._sets.find(line % self.num_sets, line // self.num_sets) >= 0
+
+    def probe_lines(self, paddrs) -> list:
+        """Batch non-destructive lookups (span consumers, probes)."""
+        num_sets = self.num_sets
+        shift = self._line_shift
+        find = self._sets.find
+        return [
+            find((paddr >> shift) % num_sets, (paddr >> shift) // num_sets) >= 0
+            for paddr in paddrs
+        ]
 
     def invalidate_all(self) -> None:
-        for cache_set in self._sets:
-            cache_set.clear()
+        self._sets.clear()
 
     @property
     def hit_rate(self) -> float:

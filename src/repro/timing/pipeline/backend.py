@@ -33,6 +33,7 @@ from repro.timing.pipeline.dynamic import (
     U_ISSUED,
     U_SQUASHED,
 )
+from repro.timing.pipeline.fastpath import bind_backend_tick
 from repro.timing.pipeline.frontend import (
     DRAIN_EXCEPTION,
     DRAIN_MISPREDICT,
@@ -94,6 +95,12 @@ class Backend(Module):
         }
         self._seq = 0
         self._dispatching: Optional[Tuple[DynInstr, int]] = None
+        # True while the reservation station is known to hold no
+        # dep-ready uops.  Readiness only changes on writeback, squash,
+        # or dispatch (a U_DONE producer's done_cycle never exceeds the
+        # cycle that marked it done), so the compiled issue loop can
+        # skip its scan until one of those events clears the flag.
+        self._rs_quiet = False
         self.committed_instructions = 0
         self.committed_uops = 0
         self.last_commit_cycle = 0
@@ -125,8 +132,11 @@ class Backend(Module):
     # -- per-cycle operation: writeback -> commit -> issue -> dispatch ----
 
     def bind_tick(self):
-        """Pre-bound per-cycle step for the compiled schedule."""
-        return self.tick
+        """Pre-bound per-cycle step for the compiled schedule: the fused
+        writeback->commit->issue->dispatch closure from
+        repro.timing.pipeline.fastpath (same mutation sequence as
+        ``tick``, queue/counter operations inlined)."""
+        return bind_backend_tick(self)
 
     def tick(self, cycle: int) -> None:
         self._writeback(cycle)
@@ -353,6 +363,7 @@ class Backend(Module):
         self.in_flight = []
         self.reg_producer.clear()
         self._dispatching = None
+        self._rs_quiet = False
         self.frontend.branches_squashed(squashed_controls)
 
     def squash_younger(self, di: DynInstr, cycle: int) -> None:
@@ -392,4 +403,5 @@ class Backend(Module):
                 if pending_di.is_control and not pending_di.resolved:
                     squashed_controls += 1
             self._dispatching = None
+        self._rs_quiet = False
         self.frontend.branches_squashed(squashed_controls)

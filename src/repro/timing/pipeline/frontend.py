@@ -27,6 +27,7 @@ from repro.timing.connector import Connector
 from repro.timing.feed import InstructionFeed
 from repro.timing.module import Module
 from repro.timing.pipeline.dynamic import DynInstr
+from repro.timing.pipeline.fastpath import bind_frontend_tick
 
 MASK32 = 0xFFFFFFFF
 
@@ -44,8 +45,12 @@ DRAIN_EXCEPTION = "exception"
 DRAIN_INTERRUPT = "interrupt"
 DRAIN_SERIALIZE = "serialize"
 
-# Decode-stage crack memo bound: identity keys pin their Instr objects,
-# so the memo is cleared wholesale once it fills (simple, deterministic).
+# Decode-stage crack memo bound (per generation).  Identity keys pin
+# their Instr objects; eviction is generational second-chance: when the
+# live generation fills it becomes the "previous" generation, and
+# entries re-used from there get promoted back instead of re-cracked.
+# Cold entries age out after at most two rotations.  Deterministic:
+# rotation depends only on the decode stream, never on wall time.
 CRACK_MEMO_LIMIT = 16384
 
 
@@ -127,6 +132,7 @@ class Frontend(Module):
         # changed bytes arrive as new Instr objects); the table version
         # covers hand_patch() replacing templates mid-run.
         self._crack_memo: dict = {}
+        self._crack_memo_prev: dict = {}
         self._crack_memo_version = microcode.version
 
     # -- control from the back end --------------------------------------
@@ -160,16 +166,19 @@ class Frontend(Module):
     # -- per-cycle operation ----------------------------------------------
 
     def bind_tick(self):
-        """Pre-bound per-cycle step for the compiled schedule.  The
-        ``rob_empty`` input is a zero-latency combinational read of
+        """Pre-bound per-cycle step for the compiled schedule.
+
+        With a back end wired, the compiled engine gets the fused
+        fetch+decode closure (repro.timing.pipeline.fastpath): same
+        state machine, connector/counter operations inlined.  The
+        ``rob_empty`` input stays a zero-latency combinational read of
         back-end state, re-evaluated each cycle inside the closure."""
-        backend = self.backend
-        tick = self.tick
-        if backend is None:
+        if self.backend is None:
             # Structural tree without a back end: nothing drains the
             # ROB, so it reads as permanently empty.
+            tick = self.tick
             return lambda cycle: tick(cycle, True)
-        return lambda cycle: tick(cycle, not backend.rob)
+        return bind_frontend_tick(self)
 
     def tick(self, cycle: int, rob_empty: bool) -> None:
         self.fetch_q.tick(cycle)
@@ -181,10 +190,11 @@ class Frontend(Module):
     def _decode(self, cycle: int) -> None:
         """Move fetched instructions to the dispatch queue, cracking
         each into µops via the microcode table."""
-        memo = self._crack_memo
         if self._crack_memo_version != self.microcode.version:
-            memo.clear()
+            self._crack_memo.clear()
+            self._crack_memo_prev.clear()
             self._crack_memo_version = self.microcode.version
+        memo = self._crack_memo
         for _ in range(self.fetch_width):
             if not self.decode_q.can_push():
                 self.bump("decode_stalls")
@@ -197,28 +207,46 @@ class Frontend(Module):
             if instr.spec.iclass == "string":
                 # Iteration counts vary per dynamic instance; key on both.
                 key = (id(instr), entry.iterations)
-                cached = memo.get(key)
-                if cached is None or cached[0] is not instr:
-                    uops, _ok = self.microcode.crack_rep(
-                        instr, entry.iterations, count=False
-                    )
-                    if len(memo) >= CRACK_MEMO_LIMIT:
-                        memo.clear()
-                    memo[key] = (instr, uops)
-                else:
-                    uops = cached[1]
             else:
-                cached = memo.get(id(instr))
-                if cached is None or cached[0] is not instr:
-                    uops, _ok = self.microcode.crack(instr, count=False)
-                    if len(memo) >= CRACK_MEMO_LIMIT:
-                        memo.clear()
-                    memo[id(instr)] = (instr, uops)
-                else:
-                    uops = cached[1]
+                key = id(instr)
+            cached = memo.get(key)
+            if cached is not None and cached[0] is instr:
+                uops = cached[1]
+            else:
+                uops = self._crack(entry, instr, key)
+                memo = self._crack_memo  # may have rotated
             di.uops_template = uops  # consumed by dispatch
             self.decode_q.push(di)
             self.bump("decoded")
+
+    def _crack(self, entry: TraceEntry, instr, key) -> tuple:
+        """Crack-memo miss path: probe the previous generation (second
+        chance), else crack via the microcode table; rotate generations
+        when the live one fills."""
+        prev = self._crack_memo_prev
+        cached = prev.get(key)
+        if cached is not None and cached[0] is instr:
+            # Survivor: promote back into the live generation.
+            del prev[key]
+            self.bump("crack_memo_promotions")
+        else:
+            if instr.spec.iclass == "string":
+                uops, _ok = self.microcode.crack_rep(
+                    instr, entry.iterations, count=False
+                )
+            else:
+                uops, _ok = self.microcode.crack(instr, count=False)
+            cached = (instr, uops)
+        memo = self._crack_memo
+        if len(memo) >= CRACK_MEMO_LIMIT:
+            # Generation rotation: everything not touched since the
+            # previous rotation ages out; recently-used entries survive
+            # via promotion above.
+            self._crack_memo_prev = memo
+            self._crack_memo = memo = {}
+            self.bump("crack_memo_rotations")
+        memo[key] = cached
+        return cached[1]
 
     def _fetch(self, cycle: int, rob_empty: bool) -> None:
         if self.mode == F_HALTED:

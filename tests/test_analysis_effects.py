@@ -113,7 +113,7 @@ def test_default_core_cache_hierarchy_footprint():
     effects = analyze_tree(build_default_core())
     frontend = effects.unit("timing_model/frontend")
     reads = frontend.footprint()["reads"]
-    assert "timing_model/memhier/iL1._sets::*" in reads
+    assert "timing_model/memhier/iL1._sets._tags::*" in reads
     assert "timing_model/memhier.geometry::l1_hit_latency" in reads
 
 

@@ -44,9 +44,12 @@ class TestGenerator:
 
 
 class TestOracleMatrix:
-    def test_matrix_has_eight_cells(self):
-        assert len(ORACLE_CELLS) == 8
-        assert len({c.label for c in ORACLE_CELLS}) == 8
+    def test_matrix_has_nine_cells(self):
+        # 2 engines x 2 feeds x 2 irq modes, plus the superblocks-off
+        # replay-pinning cell.
+        assert len(ORACLE_CELLS) == 9
+        assert len({c.label for c in ORACLE_CELLS}) == 9
+        assert sum(1 for c in ORACLE_CELLS if c.blocks == "off") == 1
 
     @pytest.mark.parametrize("seed", [3, 11, 19])
     def test_clean_simulators_agree(self, seed):

@@ -309,6 +309,12 @@ class TestProfiler:
         stage_labels = [row["stage"] for row in report["stages"]]
         assert "backend.commit" in stage_labels
         assert "frontend.fetch" in stage_labels
+        # Functional-side busy path is attributed too: the span fill
+        # plus FastBlock capture/replay.
+        fm_rows = {row["label"]: row for row in report["functional"]}
+        assert set(fm_rows) == {"feed.fill", "blocks.capture",
+                                "blocks.replay"}
+        assert fm_rows["feed.fill"]["calls"] > 0
         # Profiling is read-only: same result as a bare run.
         bare = FastSimulator.from_programs([PROGRAM]).run(200_000).timing
         assert timing == bare
