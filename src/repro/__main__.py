@@ -6,7 +6,7 @@ Usage::
     python -m repro                 # generated usage listing
     python -m repro table1          # regenerate one experiment
     python -m repro all             # regenerate everything (slow)
-    python -m repro <subcommand>    # lint / bench / stats / trace / report
+    python -m repro <subcommand>    # lint / bench / stats / trace / report / debug
 
 Experiment runs invoked here emit FastFlight run artifacts under
 ``results/runs/`` (suppress with ``REPRO_FLIGHT=0``).
@@ -73,6 +73,12 @@ def _shardcheck_main(argv: List[str]) -> int:
     return shardcheck_main(argv)
 
 
+def _debug_main(argv: List[str]) -> int:
+    from repro.observability.flight.debug import debug_main
+
+    return debug_main(argv)
+
+
 # Every registered subcommand: name -> (description, entry point taking
 # the remaining argv).  The usage listing below is generated from this
 # table plus EXPERIMENTS, so a new subcommand cannot be forgotten there.
@@ -89,6 +95,8 @@ SUBCOMMANDS: Dict[str, Tuple[str, Callable[[List[str]], int]]] = {
              "matrix)", _fuzz_main),
     "shardcheck": ("FastPart shard-safety analysis and PartitionPlan "
                    "emission", _shardcheck_main),
+    "debug": ("FastWatch time-travel debug capsules (capture / list / "
+              "show / diff / flame)", _debug_main),
 }
 
 

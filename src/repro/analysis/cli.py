@@ -1,6 +1,6 @@
 """The ``python -m repro lint`` entry point.
 
-Runs the five FastLint passes against the default targets:
+Runs the six FastLint passes against the default targets:
 
 1. timing-graph lint over the default 1/2/4/8-issue cores (Table 2
    configurations) from :mod:`repro.timing.core`;
@@ -9,7 +9,10 @@ Runs the five FastLint passes against the default targets:
 4. statistics-fabric lint (ST001-ST003): the same default cores'
    stat registries plus an AST pass over the sources;
 5. shard-safety lint (SH001-SH006): FastPart effect analysis and
-   partition-plan validation over the default 2-issue core.
+   partition-plan validation over the default 2-issue core;
+6. invariant-fabric lint (IV001-IV003): FastWatch registration
+   placement, check-closure purity and idle-hint coverage over the
+   sources.
 
 The AST passes share one :class:`~repro.analysis.suppress.
 SuppressionTracker`, so a ``# fastlint: ignore[RULE]`` escape is
@@ -35,12 +38,14 @@ from repro.analysis.microcode_rules import lint_microcode
 from repro.analysis.stat_rules import lint_stat_registry, lint_stat_sources
 from repro.analysis.suppress import SuppressionTracker
 from repro.analysis.timing_rules import lint_timing_graph
+from repro.analysis.watch_rules import lint_watch_sources
 
-PASS_NAMES = ("graph", "microcode", "determinism", "stats", "shards")
+PASS_NAMES = ("graph", "microcode", "determinism", "stats", "shards",
+              "watch")
 
 # Passes that walk source files and honor fastlint ignore escapes.
 # Unused-escape reporting (IG001) requires all of them to have run.
-AST_PASSES = frozenset({"determinism", "stats", "shards"})
+AST_PASSES = frozenset({"determinism", "stats", "shards", "watch"})
 
 
 def _positive_int(text: str) -> int:
@@ -95,6 +100,8 @@ def run_lint(
         from repro.analysis.shard_rules import lint_shards
 
         report.extend(lint_shards(tracker=tracker))
+    if "watch" in passes:
+        report.extend(lint_watch_sources(paths, tracker))
     if AST_PASSES.issubset(passes) and not paths:
         # Only a full default-target run of every escape-honoring pass
         # can prove an escape dead.
@@ -113,7 +120,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         dest="passes",
         action="append",
         choices=PASS_NAMES,
-        help="run only this pass (repeatable; default: all five)",
+        help="run only this pass (repeatable; default: all six)",
     )
     parser.add_argument(
         "--json",

@@ -99,6 +99,61 @@ class TraceBufferFeed(InstructionFeed, Module):
                        probe=self._sb_probe("invalidations"),
                        desc="cumulative superblocks killed by stores/"
                             "rollback/generation bumps")
+        # FastWatch structural invariants (registered here, at
+        # construction -- FastLint rule IV001).  Armed bounds are
+        # observation-only copies of the real capacities/windows, so
+        # violation-injection tests can shrink them to force a
+        # deterministic firing without perturbing the run.
+        self._capacity_limit = depth
+        self._ckpt_window = 1
+        self.new_invariant(
+            "tb_highwater",
+            check=lambda: self.fm.in_count - self._last_committed
+            <= self._capacity_limit,
+            expr="m.fm.in_count - m._last_committed <= m._capacity_limit",
+            hint="idle-stable",
+            probe=self._occupancy_probe,
+            desc="uncommitted trace-buffer entries never exceed the "
+                 "configured depth")
+        self.new_invariant(
+            "fm_tm_lockstep",
+            check=lambda: 0 <= self._last_committed <= self.fm.in_count,
+            expr="0 <= m._last_committed <= m.fm.in_count",
+            hint="idle-stable",
+            probe=lambda: float(self._last_committed),
+            desc="TM commit notifications never run ahead of the FM's "
+                 "instruction count (no leaked trace-buffer credit)")
+        self.new_invariant(
+            "ckpt_coverage",
+            check=self._ckpt_covered,
+            expr="(not m.fm.ckpt._checkpoints)"
+                 " or (m.fm.ckpt._checkpoints[0].in_no"
+                 " <= m.fm.ckpt._checkpoints[-1].in_no"
+                 " and m.fm.ckpt._checkpoints[0].in_no"
+                 " <= m._last_committed + m._ckpt_window)",
+            hint="idle-stable",
+            probe=self._ckpt_probe,
+            desc="the checkpoint grid stays monotone and the oldest "
+                 "live checkpoint covers every uncommitted rollback "
+                 "target")
+
+    def _ckpt_covered(self) -> bool:
+        # Monotone grid: take() enforces in_no strictly increases, so
+        # checking the ends suffices -- and rollback coverage: every
+        # uncommitted target (> _last_committed) must have a checkpoint
+        # at or before it, i.e. the oldest live checkpoint's in_no must
+        # not exceed committed + window.
+        ckpts = self.fm.ckpt._checkpoints
+        if not ckpts:
+            return True
+        return (
+            ckpts[0].in_no <= ckpts[-1].in_no
+            and ckpts[0].in_no <= self._last_committed + self._ckpt_window
+        )
+
+    def _ckpt_probe(self) -> float:
+        oldest = self.fm.ckpt.oldest_in
+        return float(oldest if oldest is not None else -1)
 
     def _sb_probe(self, field_name: str):
         def probe() -> float:

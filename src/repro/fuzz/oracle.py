@@ -100,6 +100,11 @@ class OracleConfig:
     memory_size: int = 1 << 20
     predictor: str = "gshare"
     cycle_irq_interval: int = 900
+    # Arm the FastWatch invariant fabric in every cell.  A firing is a
+    # divergence in its own right: on a healthy simulator the canonical
+    # invariants hold on every cycle of every cell, so the fuzzer also
+    # pins the fabric's false-positive rate at zero.
+    invariants: bool = False
     # Test hook: called as ``mutator(fm, tm, cell)`` after each matrix
     # cell is wired but before it runs (never for the golden run), so
     # tests can inject a semantics bug into selected cells and check the
@@ -117,6 +122,9 @@ class CellResult:
     status: str  # "ok" | "deadlock" | "wedged" | "error:<type>"
     stats: Dict[str, int] = field(default_factory=dict)
     arch: Dict[str, object] = field(default_factory=dict)
+    # FastWatch firings observed while the cell ran (always 0 unless
+    # OracleConfig.invariants armed the fabric).
+    invariant_firings: int = 0
 
     def key(self) -> Tuple[str, tuple, tuple]:
         return (
@@ -130,7 +138,7 @@ class CellResult:
 class Divergence:
     """Two cells (or a cell and the golden run) disagree."""
 
-    kind: str  # "stats" | "arch" | "status" | "golden"
+    kind: str  # "stats" | "arch" | "status" | "golden" | "invariant"
     reference: str
     cell: str
     fields: Tuple[str, ...]
@@ -223,6 +231,13 @@ def run_cell(source: str, base: int, cell: OracleCell,
                                   interval_cycles=config.cycle_irq_interval)
     if config.mutator is not None:
         config.mutator(fm, tm, cell)
+    monitor = None
+    if config.invariants:
+        from repro.observability.watch import InvariantMonitor
+
+        # Lock-step feeds are not Modules; the monitor filters them out
+        # and arms the TM-side invariants alone in those cells.
+        monitor = InvariantMonitor(tm, extra_roots=(feed,))
     status = "ok"
     stats_dict: Dict[str, int] = {}
     try:
@@ -239,6 +254,7 @@ def run_cell(source: str, base: int, cell: OracleCell,
         status=status,
         stats=stats_dict,
         arch=_arch_fingerprint(fm, console.text()),
+        invariant_firings=monitor.firings if monitor is not None else 0,
     )
 
 
@@ -282,6 +298,11 @@ def run_matrix(source: str, base: int, seed: int = 0,
     results = {cell.label: run_cell(source, base, cell, cfg)
                for cell in cells}
     divergences: List[Divergence] = []
+    for result in results.values():
+        if result.invariant_firings:
+            divergences.append(Divergence(
+                "invariant", "fastwatch", result.label, (),
+                "%d invariant firing(s)" % result.invariant_firings))
     for irq in ("instr", "cycle"):
         ref_label = _REFERENCE[irq].label
         reference = results.get(ref_label)

@@ -19,11 +19,17 @@ the Python runtime:
   query does not pin the engine to single-stepping;
 * :class:`TickProfiler` -- host wall-time attribution per module tick
   and per pipeline stage, over the compiled schedule;
+* :class:`InvariantMonitor` -- the FastWatch invariant fabric: typed
+  per-Module invariants compiled into one idle-hinted cycle listener,
+  checked after every executed cycle on both engines, with violations
+  feeding the time-travel debug-capsule capture
+  (:mod:`repro.functional.replay` +
+  :mod:`repro.observability.flight.capsule`);
 * :class:`FastScope` -- the facade wiring all of the above onto a
   :class:`~repro.fast.simulator.FastSimulator` (or bare TimingModel).
 
-Exposed on the command line as ``python -m repro stats`` and
-``python -m repro trace``.
+Exposed on the command line as ``python -m repro stats``,
+``python -m repro trace`` and ``python -m repro debug``.
 """
 
 from repro.observability.events import Event, EventTracer, attach_tracer
@@ -35,16 +41,28 @@ from repro.observability.triggers import (
     rob_occupancy,
     trace_buffer_occupancy,
 )
+from repro.observability.watch import (
+    InvariantMonitor,
+    Violation,
+    capture_debug_capsule,
+    find_first_violation,
+    inject_violation,
+)
 
 __all__ = [
     "CompiledTriggerQuery",
     "Event",
     "EventTracer",
     "FastScope",
+    "InvariantMonitor",
     "StatWindow",
     "StatsFabric",
     "TickProfiler",
+    "Violation",
     "attach_tracer",
+    "capture_debug_capsule",
+    "find_first_violation",
+    "inject_violation",
     "rob_occupancy",
     "trace_buffer_occupancy",
 ]

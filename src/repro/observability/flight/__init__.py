@@ -18,9 +18,14 @@ that survive the process that produced them:
 * :mod:`repro.observability.flight.regression` -- cross-run diffing
   with noise bands, baseline gating against committed ``BENCH_*.json``
   files, and event-stream bisection to the first diverging event when
-  two supposedly deterministic runs disagree.
+  two supposedly deterministic runs disagree;
+* :mod:`repro.observability.flight.capsule` -- time-travel debug
+  capsules: content-addressed captures of a re-executed window around
+  an invariant violation or watchpoint (FastWatch), with cycle-by-cycle
+  diffing and first-divergence search.
 
-Exposed on the command line as ``python -m repro report``.
+Exposed on the command line as ``python -m repro report`` and
+``python -m repro debug``.
 """
 
 from repro.observability.flight.analytics import (
@@ -35,6 +40,14 @@ from repro.observability.flight.artifact import (
     list_artifacts,
     load_artifact,
 )
+from repro.observability.flight.capsule import (
+    CapsuleArtifact,
+    diff_capsules,
+    emit_capsule,
+    find_capsules,
+    list_capsules,
+    load_capsule,
+)
 from repro.observability.flight.columns import ColumnTable
 from repro.observability.flight.regression import (
     Divergence,
@@ -45,6 +58,7 @@ from repro.observability.flight.regression import (
 )
 
 __all__ = [
+    "CapsuleArtifact",
     "ColumnTable",
     "Divergence",
     "RegressionReport",
@@ -52,11 +66,16 @@ __all__ = [
     "bisect_divergence",
     "compare_against_bench",
     "compare_runs",
+    "diff_capsules",
     "emit_artifact",
+    "emit_capsule",
     "events_table",
+    "find_capsules",
     "flame_stacks",
     "list_artifacts",
+    "list_capsules",
     "load_artifact",
+    "load_capsule",
     "seam_attribution",
     "window_timeline",
 ]

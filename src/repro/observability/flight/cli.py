@@ -38,6 +38,7 @@ from repro.observability.flight.artifact import (
     load_artifact,
     verify_artifact,
 )
+from repro.observability.flight.capsule import find_capsules, is_capsule_dir
 from repro.observability.flight.regression import (
     DEFAULT_NOISE,
     compare_against_bench,
@@ -64,18 +65,36 @@ def _describe(artifact: RunArtifact) -> str:
     return " ".join(bits)
 
 
+def _run_ids(root: str) -> List[str]:
+    """Run-artifact ids under *root*; debug capsules share the store
+    but are a different artifact kind (``repro debug list``)."""
+    return [
+        name for name in list_artifacts(root)
+        if not is_capsule_dir(os.path.join(root, name))
+    ]
+
+
 def _list(root: str) -> int:
-    run_ids = list_artifacts(root)
+    run_ids = _run_ids(root)
     if not run_ids:
         print("no run artifacts under %s" % root)
-        return 0
     for run_id in run_ids:
         artifact = load_artifact(run_id, root=root)
         print("%-44s %s" % (run_id, _describe(artifact)))
+    capsules = find_capsules(root)
+    if capsules:
+        print()
+        print("debug capsules (inspect with `python -m repro debug`):")
+        for capsule in capsules:
+            window = capsule.window
+            print("%-44s workload=%s cycles=[%s, %s]" % (
+                capsule.capsule_id, capsule.workload or "-",
+                window.get("start"), window.get("end")))
     return 0
 
 
-def _analyze_one(artifact: RunArtifact, flame_out: Optional[str]) -> int:
+def _analyze_one(artifact: RunArtifact, flame_out: Optional[str],
+                 root: str = DEFAULT_ROOT) -> int:
     print("artifact %s (%s)" % (artifact.run_id, artifact.path))
     problems = verify_artifact(artifact)
     for problem in problems:
@@ -98,6 +117,18 @@ def _analyze_one(artifact: RunArtifact, flame_out: Optional[str]) -> int:
                 "  WARNING: ring overflowed; oldest events are missing "
                 "from the stream (per-kind totals remain exact)"
             )
+    capsules = find_capsules(root, source_run=artifact.run_id)
+    if not capsules:
+        capsules = find_capsules(root, workload=artifact.workload)
+    if capsules:
+        print()
+        print("debug capsules for this run/workload:")
+        for capsule in capsules:
+            window = capsule.window
+            print("  %-44s cycles=[%s, %s]  %s" % (
+                capsule.capsule_id, window.get("start"),
+                window.get("end"), capsule.reason))
+        print("  (inspect with `python -m repro debug show <id>`)")
     if flame_out and artifact.profile() is not None:
         from repro.observability.flight.analytics import write_flame
 
@@ -105,6 +136,34 @@ def _analyze_one(artifact: RunArtifact, flame_out: Optional[str]) -> int:
         print()
         print("wrote %s (%d collapsed stacks)" % (flame_out, count))
     return 1 if problems else 0
+
+
+def _link_divergence_capsules(report, candidate: RunArtifact,
+                              root: str) -> None:
+    """After event-stream bisection, point at any debug capsule whose
+    re-executed window already covers the diverging cycle -- or say how
+    to capture one."""
+    divergence = report.divergence
+    if divergence is None or divergence.cycle_a is None:
+        return
+    capsules = find_capsules(root, workload=candidate.workload,
+                             containing_cycle=divergence.cycle_a)
+    print()
+    if capsules:
+        print("debug capsules covering the diverging cycle %d:"
+              % divergence.cycle_a)
+        for capsule in capsules:
+            window = capsule.window
+            print("  %-44s cycles=[%s, %s]" % (
+                capsule.capsule_id, window.get("start"),
+                window.get("end")))
+        print("  (diff with `python -m repro debug diff`)")
+    else:
+        print(
+            "no capsule covers the diverging cycle %d; capture one with "
+            "`python -m repro debug capture --workload %s --at-cycle %d`"
+            % (divergence.cycle_a, candidate.workload, divergence.cycle_a)
+        )
 
 
 def report_main(argv: Optional[List[str]] = None) -> int:
@@ -172,7 +231,7 @@ def _dispatch(args) -> int:
         else:
             targets = [
                 load_artifact(run_id, root=args.root)
-                for run_id in list_artifacts(args.root)
+                for run_id in _run_ids(args.root)
             ]
             targets = [
                 t for t in targets
@@ -197,10 +256,12 @@ def _dispatch(args) -> int:
         candidate = load_artifact(args.runs[1], root=args.root)
         report = compare_runs(baseline, candidate, noise=args.noise)
         print(render_report(report, attribution=candidate))
+        _link_divergence_capsules(report, candidate, args.root)
         reports.append(report)
     elif len(args.runs) == 1:
         return _analyze_one(
-            load_artifact(args.runs[0], root=args.root), args.flame
+            load_artifact(args.runs[0], root=args.root), args.flame,
+            root=args.root,
         )
     else:
         print(

@@ -28,6 +28,7 @@ from repro.observability.events import (
 from repro.observability.fabric import DEFAULT_WINDOW_CYCLES, StatsFabric
 from repro.observability.profiler import TickProfiler
 from repro.observability.triggers import CompiledTriggerQuery
+from repro.observability.watch import InvariantMonitor
 
 
 class FastScope:
@@ -44,6 +45,7 @@ class FastScope:
         window_cycles: int = DEFAULT_WINDOW_CYCLES,
         tracer_capacity: int = DEFAULT_CAPACITY,
         profile: bool = False,
+        invariants: bool = True,
     ):
         self.sim = sim
         self.tracer: EventTracer = attach_tracer(sim, tracer_capacity)
@@ -51,6 +53,15 @@ class FastScope:
             sim.tm, window_cycles=window_cycles, extra_roots=(sim.feed,)
         )
         self.triggers: List[CompiledTriggerQuery] = []
+        # The FastWatch invariant fabric is always-on by default: every
+        # invariant declares an idle hint, so arming it keeps the
+        # compiled engine's idle fast-forward and stays inside the
+        # observability overhead budget the bench gates.
+        self.monitor: Optional[InvariantMonitor] = None
+        if invariants:
+            self.monitor = InvariantMonitor(
+                sim.tm, extra_roots=(sim.feed,)
+            )
         self.profiler: Optional[TickProfiler] = None
         if profile:
             self.profiler = TickProfiler(sim.tm).install()
@@ -97,6 +108,8 @@ class FastScope:
             "trace": self.tracer.summary(),
             "triggers": [query.report() for query in self.triggers],
         }
+        if self.monitor is not None:
+            out["invariants"] = self.monitor.report()
         if self.profiler is not None:
             out["profile"] = self.profiler.report()
         return out

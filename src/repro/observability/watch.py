@@ -1,0 +1,414 @@
+"""FastWatch: the always-on invariant fabric.
+
+FAST's correctness story rests on structural properties that must hold
+on *every* cycle: the ROB never exceeds its entry count, Connectors
+never carry more transactions than their credit allows, the trace
+buffer never runs ahead of its depth, the checkpoint grid always covers
+every uncommitted rollback target, and the TM never acknowledges
+commits the FM has not produced.  Today a violated property only
+surfaces later, as a stats divergence FastFuzz must shrink after the
+fact; FastWatch checks the properties *at the cycle they break*.
+
+Modules declare invariants at construction time with
+:meth:`~repro.timing.module.Module.new_invariant`, exactly parallel to
+their FastScope stats.  :class:`InvariantMonitor` walks the module
+roots, compiles every registered invariant into one per-cycle probe and
+subscribes it as a cycle listener on both tick engines -- with an idle
+hint derived from the invariants' own declarations, so the compiled
+engine's idle fast-forward (and with it the <= 1.10x observability
+budget) survives arming.
+
+When an invariant fires, the recorded :class:`Violation` carries the
+exact target cycle; run determinism then lets the capture layer
+(:mod:`repro.functional.replay` + the ``python -m repro debug`` CLI)
+re-execute a window around that cycle with maximum-detail capture and
+emit a content-addressed debug capsule.
+
+Everything here is observation-only: an armed monitor never changes
+``TimingStats``, traces or architectural state (the determinism tests
+pin this), and invariant ``check`` closures must be side-effect free
+(FastLint rule IV002).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.timing.module import Invariant, Module
+
+# Effectively-infinite idle hint: an idle span never exceeds the run's
+# cycle budget.  (Same convention as fabric.py and triggers.py.)
+IDLE_HINT_UNBOUNDED = 1 << 40
+
+# The hint value Module.new_invariant documents for "cannot change
+# during a quiescent span" -- the common case for structural bounds,
+# since idle cycles advance no pipeline state.
+IDLE_STABLE = "idle-stable"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant firing: the edge cycle where ``check`` first
+    returned False, plus the observed probe value (if the invariant
+    registered one)."""
+
+    invariant: str
+    path: str
+    cycle: int
+    value: Optional[float]
+    desc: str
+
+    def message(self) -> str:
+        base = "invariant %s/%s violated at cycle %d" % (
+            self.path, self.invariant, self.cycle)
+        if self.value is not None:
+            base += " (observed %g)" % self.value
+        return base
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "path": self.path,
+            "cycle": self.cycle,
+            "value": self.value,
+            "desc": self.desc,
+        }
+
+
+class _Watch:
+    """One compiled invariant: hot-path state for the monitor loop."""
+
+    __slots__ = ("path", "invariant", "check", "module", "active",
+                 "firings")
+
+    def __init__(self, path: str, invariant: Invariant, module: Module):
+        self.path = path
+        self.invariant = invariant
+        self.check = invariant.check
+        self.module = module
+        self.active = False  # currently in violation (edge detection)
+        self.firings = 0
+
+
+def _resolve_hint(hint) -> Optional[int]:
+    """An invariant hint as a static idle-span bound, or None for a
+    hintless (single-step-pinning) invariant."""
+    if hint is None:
+        return None
+    if hint == IDLE_STABLE:
+        return IDLE_HINT_UNBOUNDED
+    if callable(hint):
+        return int(hint())
+    return int(hint)
+
+
+def _compile_fused(watches: List[_Watch]) -> Callable[[], bool]:
+    """Fuse every watch into one ``lambda: (...) and (...) and ...``.
+
+    The same move the compiled engine makes for module ticks
+    (repro.timing.pipeline.fastpath): the always-on hot path becomes a
+    single Python call.  An invariant that declared an ``expr`` is
+    inlined -- its expression is re-rooted from the free name ``m``
+    onto the owning module -- and one without falls back to calling its
+    ``check`` closure inside the chain.
+    """
+    import ast
+
+    namespace: dict = {}
+    parts: List[str] = []
+    for index, watch in enumerate(watches):
+        expr = watch.invariant.expr
+        if expr is not None:
+            name = "m%d" % index
+
+            class _Rename(ast.NodeTransformer):
+                def visit_Name(self, node: ast.Name) -> ast.Name:
+                    if node.id == "m":
+                        return ast.copy_location(
+                            ast.Name(id=name, ctx=node.ctx), node
+                        )
+                    return node
+
+            tree = _Rename().visit(ast.parse(expr, mode="eval"))
+            namespace[name] = watch.module
+            parts.append("(%s)" % ast.unparse(tree))
+        else:
+            name = "c%d" % index
+            namespace[name] = watch.check
+            parts.append("%s()" % name)
+    if not parts:
+        return lambda: True
+    return eval("lambda: " + " and ".join(parts), namespace)
+
+
+class InvariantMonitor:
+    """Arm every registered invariant under the given module roots.
+
+    Parallel to :class:`~repro.observability.fabric.StatsFabric`: walk
+    ``(tm,) + extra_roots``, collect the typed invariants, compile them
+    into one cycle listener and subscribe it with the combined idle
+    hint.  Checks run after every executed target cycle, on both the
+    legacy and compiled engines (both run the cycle-listener hook after
+    their per-cycle steps).
+
+    Firings are edge-triggered -- a persistently-false invariant records
+    one :class:`Violation` at the first failing cycle, and re-arms only
+    after the check holds again.  ``on_violation``, if given, is called
+    with each fresh Violation (the debug-capture hook).
+    """
+
+    def __init__(
+        self,
+        tm,
+        extra_roots: Tuple = (),
+        max_violations: int = 256,
+        max_firings_per_invariant: int = 64,
+        on_violation: Optional[Callable[[Violation], None]] = None,
+        selfcheck: bool = False,
+    ):
+        self.tm = tm
+        self.max_violations = max_violations
+        self.max_firings_per_invariant = max_firings_per_invariant
+        self.on_violation = on_violation
+        self.selfcheck = selfcheck
+        self.violations: List[Violation] = []
+        self.firings = 0
+        self.hintless: List[str] = []
+
+        watches: List[_Watch] = []
+        min_hint: int = IDLE_HINT_UNBOUNDED
+        pinned = False
+        roots = (tm,) + tuple(
+            root for root in extra_roots if isinstance(root, Module)
+        )
+        for root in roots:
+            for path, module in root.walk_paths():
+                for invariant in module._invariants.values():
+                    watches.append(_Watch(path, invariant, module))
+                    bound = _resolve_hint(invariant.hint)
+                    if bound is None:
+                        pinned = True
+                        self.hintless.append(path + "/" + invariant.name)
+                    elif bound < min_hint:
+                        min_hint = bound
+        self._watches = watches
+        self._idle_bound = min_hint
+        self._any_active = False
+        self._fused = _compile_fused(watches)
+        if watches:
+            if pinned:
+                # A hintless invariant (FastLint rule IV003) pins the
+                # engine to single-cycle stepping: register without a
+                # hint, which disables idle fast-forward entirely.
+                tm.add_cycle_listener(self._on_cycle)  # fastlint: ignore[ST003]
+            else:
+                tm.add_cycle_listener(self._on_cycle,
+                                      idle_hint=self._idle_hint)
+
+    # -- hot path --------------------------------------------------------
+
+    def _idle_hint(self, cycle: int) -> int:
+        # Sound because every armed invariant declared an idle bound:
+        # within the span none of their checks can change value.
+        return self._idle_bound
+
+    def _on_cycle(self, cycle: int) -> None:
+        if self.selfcheck and self._fused() != all(
+            w.check() for w in self._watches
+        ):
+            raise AssertionError(
+                "fused invariant probe disagrees with the check closures "
+                "at cycle %d: some expr= drifted from its check=" % cycle
+            )
+        if self._fused():
+            # Fast path: every invariant holds -- the common case on
+            # every executed cycle of a healthy run.
+            if self._any_active:
+                for watch in self._watches:
+                    watch.active = False
+                self._any_active = False
+            return
+        self._scan(cycle)
+
+    # -- firing (cold path) ----------------------------------------------
+
+    def _scan(self, cycle: int) -> None:
+        """Something failed: find which, edge-detect, fire."""
+        for watch in self._watches:
+            if watch.check():
+                watch.active = False
+            elif not watch.active:
+                watch.active = True
+                self._fire(watch, cycle)
+        # _fire may have rebuilt the list (storm limit); a dropped
+        # watch no longer holds the fast path hostage.
+        self._any_active = any(w.active for w in self._watches)
+
+    def _fire(self, watch: _Watch, cycle: int) -> None:
+        watch.firings += 1
+        self.firings += 1
+        invariant = watch.invariant
+        value: Optional[float] = None
+        if invariant.probe is not None:
+            value = float(invariant.probe())
+        violation = Violation(
+            invariant=invariant.name,
+            path=watch.path,
+            cycle=cycle,
+            value=value,
+            desc=invariant.desc,
+        )
+        if len(self.violations) < self.max_violations:
+            self.violations.append(violation)
+        if watch.firings >= self.max_firings_per_invariant:
+            # A storming invariant stops being evaluated; the recorded
+            # firing count keeps climbing nowhere.  The watch list and
+            # the fused probe are rebuilt off the hot path.
+            self._watches = [w for w in self._watches if w is not watch]
+            self._fused = _compile_fused(self._watches)
+        if self.on_violation is not None:
+            self.on_violation(violation)
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def armed(self) -> int:
+        """Invariants still being evaluated."""
+        return len(self._watches)
+
+    @property
+    def fired(self) -> bool:
+        return self.firings > 0
+
+    @property
+    def first_violation(self) -> Optional[Violation]:
+        return self.violations[0] if self.violations else None
+
+    def report(self) -> dict:
+        return {
+            "armed": len(self._watches),
+            "hintless": list(self.hintless),
+            "firings": self.firings,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+# -- violation injection (tests, CI, `repro debug capture --inject`) -----
+
+# Each canonical invariant reads its bound from an observation-only
+# attribute initialized to the real configured value.  Injection
+# shrinks that *armed copy* -- never the simulation state -- so the run
+# itself is bit-identical to an uninjected one and the window replay
+# around the (now deterministic) firing cycle stays exact.
+INJECTION_KINDS = ("rob", "credit", "ckpt")
+
+
+def _first_connector(tm):
+    from repro.timing.connector import Connector
+
+    for module in tm.walk():
+        if isinstance(module, Connector):
+            return module
+    return None
+
+
+def inject_violation(sim, kind: str) -> None:
+    """Force a deterministic firing of one canonical invariant on
+    *sim* without perturbing the simulation itself."""
+    if kind == "rob":
+        # Forced ROB overflow: any occupied ROB entry now violates.
+        sim.tm.backend._rob_limit = 0
+    elif kind == "credit":
+        # Forced credit leak on the first Connector in the TM tree: the
+        # armed transaction bound drops below zero, so even an empty
+        # queue reads as over-credit.
+        connector = _first_connector(sim.tm)
+        if connector is None:
+            raise ValueError("no Connector in the timing-model tree")
+        connector._transactions_limit = -1
+    elif kind == "ckpt":
+        # Rollback-past-checkpoint: the coverage window collapses, so
+        # the oldest live checkpoint can never cover it.
+        sim.feed._ckpt_window = -(1 << 40)
+    else:
+        raise ValueError(
+            "unknown injection %r (expected one of %s)"
+            % (kind, ", ".join(INJECTION_KINDS))
+        )
+
+
+def find_first_violation(
+    factory: Callable[[], object],
+    inject: Optional[str] = None,
+    max_cycles: int = 100_000_000,
+) -> Tuple[Optional[Violation], object]:
+    """Probe run: build a simulator from the zero-argument *factory*,
+    arm the invariant fabric (optionally with an injected violation)
+    and run to completion.  Returns ``(first_violation, monitor)``;
+    the violation is None if nothing fired.
+
+    Because runs are deterministic and the monitor evaluates on every
+    executed cycle of either engine, the returned cycle is stable
+    across repeated runs and across ``{legacy, compiled}``.
+    """
+    sim = factory()
+    if inject is not None:
+        inject_violation(sim, inject)
+    monitor = InvariantMonitor(sim.tm, extra_roots=(sim.feed,))
+    sim.run(max_cycles=max_cycles)
+    return monitor.first_violation, monitor
+
+
+def capture_debug_capsule(
+    factory: Callable[[], object],
+    workload: str,
+    label: Optional[str] = None,
+    inject: Optional[str] = None,
+    center: Optional[int] = None,
+    delta: int = 64,
+    profile: bool = True,
+    max_cycles: int = 100_000_000,
+    source_run: Optional[str] = None,
+    host: Optional[dict] = None,
+    root: Optional[str] = None,
+):
+    """End-to-end triggered time travel: probe for the first invariant
+    violation (optionally injected), re-execute the window around it,
+    and emit a content-addressed debug capsule.
+
+    With an explicit *center* the probe run is skipped entirely and the
+    window is captured around that cycle (the watchpoint form: the
+    caller got the cycle from a CompiledTriggerQuery firing, a
+    regression divergence, or a hunch).  Returns the loaded
+    :class:`~repro.observability.flight.capsule.CapsuleArtifact`, or
+    None when no violation fired and no center was given.
+    """
+    from repro.functional.replay import replay_window
+    from repro.observability.flight.capsule import DEFAULT_ROOT, emit_capsule
+
+    violation = None
+    if center is None:
+        violation, _monitor = find_first_violation(
+            factory, inject=inject, max_cycles=max_cycles
+        )
+        if violation is None:
+            return None
+        center = violation.cycle
+    capture = replay_window(factory, center, delta=delta, profile=profile)
+    if violation is not None:
+        reason = violation.message()
+        if inject:
+            reason += " [injected: %s]" % inject
+    else:
+        reason = "watchpoint capture at cycle %d" % center
+    return emit_capsule(
+        capture,
+        label=label or (violation.invariant if violation else "watchpoint"),
+        workload=workload,
+        reason=reason,
+        violation=violation.to_dict() if violation else None,
+        source_run=source_run,
+        host=host,
+        root=root if root is not None else DEFAULT_ROOT,
+    )

@@ -71,6 +71,30 @@ class Connector(Module):
         self._trace_log: Optional[list] = None
         self._trace_limit = 0
         self._trigger = None
+        # FastWatch credit conservation (registered here, at
+        # construction -- FastLint rule IV001): in-flight transactions
+        # never exceed the configured capacity, and per-cycle traffic
+        # never exceeds the declared throughput budgets.  The armed
+        # bound is an observation-only copy so violation-injection
+        # tests can shrink it without touching the FIFO itself.
+        self._transactions_limit = max_transactions
+        self.new_invariant(
+            "credit_conservation",
+            check=self._credits_conserved,
+            expr="len(m._queue) <= m._transactions_limit"
+                 " and m._pushed_this_cycle <= m.input_throughput"
+                 " and m._popped_this_cycle <= m.output_throughput",
+            hint="idle-stable",
+            probe=lambda: float(len(self._queue)),
+            desc="in-flight <= max_transactions and per-cycle "
+                 "push/pop counts within throughput budgets")
+
+    def _credits_conserved(self) -> bool:
+        return (
+            len(self._queue) <= self._transactions_limit
+            and self._pushed_this_cycle <= self.input_throughput
+            and self._popped_this_cycle <= self.output_throughput
+        )
 
     # -- dataflow endpoints -------------------------------------------------
 

@@ -27,6 +27,61 @@ class StatRegistrationError(ValueError):
     """A typed statistic was registered twice under one name."""
 
 
+class InvariantRegistrationError(ValueError):
+    """A typed invariant was registered twice under one name."""
+
+
+class Invariant:
+    """A machine-checkable structural property owned by one Module.
+
+    The FastWatch monitor (:mod:`repro.observability.watch`) walks the
+    module tree, compiles every registered invariant into a single
+    per-cycle probe and evaluates it after each executed target cycle.
+    ``check`` is a zero-argument predicate returning True while the
+    invariant holds; it must be observation-only (FastLint rule IV002)
+    because it runs on the live simulation state.  ``probe``, if given,
+    supplies the observed scalar recorded when the invariant fires.
+
+    *hint* mirrors the cycle-listener idle hints consumed by the
+    compiled engine: ``"idle-stable"`` declares the invariant cannot
+    change state during a quiescent (idle/halted) span, an int bounds
+    how many idle cycles may be skipped between evaluations, and a
+    zero-arg callable computes that bound lazily.  A hintless invariant
+    pins the monitor to single-cycle stepping (FastLint rule IV003).
+
+    *expr*, if given, is the check as a Python expression string over
+    the single free name ``m`` (the owning module).  The monitor
+    inlines every expr into one fused per-cycle closure -- the same
+    move the compiled engine makes for module ticks -- so the always-on
+    hot path is a single Python call instead of one per invariant.  An
+    expr must be observationally equivalent to ``check`` (the monitor
+    cross-validates when armed with ``selfcheck=True``) and, like the
+    check, side-effect free.
+
+    Like stats, invariants must be registered at construction time
+    (FastLint rule IV001) so every run checks the same lattice.
+    """
+
+    __slots__ = ("name", "check", "hint", "probe", "desc", "expr")
+    kind = "invariant"
+
+    def __init__(self, name: str, check: Callable[[], bool],
+                 hint=None, probe: Optional[Callable[[], float]] = None,
+                 desc: str = "", expr: Optional[str] = None):
+        self.name = name
+        self.check = check
+        self.hint = hint
+        self.probe = probe
+        self.desc = desc
+        self.expr = expr
+
+    def holds(self) -> bool:
+        return bool(self.check())
+
+    def __repr__(self) -> str:
+        return "<Invariant %r>" % (self.name,)
+
+
 class Stat:
     """A typed, named statistic owned by one :class:`Module`.
 
@@ -177,6 +232,9 @@ class Module:
         # Typed stats (Counter/Gauge/Histogram) registered at
         # construction; the FastScope fabric snapshots these per window.
         self._stats: Dict[str, Stat] = {}
+        # Typed invariants registered at construction; the FastWatch
+        # monitor compiles these into its per-cycle probe.
+        self._invariants: Dict[str, Invariant] = {}
 
     # -- hierarchy -------------------------------------------------------
 
@@ -292,6 +350,49 @@ class Module:
 
     def stat(self, name: str) -> Optional[Stat]:
         return self._stats.get(name)
+
+    # -- typed invariants (the FastWatch fabric) --------------------------
+
+    def register_invariant(self, invariant: Invariant) -> Invariant:
+        """Register a typed invariant on this module.
+
+        Registration must happen during construction (FastLint rule
+        IV001): the FastWatch monitor compiles the invariant lattice
+        once, when it arms, and every armed run must check the same
+        set.
+        """
+        if invariant.name in self._invariants:
+            raise InvariantRegistrationError(
+                "module %r already registers an invariant named %r"
+                % (self.name, invariant.name)
+            )
+        self._invariants[invariant.name] = invariant
+        return invariant
+
+    def new_invariant(self, name: str, check: Callable[[], bool],
+                      hint=None,
+                      probe: Optional[Callable[[], float]] = None,
+                      desc: str = "",
+                      expr: Optional[str] = None) -> Invariant:
+        invariant = Invariant(name, check, hint=hint, probe=probe,
+                              desc=desc, expr=expr)
+        self.register_invariant(invariant)
+        return invariant
+
+    def invariant(self, name: str) -> Optional[Invariant]:
+        return self._invariants.get(name)
+
+    def invariants_registry(self) -> Dict[str, Invariant]:
+        return dict(self._invariants)
+
+    def all_invariants(self, prefix: str = "") -> Dict[str, Invariant]:
+        """Flattened ``module.path/invariant`` -> Invariant map."""
+        out: Dict[str, Invariant] = {}
+        for path, module in self.walk_paths(prefix):
+            inv_prefix = path + "/"
+            for name, invariant in module._invariants.items():
+                out[inv_prefix + name] = invariant
+        return out
 
     def stats_registry(self) -> Dict[str, Stat]:
         return dict(self._stats)

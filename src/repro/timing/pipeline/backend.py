@@ -105,6 +105,28 @@ class Backend(Module):
         self.committed_uops = 0
         self.last_commit_cycle = 0
         self.on_instr_commit = None  # optional (dyn_instr, cycle) hook
+        # FastWatch structural invariants (registered here, at
+        # construction -- FastLint rule IV001).  The armed bounds are
+        # observation-only copies of the configured capacities: tests
+        # shrink them to force a deterministic violation without
+        # perturbing the simulation itself.
+        self._rob_limit = rob_entries
+        self._rs_limit = rs_entries
+        self.new_invariant(
+            "rob_occupancy_bound",
+            check=lambda: len(self.rob) <= self._rob_limit,
+            expr="len(m.rob) <= m._rob_limit",
+            hint="idle-stable",
+            probe=lambda: float(len(self.rob)),
+            desc="ROB occupancy never exceeds its configured entry count")
+        self.new_invariant(
+            "rs_occupancy_bound",
+            check=lambda: len(self.rs) <= self._rs_limit,
+            expr="len(m.rs) <= m._rs_limit",
+            hint="idle-stable",
+            probe=lambda: float(len(self.rs)),
+            desc="reservation-station occupancy never exceeds its "
+                 "configured entry count")
 
     # -- queries ---------------------------------------------------------
 

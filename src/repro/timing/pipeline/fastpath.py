@@ -29,6 +29,14 @@ Uop templates are immutable after cracking, so their per-µop metadata
 (unit class, source/destination register tuples, unpipelined flag) is
 computed once and cached on ``Uop.meta`` instead of re-walking the
 ``sources()`` / ``destinations()`` generators at every dispatch.
+
+A corollary of the bit-identity rules: the fused closures carry **no
+observability probes**.  FastWatch invariants over the structures these
+closures mutate (ROB/RS occupancy bounds, Connector credits) attach as
+cycle listeners on the engine (see the "Invariant step hook" section of
+:mod:`repro.timing.schedule`), which run after the cycle's steps on
+both engines -- checking mid-step here would observe half-evaluated
+cycles and differ between the fused and legacy orderings.
 """
 
 from __future__ import annotations

@@ -36,6 +36,22 @@ idling), the feed reports how many further cycles are guaranteed
 uneventful (:meth:`repro.timing.feed.InstructionFeed.idle_horizon`) and
 the loop advances ``cycle``, ``idle_cycles`` and device time in one
 batched step, preserving watchdog and cycle-listener semantics exactly.
+
+Invariant step hook
+-------------------
+
+The cycle-listener hook that runs after the per-cycle steps is the
+engines' invariant seam: the FastWatch monitor
+(:mod:`repro.observability.watch`) compiles every registered module
+invariant into one listener and subscribes it with an idle hint, so
+structural properties are checked after *every executed cycle* on both
+engines while idle spans still batch.  Invariant probes must go through
+this hook -- never inside the fused step closures -- because listeners
+observe the post-step state of a fully-evaluated cycle on either
+engine, which is what keeps a violation's cycle number engine-
+independent.  ``_idle_span`` already enforces the corresponding rule:
+any listener registered without a hint (e.g. a hintless invariant,
+FastLint rule IV003) pins the loop to single-cycle stepping.
 """
 
 from __future__ import annotations

@@ -22,6 +22,12 @@ REPROS = list(iter_corpus(CORPUS_DIR))
 # budgets keep the full-matrix replay cheap.
 REPLAY_CONFIG = OracleConfig(max_cycles=600_000, max_instructions=200_000)
 
+# The same matrix with the FastWatch invariant fabric armed in every
+# cell: any firing is a divergence, so replaying the corpus also pins
+# the fabric's false-positive rate at zero across all nine couplings.
+WATCHED_CONFIG = OracleConfig(max_cycles=600_000, max_instructions=200_000,
+                              invariants=True)
+
 
 def test_corpus_is_seeded():
     assert len(REPROS) >= 5, "the shipped corpus must stay non-trivial"
@@ -35,3 +41,14 @@ def test_corpus_replays_clean(repro):
         "%s: golden run %s" % (repro.name, outcome.golden_status))
     assert outcome.ok, "%s diverged:\n%s" % (
         repro.name, "\n".join(str(d) for d in outcome.divergences))
+
+
+@pytest.mark.parametrize("repro", REPROS, ids=lambda r: r.name)
+def test_corpus_replays_clean_with_invariants(repro):
+    outcome = run_matrix(repro.source, repro.base, seed=repro.seed,
+                         config=WATCHED_CONFIG)
+    assert outcome.ok, "%s diverged with invariants armed:\n%s" % (
+        repro.name, "\n".join(str(d) for d in outcome.divergences))
+    total = sum(c.invariant_firings for c in outcome.cells.values())
+    assert total == 0, (
+        "%s: %d false-positive invariant firing(s)" % (repro.name, total))
