@@ -6,7 +6,8 @@ Usage::
     python -m repro                 # generated usage listing
     python -m repro table1          # regenerate one experiment
     python -m repro all             # regenerate everything (slow)
-    python -m repro <subcommand>    # lint / bench / stats / trace / report / debug
+    python -m repro <subcommand>    # lint / bench / stats / trace / report
+                                    # / debug / fuzz / top / pulse
 
 Experiment runs invoked here emit FastFlight run artifacts under
 ``results/runs/`` (suppress with ``REPRO_FLIGHT=0``).
@@ -79,6 +80,18 @@ def _debug_main(argv: List[str]) -> int:
     return debug_main(argv)
 
 
+def _top_main(argv: List[str]) -> int:
+    from repro.observability.pulse_cli import top_main
+
+    return top_main(argv)
+
+
+def _pulse_main(argv: List[str]) -> int:
+    from repro.observability.pulse_cli import pulse_main
+
+    return pulse_main(argv)
+
+
 # Every registered subcommand: name -> (description, entry point taking
 # the remaining argv).  The usage listing below is generated from this
 # table plus EXPERIMENTS, so a new subcommand cannot be forgotten there.
@@ -97,6 +110,10 @@ SUBCOMMANDS: Dict[str, Tuple[str, Callable[[List[str]], int]]] = {
                    "emission", _shardcheck_main),
     "debug": ("FastWatch time-travel debug capsules (capture / list / "
               "show / diff / flame)", _debug_main),
+    "top": ("live status of running/finished simulations (tails "
+            "pulse.jsonl sidecars)", _top_main),
+    "pulse": ("FastPulse live telemetry plane (run / export)",
+              _pulse_main),
 }
 
 

@@ -61,6 +61,15 @@ def flight_root() -> str:
     return os.environ.get("REPRO_FLIGHT_DIR") or DEFAULT_ROOT
 
 
+def pulse_dir() -> str:
+    """Live ``pulse.jsonl`` sidecars go next to the FastFlight run
+    store (``results/pulse`` beside ``results/runs``): the run id is
+    content-addressed and only known *after* the run, so the live
+    stream needs a stable, predictable home for ``repro top`` --
+    adoption copies it into the run dir at emit time."""
+    return os.path.join(os.path.dirname(flight_root()) or ".", "pulse")
+
+
 def _record_run(run_id: str, workload: str, cycles: int) -> None:
     runs: List[Dict[str, Any]] = _FLIGHT["runs"]
     runs.append({"run_id": run_id, "workload": workload, "cycles": cycles})
@@ -298,6 +307,21 @@ def run_fast_workload(
         timing_config=timing_config,
     )
     tracker = UserPhaseTracker(sim)
+    pulse = None
+    if flight_enabled():
+        # FastPulse rides along with FastFlight: the live sidecar makes
+        # the run visible to `repro top` while in flight, and is
+        # adopted into the run artifact afterwards.
+        from repro.observability.pulse import LivenessWatchdog, PulseEmitter
+
+        pulse = PulseEmitter(
+            sim.tm,
+            feed=sim.feed,
+            path=os.path.join(pulse_dir(), "%s.jsonl" % name),
+            workload=name,
+            horizon=max_cycles,
+            watchdog=LivenessWatchdog(),
+        )
     # Host wall time is measured (not modelled): it feeds the run
     # artifact's volatile host section, never a modelled quantity.
     t0 = time.perf_counter()  # fastlint: ignore[DT002]
@@ -323,6 +347,7 @@ def run_fast_workload(
                     result.timing.cycles / wall_seconds, 1
                 ) if wall_seconds > 0 else 0.0,
             },
+            pulse=pulse,
             root=flight_root(),
         )
         _record_run(artifact.run_id, name, result.timing.cycles)

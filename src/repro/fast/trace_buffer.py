@@ -172,7 +172,12 @@ class TraceBufferFeed(InstructionFeed, Module):
 
     @property
     def occupancy(self) -> int:
-        """Public alias of the TB occupancy, for probes and triggers."""
+        """Public alias of the TB occupancy, for probes and triggers.
+
+        Lockstep note: the canonical trigger probe
+        (``repro.observability.triggers.trace_buffer_occupancy``)
+        inlines this body into its compiled per-cycle listener --
+        change the expression here and there together."""
         return self.fm.in_count - self._last_committed
 
     def _occupancy_probe(self) -> float:

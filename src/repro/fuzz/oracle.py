@@ -26,6 +26,17 @@ different architectural points by design.
 A cell that deadlocks, wedges or raises is itself a result (its status
 string), so "one coupling finishes, the other deadlocks" shows up as an
 ordinary divergence instead of crashing the fuzzer.
+
+Wedge diagnosis rides on the FastPulse liveness watchdog: every cell
+arms an in-memory :class:`~repro.observability.pulse.PulseEmitter` (no
+sidecar file) with a :class:`~repro.observability.pulse.LivenessWatchdog`,
+so a cell that runs out its cycle budget without shutting down reports
+``wedged:no-progress@<since>(last_commit=<cycle>)`` -- the stall onset
+and the last committed cycle -- instead of a bare ``wedged``.  The
+detail is deterministic (pure cycle arithmetic), so matched couplings
+still compare equal and a *differently*-wedged pair is a richer
+divergence.  Against the golden run only the status *family* (the text
+before ``:``) is compared: the FM alone has no cycles to diagnose with.
 """
 
 from __future__ import annotations
@@ -105,6 +116,12 @@ class OracleConfig:
     # invariants hold on every cycle of every cell, so the fuzzer also
     # pins the fabric's false-positive rate at zero.
     invariants: bool = False
+    # Arm the FastPulse liveness watchdog in every cell (in-memory; no
+    # sidecar file) so wedged cells report the stall onset and last
+    # commit cycle instead of a bare status.
+    pulse: bool = True
+    pulse_interval_cycles: int = 25_000
+    stall_cycles: int = 100_000
     # Test hook: called as ``mutator(fm, tm, cell)`` after each matrix
     # cell is wired but before it runs (never for the golden run), so
     # tests can inject a semantics bug into selected cells and check the
@@ -211,6 +228,26 @@ def run_golden(source: str, base: int,
     return _arch_fingerprint(fm, console.text()), status
 
 
+def _wedge_status(tm: TimingModel, watchdog) -> str:
+    """A wedged cell's status, diagnosed by the liveness watchdog.
+
+    Deterministic by construction -- stall onset and last-commit cycle
+    are target-cycle arithmetic -- so two identically-wedged couplings
+    still compare equal, while cells wedged *differently* surface the
+    difference in the divergence detail."""
+    last_commit = tm.backend.last_commit_cycle
+    if watchdog is not None and watchdog.last_stall is not None:
+        stall = watchdog.last_stall
+        return "wedged:no-progress@%d(last_commit=%d)" % (
+            stall["since_cycle"], stall["last_commit_cycle"])
+    if watchdog is not None:
+        # Budget ran out while the program was still making progress:
+        # wedged from the harness's point of view, live from the
+        # watchdog's.  Still worth distinguishing from a true stall.
+        return "wedged:live@%d(last_commit=%d)" % (tm.cycle, last_commit)
+    return "wedged"
+
+
 def run_cell(source: str, base: int, cell: OracleCell,
              config: OracleConfig) -> CellResult:
     """Run one simulator configuration over the program."""
@@ -238,13 +275,28 @@ def run_cell(source: str, base: int, cell: OracleCell,
         # Lock-step feeds are not Modules; the monitor filters them out
         # and arms the TM-side invariants alone in those cells.
         monitor = InvariantMonitor(tm, extra_roots=(feed,))
+    watchdog = None
+    if config.pulse:
+        from repro.observability.pulse import LivenessWatchdog, PulseEmitter
+
+        watchdog = LivenessWatchdog(no_commit_cycles=config.stall_cycles)
+        # In-memory emitter (path=None): the watchdog needs the sampled
+        # det stream, not a sidecar file, and the cadence hint keeps
+        # idle fast-forward in the compiled cells.
+        PulseEmitter(
+            tm,
+            feed=feed,
+            interval_cycles=config.pulse_interval_cycles,
+            monitor=monitor,
+            watchdog=watchdog,
+        )
     status = "ok"
     stats_dict: Dict[str, int] = {}
     try:
         stats = tm.run(max_cycles=config.max_cycles)
         stats_dict = dataclasses.asdict(stats)
         if not fm.bus.shutdown_requested:
-            status = "wedged"
+            status = _wedge_status(tm, watchdog)
     except DeadlockError:
         status = "deadlock"
     except Exception as exc:
@@ -260,6 +312,15 @@ def run_cell(source: str, base: int, cell: OracleCell,
 
 def _diff_dicts(a: Dict, b: Dict) -> Tuple[str, ...]:
     return tuple(sorted(k for k in a.keys() | b.keys() if a.get(k) != b.get(k)))
+
+
+def _status_family(status: str) -> str:
+    """``wedged:no-progress@123(...)`` -> ``wedged``.  The golden run has
+    no timing model, hence no watchdog detail to match against.  Only
+    wedge detail is stripped; ``error:<type>`` stays exact."""
+    if status.startswith("wedged"):
+        return "wedged"
+    return status
 
 
 def _compare(reference: CellResult, cell: CellResult) -> List[Divergence]:
@@ -324,7 +385,9 @@ def run_matrix(source: str, base: int, seed: int = 0,
                 )
                 divergences.append(Divergence(
                     "golden", "fm-alone", ref_label, fields, detail))
-        elif irq == "instr" and reference.status != golden_status:
+        elif irq == "instr" and (
+            _status_family(reference.status) != _status_family(golden_status)
+        ):
             divergences.append(Divergence(
                 "golden", "fm-alone", ref_label, (),
                 "%s vs %s" % (reference.status, golden_status)))

@@ -25,16 +25,31 @@ the Python runtime:
   feeding the time-travel debug-capsule capture
   (:mod:`repro.functional.replay` +
   :mod:`repro.observability.flight.capsule`);
+* :class:`PulseEmitter` -- the FastPulse live telemetry plane: an
+  idle-hinted cycle listener that snapshots progress every N cycles
+  into an append-only ``pulse.jsonl`` sidecar (deterministic fields
+  split from host-timing fields), with a :class:`LivenessWatchdog`
+  classifying no-progress stalls while out-of-process readers
+  (``python -m repro top``, the OpenMetrics exporter) tail the stream;
 * :class:`FastScope` -- the facade wiring all of the above onto a
   :class:`~repro.fast.simulator.FastSimulator` (or bare TimingModel).
 
 Exposed on the command line as ``python -m repro stats``,
-``python -m repro trace`` and ``python -m repro debug``.
+``python -m repro trace``, ``python -m repro debug``,
+``python -m repro top`` and ``python -m repro pulse``.
 """
 
 from repro.observability.events import Event, EventTracer, attach_tracer
 from repro.observability.fabric import StatWindow, StatsFabric
 from repro.observability.profiler import TickProfiler
+from repro.observability.pulse import (
+    LivenessWatchdog,
+    PulseEmitter,
+    capture_stall_capsule,
+    classify,
+    load_sidecar,
+    render_openmetrics,
+)
 from repro.observability.scope import FastScope
 from repro.observability.triggers import (
     CompiledTriggerQuery,
@@ -55,14 +70,20 @@ __all__ = [
     "EventTracer",
     "FastScope",
     "InvariantMonitor",
+    "LivenessWatchdog",
+    "PulseEmitter",
     "StatWindow",
     "StatsFabric",
     "TickProfiler",
     "Violation",
     "attach_tracer",
     "capture_debug_capsule",
+    "capture_stall_capsule",
+    "classify",
     "find_first_violation",
     "inject_violation",
+    "load_sidecar",
+    "render_openmetrics",
     "rob_occupancy",
     "trace_buffer_occupancy",
 ]

@@ -11,6 +11,7 @@ directory under ``results/runs/<id>/``::
     windows.json    StatsFabric window series        (scoped runs only)
     trace.jsonl     seam event ring + summary footer (scoped runs only)
     profile.json    TickProfiler samples             (profiled runs only)
+    pulse.jsonl     FastPulse live-telemetry sidecar (pulse-armed runs)
     output.txt      rendered experiment text         (experiments only)
 
 Content addressing is the determinism contract made durable: the id is
@@ -19,6 +20,13 @@ output) plus the identity fields, so two same-seed runs produce
 artifacts with the same content hash, and a hash mismatch between two
 "identical" runs is itself a regression signal.  Host wall-time lives
 only in the manifest's ``host`` section and never enters the hash.
+
+``pulse.jsonl`` interleaves heartbeat timestamps with deterministic
+progress samples, so -- like ``profile.json`` -- its bytes stay outside
+the content hash; the *deterministic footer* of the stream (sample
+count, rolling det hash, stall count) is folded into the hashed
+identity as ``extra["pulse_footer"]`` instead, making live-telemetry
+divergence between two same-seed runs a content-hash mismatch.
 
 Nothing here reads a clock: artifacts carry no timestamps (content
 addressing makes them unnecessary, and the determinism lint would
@@ -42,14 +50,17 @@ STATS_NAME = "stats.json"
 WINDOWS_NAME = "windows.json"
 TRACE_NAME = "trace.jsonl"
 PROFILE_NAME = "profile.json"
+PULSE_NAME = "pulse.jsonl"
 OUTPUT_NAME = "output.txt"
 
-# Payload files whose bytes enter the content hash.  profile.json is
-# host-wall-time samples and is deliberately excluded, like the
-# manifest's host section.
+# Payload files whose bytes enter the content hash.  profile.json and
+# pulse.jsonl carry host-wall-time samples and are deliberately
+# excluded, like the manifest's host section (pulse determinism enters
+# the hash through extra["pulse_footer"] instead).
 HASHED_FILES = (STATS_NAME, WINDOWS_NAME, TRACE_NAME, OUTPUT_NAME)
 
 TRACE_FOOTER_KIND = "trace_summary"
+PULSE_FOOTER_KIND = "pulse_footer"
 
 
 def canonical_json(obj: Any) -> str:
@@ -180,6 +191,32 @@ class RunArtifact:
     def has_trace(self) -> bool:
         return self._file(TRACE_NAME) is not None
 
+    def has_pulse(self) -> bool:
+        return self._file(PULSE_NAME) is not None
+
+    def pulse_summary(self) -> Optional[Dict[str, Any]]:
+        """The FastPulse footer record (``det`` + ``host`` sections)
+        when the artifact adopted a live-telemetry sidecar; falls back
+        to the hashed ``extra["pulse_footer"]`` identity copy."""
+        path = self._file(PULSE_NAME)
+        if path is not None:
+            last = None
+            with open(path) as fh:
+                for line in fh:
+                    if line.strip():
+                        last = line
+            if last is not None:
+                try:
+                    record = json.loads(last)
+                except ValueError:
+                    record = None
+                if record and record.get("kind") == PULSE_FOOTER_KIND:
+                    return record
+        footer = self.manifest.get("extra", {}).get("pulse_footer")
+        if footer:
+            return {"kind": PULSE_FOOTER_KIND, "det": footer, "host": {}}
+        return None
+
 
 # -- hashing ---------------------------------------------------------------
 
@@ -198,6 +235,25 @@ def _content_hash(identity: Dict[str, Any],
 # -- emission --------------------------------------------------------------
 
 
+def _pulse_footer_from_text(text: str) -> Optional[Dict[str, Any]]:
+    """The deterministic footer section of a pulse sidecar's text, or
+    None when the stream never finalized (crash mid-run)."""
+    last = None
+    for line in text.splitlines():
+        if line.strip():
+            last = line
+    if last is None:
+        return None
+    try:
+        record = json.loads(last)
+    except ValueError:
+        return None
+    if record.get("kind") != PULSE_FOOTER_KIND:
+        return None
+    det = record.get("det")
+    return det if isinstance(det, dict) else None
+
+
 def emit_artifact(
     experiment: str,
     workload: Optional[str] = None,
@@ -208,6 +264,7 @@ def emit_artifact(
     host: Optional[Dict[str, Any]] = None,
     output: Optional[str] = None,
     extra: Optional[Dict[str, Any]] = None,
+    pulse: Any = None,
     root: str = DEFAULT_ROOT,
 ) -> RunArtifact:
     """Write one run artifact directory and return it loaded.
@@ -219,6 +276,13 @@ def emit_artifact(
     window series, the seam trace (with summary footer) and, when the
     profiler ran, the tick profile.  *host* is the volatile section
     (wall seconds, cycles/sec) -- recorded, never hashed.
+
+    *pulse* adopts a FastPulse sidecar: either a live
+    :class:`~repro.observability.pulse.PulseEmitter` (finalized here) or
+    a path to an existing ``pulse.jsonl``.  The sidecar bytes land
+    unhashed (they interleave host timestamps); the deterministic footer
+    is folded into ``extra["pulse_footer"]`` so it enters the content
+    hash.
     """
     files: Dict[str, str] = {}  # name -> file text
     stats: Dict[str, Any] = {}
@@ -241,6 +305,19 @@ def emit_artifact(
     if output is not None:
         files[OUTPUT_NAME] = output if output.endswith("\n") else output + "\n"
 
+    if pulse is None and scope is not None:
+        pulse = getattr(scope, "pulse", None)
+    pulse_footer: Optional[Dict[str, Any]] = None
+    if pulse is not None:
+        if isinstance(pulse, str):
+            with open(pulse) as fh:
+                pulse_text = fh.read()
+        else:
+            pulse.finalize()
+            pulse_text = pulse.sidecar_text()
+        files[PULSE_NAME] = pulse_text
+        pulse_footer = _pulse_footer_from_text(pulse_text)
+
     identity: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "experiment": experiment,
@@ -248,6 +325,9 @@ def emit_artifact(
         "config": _plain(config) or {},
         "extra": _plain(extra) or {},
     }
+    if pulse_footer is not None:
+        identity["extra"] = dict(identity["extra"])
+        identity["extra"]["pulse_footer"] = pulse_footer
     file_hashes = {
         name: _sha256_text(text)
         for name, text in files.items()

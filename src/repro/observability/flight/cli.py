@@ -62,7 +62,29 @@ def _describe(artifact: RunArtifact) -> str:
         bits.append("trace")
     if artifact.profile() is not None:
         bits.append("profile")
+    pulse = artifact.pulse_summary()
+    if pulse is not None:
+        bits.append(_describe_pulse(pulse))
     return " ".join(bits)
+
+
+def _describe_pulse(pulse: dict) -> str:
+    """The per-run telemetry summary column: final sim rate, peak
+    occupancies and stall count from the FastPulse footer."""
+    det = pulse.get("det", {})
+    host = pulse.get("host", {})
+    parts = []
+    cps = host.get("cps")
+    if cps:
+        parts.append("cps=%.0f" % float(cps))
+    peak_tb = det.get("peak_tb")
+    if peak_tb is not None:
+        parts.append("peak_tb=%s" % peak_tb)
+    peak_rob = det.get("peak_rob")
+    if peak_rob is not None:
+        parts.append("peak_rob=%s" % peak_rob)
+    parts.append("stalls=%s" % det.get("stalls", 0))
+    return "pulse[%s]" % " ".join(parts)
 
 
 def _run_ids(root: str) -> List[str]:
@@ -117,6 +139,24 @@ def _analyze_one(artifact: RunArtifact, flame_out: Optional[str],
                 "  WARNING: ring overflowed; oldest events are missing "
                 "from the stream (per-kind totals remain exact)"
             )
+    pulse = artifact.pulse_summary()
+    if pulse is not None:
+        det = pulse.get("det", {})
+        host = pulse.get("host", {})
+        print()
+        line = "pulse: %s samples, %s stalls" % (
+            det.get("samples", 0), det.get("stalls", 0))
+        if host.get("cps"):
+            line += ", %.0f cyc/s" % float(host["cps"])
+        if det.get("peak_tb") is not None:
+            line += ", peak tb=%s" % det["peak_tb"]
+        if det.get("peak_rob") is not None:
+            line += ", peak rob=%s" % det["peak_rob"]
+        if det.get("det_hash"):
+            line += ", det %s" % str(det["det_hash"])[:12]
+        print(line)
+        if not det.get("finished", True):
+            print("  WARNING: sidecar footer says the run never finished")
     capsules = find_capsules(root, source_run=artifact.run_id)
     if not capsules:
         capsules = find_capsules(root, workload=artifact.workload)

@@ -287,6 +287,42 @@ def _compare_timing(base: Dict[str, Any], cand: Dict[str, Any],
     return out
 
 
+def _compare_pulse(baseline: RunArtifact, candidate: RunArtifact,
+                   report: "RegressionReport", noise: float) -> None:
+    """When both artifacts adopted a FastPulse sidecar, gate the final
+    telemetry rate inside the host-metric noise band and exact-compare
+    the deterministic footer (only when the cadences match -- a
+    different sampling interval legitimately changes the det stream)."""
+    pulse_a = baseline.pulse_summary()
+    pulse_b = candidate.pulse_summary()
+    if pulse_a is None or pulse_b is None:
+        return
+    det_a = pulse_a.get("det", {})
+    det_b = pulse_b.get("det", {})
+    cps_a = pulse_a.get("host", {}).get("cps")
+    cps_b = pulse_b.get("host", {}).get("cps")
+    if cps_a and cps_b:
+        report.metrics.append(
+            _metric_delta("pulse.cps", float(cps_a), float(cps_b),
+                          True, noise)
+        )
+    same_cadence = (
+        det_a.get("interval_cycles") == det_b.get("interval_cycles")
+        and det_a.get("horizon") == det_b.get("horizon")
+    )
+    if not same_cadence:
+        report.notes.append(
+            "pulse cadences differ; deterministic telemetry not compared"
+        )
+        return
+    for field in ("samples", "stalls", "det_hash"):
+        if det_a.get(field) != det_b.get(field):
+            report.mismatches.append(
+                StatMismatch("pulse." + field,
+                             det_a.get(field), det_b.get(field))
+            )
+
+
 def compare_runs(
     baseline: RunArtifact,
     candidate: RunArtifact,
@@ -320,6 +356,7 @@ def compare_runs(
         report.notes.append("no shared host metrics; perf gate skipped")
 
     report.mismatches = _compare_timing(baseline.timing(), candidate.timing())
+    _compare_pulse(baseline, candidate, report, noise)
     if baseline.content_hash and candidate.content_hash:
         if baseline.content_hash == candidate.content_hash:
             report.notes.append(

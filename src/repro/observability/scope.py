@@ -27,6 +27,11 @@ from repro.observability.events import (
 )
 from repro.observability.fabric import DEFAULT_WINDOW_CYCLES, StatsFabric
 from repro.observability.profiler import TickProfiler
+from repro.observability.pulse import (
+    DEFAULT_INTERVAL_CYCLES,
+    LivenessWatchdog,
+    PulseEmitter,
+)
 from repro.observability.triggers import CompiledTriggerQuery
 from repro.observability.watch import InvariantMonitor
 
@@ -46,6 +51,8 @@ class FastScope:
         tracer_capacity: int = DEFAULT_CAPACITY,
         profile: bool = False,
         invariants: bool = True,
+        pulse_path: Optional[str] = None,
+        pulse_interval: int = DEFAULT_INTERVAL_CYCLES,
     ):
         self.sim = sim
         self.tracer: EventTracer = attach_tracer(sim, tracer_capacity)
@@ -61,6 +68,19 @@ class FastScope:
         if invariants:
             self.monitor = InvariantMonitor(
                 sim.tm, extra_roots=(sim.feed,)
+            )
+        # The FastPulse live telemetry plane: cadence-hinted like the
+        # monitor, so arming it also keeps idle fast-forward (and rides
+        # inside the same overhead budget the bench gates).
+        self.pulse: Optional[PulseEmitter] = None
+        if pulse_path is not None:
+            self.pulse = PulseEmitter(
+                sim.tm,
+                feed=sim.feed,
+                path=pulse_path,
+                interval_cycles=pulse_interval,
+                monitor=self.monitor,
+                watchdog=LivenessWatchdog(),
             )
         self.profiler: Optional[TickProfiler] = None
         if profile:
@@ -87,6 +107,8 @@ class FastScope:
 
     def finalize(self) -> None:
         self.fabric.finalize()
+        if self.pulse is not None:
+            self.pulse.finalize()
 
     def report(self) -> Dict:
         """BENCH-style JSON for the whole scoped run."""
@@ -110,6 +132,8 @@ class FastScope:
         }
         if self.monitor is not None:
             out["invariants"] = self.monitor.report()
+        if self.pulse is not None:
+            out["pulse"] = self.pulse.summary()
         if self.profiler is not None:
             out["profile"] = self.profiler.report()
         return out

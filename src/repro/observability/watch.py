@@ -113,6 +113,15 @@ def _compile_fused(watches: List[_Watch]) -> Callable[[], bool]:
     onto the owning module -- and one without falls back to calling its
     ``check`` closure inside the chain.
     """
+    parts, namespace = _fused_parts(watches)
+    if not parts:
+        return lambda: True
+    return eval("lambda: " + " and ".join(parts), namespace)
+
+
+def _fused_parts(watches: List[_Watch]):
+    """The per-watch source fragments and their namespace, shared by
+    the standalone fused probe and the compiled cycle listener."""
     import ast
 
     namespace: dict = {}
@@ -137,9 +146,36 @@ def _compile_fused(watches: List[_Watch]) -> Callable[[], bool]:
             name = "c%d" % index
             namespace[name] = watch.check
             parts.append("%s()" % name)
+    return parts, namespace
+
+
+def _compile_listener(watches: List[_Watch], monitor) -> Callable[[int], None]:
+    """Compile the monitor's whole cycle hook with the fused probe
+    spliced in.
+
+    One Python call per executed cycle on the healthy path -- the
+    conjunction evaluates inline instead of through a separate
+    ``self._fused()`` call, and the only attribute the fast path
+    touches is the stale-edge flag.  Fall back to the bound method
+    (``InvariantMonitor._on_cycle``) for selfcheck mode, which needs
+    the authoritative check closures every cycle.
+    """
+    parts, namespace = _fused_parts(watches)
     if not parts:
-        return lambda: True
-    return eval("lambda: " + " and ".join(parts), namespace)
+        fused_src = "True"
+    else:
+        fused_src = " and ".join(parts)
+    namespace["_mon"] = monitor
+    source = (
+        "def _listener(cycle):\n"
+        "    if %s:\n"
+        "        if _mon._any_active:\n"
+        "            _mon._clear_active()\n"
+        "        return\n"
+        "    _mon._scan(cycle)\n" % fused_src
+    )
+    exec(source, namespace)
+    return namespace["_listener"]
 
 
 class InvariantMonitor:
@@ -196,15 +232,23 @@ class InvariantMonitor:
         self._idle_bound = min_hint
         self._any_active = False
         self._fused = _compile_fused(watches)
+        # The compiled listener needs re-compiling when the watch set
+        # changes (storm limit); that swap goes through
+        # tm.replace_cycle_listener, so a tm without the primitive
+        # (test doubles) falls back to the dynamic bound method, as
+        # does selfcheck mode.
+        self._listener: Optional[Callable[[int], None]] = None
+        if not selfcheck and hasattr(tm, "replace_cycle_listener"):
+            self._listener = _compile_listener(watches, self)
+        hook = self._listener if self._listener is not None else self._on_cycle
         if watches:
             if pinned:
                 # A hintless invariant (FastLint rule IV003) pins the
                 # engine to single-cycle stepping: register without a
                 # hint, which disables idle fast-forward entirely.
-                tm.add_cycle_listener(self._on_cycle)  # fastlint: ignore[ST003]
+                tm.add_cycle_listener(hook)  # fastlint: ignore[ST003]
             else:
-                tm.add_cycle_listener(self._on_cycle,
-                                      idle_hint=self._idle_hint)
+                tm.add_cycle_listener(hook, idle_hint=self._idle_hint)
 
     # -- hot path --------------------------------------------------------
 
@@ -225,13 +269,18 @@ class InvariantMonitor:
             # Fast path: every invariant holds -- the common case on
             # every executed cycle of a healthy run.
             if self._any_active:
-                for watch in self._watches:
-                    watch.active = False
-                self._any_active = False
+                self._clear_active()
             return
         self._scan(cycle)
 
     # -- firing (cold path) ----------------------------------------------
+
+    def _clear_active(self) -> None:
+        """Every invariant holds again: drop stale edge state so the
+        next failure fires fresh."""
+        for watch in self._watches:
+            watch.active = False
+        self._any_active = False
 
     def _scan(self, cycle: int) -> None:
         """Something failed: find which, edge-detect, fire."""
@@ -264,9 +313,15 @@ class InvariantMonitor:
         if watch.firings >= self.max_firings_per_invariant:
             # A storming invariant stops being evaluated; the recorded
             # firing count keeps climbing nowhere.  The watch list and
-            # the fused probe are rebuilt off the hot path.
+            # the fused probe are rebuilt off the hot path, and the
+            # compiled listener is swapped in place (same slot, same
+            # idle hint) so a run already in flight sees the new set.
             self._watches = [w for w in self._watches if w is not watch]
             self._fused = _compile_fused(self._watches)
+            if self._listener is not None:
+                rebuilt = _compile_listener(self._watches, self)
+                self.tm.replace_cycle_listener(self._listener, rebuilt)
+                self._listener = rebuilt
         if self.on_violation is not None:
             self.on_violation(violation)
 

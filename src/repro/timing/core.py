@@ -337,6 +337,23 @@ class TimingModel(Module):
         if idle_hint is not None:
             self._cycle_idle_hints[id(listener)] = idle_hint
 
+    def replace_cycle_listener(self, old: Callable, new: Callable) -> None:
+        """Swap a subscribed cycle listener in place, keeping its slot
+        and idle hint.
+
+        For subscribers that compile their hook into a closure (the
+        invariant monitor's fused probe, compiled trigger queries) and
+        need to re-compile when their watch set changes mid-run.  The
+        compiled engine hoists ``cycle_listeners`` as a list object, so
+        an in-place element swap is observed by a run already in
+        flight.
+        """
+        index = self.cycle_listeners.index(old)
+        self.cycle_listeners[index] = new
+        hint = self._cycle_idle_hints.pop(id(old), None)
+        if hint is not None:
+            self._cycle_idle_hints[id(new)] = hint
+
     def _notify_commit(self, di, cycle: int) -> None:
         for listener in self._commit_listeners:
             listener(di, cycle)

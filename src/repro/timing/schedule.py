@@ -52,6 +52,15 @@ engine, which is what keeps a violation's cycle number engine-
 independent.  ``_idle_span`` already enforces the corresponding rule:
 any listener registered without a hint (e.g. a hintless invariant,
 FastLint rule IV003) pins the loop to single-cycle stepping.
+
+The same seam is FastPulse's sampling point
+(:mod:`repro.observability.pulse`): the live-telemetry emitter
+registers here with a cadence-derived hint (``next due sample - cycle
+- 1``), so idle spans batch up to the next sample boundary and a due
+sample always lands on a fully-evaluated cycle.  Because the wake
+cycle replays the whole per-cycle path on both engines, the set of
+sampled cycles -- and therefore the deterministic section of every
+pulse record -- is engine-independent by construction.
 """
 
 from __future__ import annotations

@@ -288,6 +288,88 @@ class TestTriggers:
         sim.run(MAX_CYCLES)
         assert calls["n"] == sim.tm.cycle
 
+    def test_inlined_probe_matches_generic_callable(self):
+        # The canonical probes carry an inline_expr the compiled
+        # listener splices in; stripping it forces the generic
+        # probe-call path.  Both must record the identical firing
+        # history on the same fixed-seed run.
+        histories = {}
+        for variant in ("inlined", "generic"):
+            sim = boot_sim()
+            probe = trace_buffer_occupancy(sim.feed)
+            if variant == "generic":
+                del probe.inline_expr
+                del probe.inline_ns
+            query = CompiledTriggerQuery.below(sim.tm, "tb_low", probe, 4)
+            sim.run(MAX_CYCLES)
+            histories[variant] = [
+                (f.cycle, f.value) for f in query.firings
+            ]
+        assert histories["inlined"] == histories["generic"]
+        assert histories["inlined"]
+
+    def test_inlined_probe_keeps_float_contract_for_conditions(self):
+        # An arbitrary condition composed with a canonical probe still
+        # receives a float, as the probe lambda would have returned.
+        sim = boot_sim()
+        seen = []
+
+        def condition(value):
+            seen.append(value)
+            return False
+
+        CompiledTriggerQuery(
+            sim.tm, "typed", trace_buffer_occupancy(sim.feed), condition
+        )
+        sim.run(200_000)
+        assert seen
+        assert all(isinstance(v, float) for v in seen)
+
+    def test_firing_values_are_floats(self):
+        sim = boot_sim()
+        query = CompiledTriggerQuery.below(
+            sim.tm, "tb_low", trace_buffer_occupancy(sim.feed), 4
+        )
+        sim.run(MAX_CYCLES)
+        assert query.firings
+        assert all(isinstance(f.value, float) for f in query.firings)
+
+
+class TestReplaceCycleListener:
+    def test_swap_keeps_slot_and_hint(self):
+        sim = boot_sim()
+        tm = sim.tm
+
+        def old(cycle):
+            pass
+
+        def new(cycle):
+            pass
+
+        def hint(cycle):
+            return 7
+
+        tm.add_cycle_listener(old, idle_hint=hint)
+        index = tm.cycle_listeners.index(old)
+        tm.replace_cycle_listener(old, new)
+        assert tm.cycle_listeners[index] is new
+        assert old not in tm.cycle_listeners
+        assert tm._cycle_idle_hints[id(new)] is hint
+        assert id(old) not in tm._cycle_idle_hints
+
+    def test_swap_of_hintless_listener_stays_hintless(self):
+        sim = boot_sim()
+        tm = sim.tm
+        tm.add_cycle_listener(lambda c: None)
+        old = tm.cycle_listeners[-1]
+        tm.replace_cycle_listener(old, lambda c: None)
+        assert id(tm.cycle_listeners[-1]) not in tm._cycle_idle_hints
+
+    def test_swap_unknown_listener_raises(self):
+        sim = boot_sim()
+        with pytest.raises(ValueError):
+            sim.tm.replace_cycle_listener(lambda c: None, lambda c: None)
+
 
 # -- tick profiler -----------------------------------------------------------
 

@@ -123,6 +123,46 @@ def test_fused_probe_drift_detected():
         listener(1)
 
 
+def test_storm_limit_swaps_compiled_listener_in_place():
+    # A storming invariant is dropped from the watch set mid-run; the
+    # compiled cycle listener must be re-generated and swapped into the
+    # same subscription slot (the engine hoists the listener list, so
+    # only an in-place swap is observed by a run in flight).
+    sim = _factory("compiled")()
+    tm = sim.tm
+    flap = {"ok": True}
+    module = Module("flappy")
+    module.new_invariant(  # fastlint: ignore[IV001]
+        "flap", check=lambda: flap["ok"], hint="idle-stable"
+    )
+    monitor = InvariantMonitor(
+        tm, extra_roots=(module,), max_firings_per_invariant=3
+    )
+    armed_before = monitor.armed
+    index = len(tm.cycle_listeners) - 1
+    original = tm.cycle_listeners[index]
+    hint = tm._cycle_idle_hints[id(original)]
+    cycle = 0
+    # Each flap down-and-up is one edge-triggered firing.
+    for _ in range(3):
+        cycle += 1
+        flap["ok"] = False
+        tm.cycle_listeners[index](cycle)
+        cycle += 1
+        flap["ok"] = True
+        tm.cycle_listeners[index](cycle)
+    assert monitor.firings == 3
+    assert monitor.armed == armed_before - 1
+    swapped = tm.cycle_listeners[index]
+    assert swapped is not original
+    assert tm._cycle_idle_hints[id(swapped)] is hint
+    assert id(original) not in tm._cycle_idle_hints
+    # The dropped watch no longer fires (or evaluates) at all.
+    flap["ok"] = False
+    tm.cycle_listeners[index](cycle + 1)
+    assert monitor.firings == 3
+
+
 def test_monitor_does_not_perturb_stats():
     import dataclasses
 
