@@ -34,9 +34,19 @@ SH003    error/     a module object assigned to one shard has its
 SH006    warning/   a shard exceeds the balance threshold; WARNING when
          info       regrouping could fix it, INFO when a single atomic
                     group forces the imbalance
+SH007    error/     the plan is stale: its unit universe no longer
+         warning    matches the live tree's planning units (error --
+                    the tree changed after the plan was built), or a
+                    shard's recorded footprint drifted from the
+                    re-derived one (warning)
 =======  =========  ==========================================================
 
 (SH004/SH005 are source-level; see :mod:`repro.analysis.effects`.)
+
+:func:`validate_plan` never trusts the plan's recorded footprints or
+unit lists on their own: every check re-derives from the *live* effects
+passed in, so the sharded engine can (and does) re-run validation at
+engine-compile time against the tree as actually built.
 """
 
 from __future__ import annotations
@@ -463,6 +473,66 @@ def validate_plan(plan: dict, effects: TreeEffects) -> Report:
         for path in shard.get("modules", ()):
             module_shard[path] = shard["index"]
     module_shard.update(unit_shard)
+
+    # SH007: stale-plan coverage.  The plan's unit universe must match
+    # the live tree's planning units exactly -- a unit added after the
+    # plan was built would otherwise never be assigned (and so escape
+    # every cross-shard check below), and a planned unit that no longer
+    # exists marks the plan as predating a topology change.
+    live_units = {
+        unit.path for unit in effects.units if _is_planning_unit(unit)
+    }
+    planned_units = set(unit_shard)
+    for path in sorted(live_units - planned_units):
+        report.add(
+            "SH007",
+            Severity.ERROR,
+            path,
+            "stale plan: live tickable unit %s is assigned to no shard "
+            "(the module tree changed after the plan was built)" % path,
+            hint="re-run the planner against the current tree "
+            "(python -m repro shardcheck)",
+        )
+    for path in sorted(planned_units - live_units):
+        report.add(
+            "SH007",
+            Severity.ERROR,
+            path,
+            "stale plan: planned unit %s does not exist in the live "
+            "module tree" % path,
+            hint="re-run the planner against the current tree "
+            "(python -m repro shardcheck)",
+        )
+    # SH007 (warning): recorded footprints drifted from the re-derived
+    # ones.  Not load-bearing for safety -- every check here uses the
+    # fresh effects, never the recorded sets -- but drift means the
+    # plan's provenance is out of date.
+    fresh_by_path = {unit.path: unit for unit in effects.units}
+    for shard in plan.get("shards", ()):
+        recorded = shard.get("footprint")
+        if not recorded:
+            continue
+        reads: Set[str] = set()
+        writes: Set[str] = set()
+        for path in shard.get("units", ()):
+            unit = fresh_by_path.get(path)
+            if unit is None:
+                continue
+            reads.update("%s::%s" % key for key in unit.reads)
+            writes.update("%s::%s" % key for key in unit.writes)
+        if (
+            set(recorded.get("reads", ())) != reads
+            or set(recorded.get("writes", ())) != writes
+        ):
+            report.add(
+                "SH007",
+                Severity.WARNING,
+                "shard[%d]" % shard["index"],
+                "recorded footprint drifted from the one re-derived "
+                "from the live tree",
+                hint="re-run the planner to refresh the plan's "
+                "recorded footprints",
+            )
 
     # SH001: zero-latency cross-shard edges.
     for edge in graph.edges:

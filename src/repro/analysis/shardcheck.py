@@ -12,10 +12,19 @@ Usage::
     python -m repro shardcheck --out plan.json       # canonical artifact
     python -m repro shardcheck --profile <flight-run-or-profile.json>
     python -m repro shardcheck --json                # plan + diagnostics
+    python -m repro shardcheck --execute             # sharded-vs-compiled
+                                                     # smoke run
 
-Exit code 0 when no diagnostic reaches WARNING severity, 1 otherwise.
-The plan written by ``--out`` is byte-identical across repeated runs on
-the same tree and cost model.
+``--execute`` additionally *runs* the plan: the boot and gzip smoke
+workloads execute under both the compiled and the sharded engine with
+an EventTracer armed, TimingStats are compared bit-for-bit and the
+trace streams byte-for-byte, and the per-run trace JSONL files land in
+``--trace-dir`` for external ``cmp`` (the CI shard-equivalence job).
+
+Exit code 0 when no diagnostic reaches WARNING severity (and, with
+``--execute``, every smoke run matched), 1 otherwise.  The plan written
+by ``--out`` is byte-identical across repeated runs on the same tree
+and cost model.
 """
 
 from __future__ import annotations
@@ -81,6 +90,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="also print INFO-level notes and per-shard footprints",
     )
+    parser.add_argument(
+        "--execute",
+        action="store_true",
+        help="smoke-run the plan: boot + gzip under compiled and "
+        "sharded engines, comparing TimingStats bit-for-bit and trace "
+        "streams byte-for-byte",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default="shard-equivalence",
+        metavar="DIR",
+        help="where --execute writes per-run trace JSONL files "
+        "(default: shard-equivalence/)",
+    )
     args = parser.parse_args(argv)
 
     from repro.timing.core import build_default_core
@@ -106,7 +129,66 @@ def main(argv: Optional[List[str]] = None) -> int:
         if text:
             print(text)
         _print_summary(plan, report, args)
-    return 0 if report.clean else 1
+    status = 0 if report.clean else 1
+    if args.execute:
+        status = max(status, _execute_smoke(args))
+    return status
+
+
+def _execute_smoke(args) -> int:
+    """Run the boot + gzip smoke workloads under both engines and
+    compare: bit-identical TimingStats, byte-identical trace JSONL."""
+    import dataclasses
+    import os
+
+    from repro.experiments.bench import bench_workloads
+    from repro.experiments.harness import build_fast_simulator
+    from repro.observability.events import attach_tracer
+    from repro.timing.core import TimingConfig
+
+    os.makedirs(args.trace_dir, exist_ok=True)
+    failures = 0
+    picked = [w for w in bench_workloads(smoke=True)
+              if w.name in ("linux-boot", "164.gzip")]
+    for workload in picked:
+        outputs = {}
+        for engine in ("compiled", "sharded"):
+            config = TimingConfig(engine=engine, shards=args.shards)
+            sim = build_fast_simulator(workload, timing_config=config)
+            tracer = attach_tracer(sim)
+            result = sim.run(8_000_000)
+            path = os.path.join(
+                args.trace_dir, "%s-%s.jsonl" % (workload.name, engine)
+            )
+            tracer.write_jsonl(path, footer=True)
+            outputs[engine] = (
+                dataclasses.asdict(result.timing),
+                tracer.to_jsonl(footer=True),
+                path,
+            )
+        stats_match = outputs["compiled"][0] == outputs["sharded"][0]
+        trace_match = outputs["compiled"][1] == outputs["sharded"][1]
+        ok = stats_match and trace_match
+        failures += 0 if ok else 1
+        print(
+            "execute %-12s shards=%d: stats %s, trace %s "
+            "(%d cycles, traces in %s)"
+            % (
+                workload.name,
+                args.shards,
+                "bit-identical" if stats_match else "DIVERGED",
+                "byte-identical" if trace_match else "DIVERGED",
+                outputs["sharded"][0]["cycles"],
+                args.trace_dir,
+            )
+        )
+        if not stats_match:
+            compiled, sharded = outputs["compiled"][0], outputs["sharded"][0]
+            for key in sorted(compiled):
+                if compiled[key] != sharded[key]:
+                    print("  stats.%s: compiled=%r sharded=%r"
+                          % (key, compiled[key], sharded[key]))
+    return 1 if failures else 0
 
 
 def _print_summary(plan: dict, report, args) -> None:

@@ -34,6 +34,9 @@ class Connector(Module):
                       "simulation path",
         "_trigger": "observability-only trace predicate hook",
         "_trace_limit": "observability-only trace log bound",
+        "_outbox": "sharded-engine boundary buffer; installed by the "
+                   "coordinator for parallel tick spans only and "
+                   "drained at the span barrier",
     }
 
     def __init__(
@@ -71,6 +74,13 @@ class Connector(Module):
         self._trace_log: Optional[list] = None
         self._trace_limit = 0
         self._trigger = None
+        # Sharded-engine boundary buffer (repro.timing.shard).  When a
+        # parallel tick span is active on a cut edge, the coordinator
+        # installs a BoundaryOutbox here: pushes are captured (with
+        # identical accept/reject semantics and counters) and merged
+        # into the queue at the span barrier, so a producer evaluating
+        # on another worker never mutates the shared deque mid-span.
+        self._outbox = None
         # FastWatch credit conservation (registered here, at
         # construction -- FastLint rule IV001): in-flight transactions
         # never exceed the configured capacity, and per-cycle traffic
@@ -145,6 +155,9 @@ class Connector(Module):
     # -- producer side --------------------------------------------------------
 
     def can_push(self) -> bool:
+        outbox = self._outbox
+        if outbox is not None:
+            return outbox.can_push()
         return (
             self._pushed_this_cycle < self.input_throughput
             and len(self._queue) < self.max_transactions
@@ -152,6 +165,9 @@ class Connector(Module):
 
     def push(self, item: Any) -> bool:
         """Push one item; returns False if throughput/capacity exhausted."""
+        outbox = self._outbox
+        if outbox is not None:
+            return outbox.push(item)
         if not self.can_push():
             self.bump("push_stalls")
             return False

@@ -1,0 +1,530 @@
+"""FastShard: the bulk-synchronous sharded tick engine.
+
+The paper's parallelization claim (section 3.1) is that a partitioned
+timing model can evaluate its partitions concurrently *without changing
+observed cycle counts*; Manticore's static bulk-synchronous recipe
+shows how: cut the module graph only at latency >= 1 Connector edges,
+run each shard's units independently within a tick span, and exchange
+boundary values in batches at span barriers.  Because every cut edge
+delays data by at least one target cycle, nothing a shard computes in
+span *t* can be observed by another shard before span *t + 1* -- so
+intra-span execution needs no cross-shard communication at all.
+
+``TimingConfig(engine="sharded", shards=K)`` selects this engine.  It
+consumes a :mod:`PartitionPlan <repro.analysis.partition>` -- auto-
+planned (LPT over TickProfiler costs when available) when none is
+given -- and **revalidates it at compile time against the live module
+tree**: :func:`repro.analysis.partition.validate_plan` re-derives
+every footprint from the tree as built, so a plan produced before a
+topology change is refused with a :class:`ScheduleError` (rule SH007)
+instead of silently mis-sharding, and SH001/SH002/SH003 violations in
+hand-written plans are refused the same way.
+
+Execution model
+---------------
+
+A **tick span** is one busy target cycle or one batched idle span
+(idle fast-forward ticks no units, so every shard trivially agrees on
+it -- span negotiation costs nothing).  Each busy cycle:
+
+1. The coordinator clocks every Connector (phase 0, tree order --
+   identical to the compiled engine).
+2. Span negotiation: the cycle runs **parallel** only when every
+   boundary FIFO has headroom for a full producer budget
+   (``len(queue) + input_throughput <= max_transactions``).  Under that
+   precondition a producer's push accept/reject decisions depend only
+   on its own throughput budget -- exactly what the sequential
+   consumer-first order would decide -- so the cycle is safe to run
+   concurrently.  Otherwise the coordinator falls back to the full
+   compiled sequential order for that one cycle (the semantic
+   backstop: ordered cycles are the compiled engine).
+3. In a parallel cycle each cut-edge Connector routes pushes into a
+   :class:`BoundaryOutbox` (visibility cycles stamped at push time);
+   workers and the coordinator evaluate their shards' units between a
+   pair of barriers; then the coordinator drains every outbox into its
+   Connector in deterministic plan order.  With
+   ``shard_backend="process"`` each batch crosses the boundary as
+   pickled bytes -- the serialization contract a multi-process
+   deployment needs -- while shard state itself stays thread-resident
+   (this Python host shares the functional model and observability
+   fabric process-wide; the batch transport is the part that must
+   prove picklable).
+4. The per-cycle tail (cycle listeners, idle bookkeeping, watchdog,
+   idle fast-forward) is byte-for-byte the compiled run loop, so
+   TimingStats, FastScope stats, EventTracer streams and pulse
+   det-hashes stay bit-identical.
+
+Two structural notes keep the parallel mode exact: a cut edge whose
+*producer* precedes its consumer in the compiled order (only possible
+on a broken dataflow cycle) pins the engine to ordered execution, and
+a plan with at most one populated shard degenerates to the compiled
+loop outright (the default two-shard core plan does: its only atomic
+group holds the whole pipeline).  Units that emit through ``tm.tracer``
+from a non-anchor shard would interleave nondeterministically; the
+canonical pipeline emits only from the anchor shard (feed, interrupt
+coordinator, engine), which the effect analyzer's seam discipline
+documents.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.graph import extract_graph
+from repro.timing.connector import Connector
+from repro.timing.schedule import CompiledSchedule, ScheduleError
+
+# Barrier timeout: generous enough for any legitimate span, short
+# enough that a lost worker fails the run instead of hanging CI.
+_BARRIER_TIMEOUT = 300.0
+
+
+class BoundaryTransportError(RuntimeError):
+    """A boundary batch could not cross the shard boundary."""
+
+
+class BoundaryOutbox:
+    """Per-cut-edge push buffer for one parallel tick span.
+
+    While installed on its Connector (``connector._outbox``), producer
+    pushes land here instead of the shared queue, replicating the
+    Connector's accept/reject semantics exactly: the throughput budget
+    and counters live on the Connector (single-producer, so updates are
+    race-free), visibility cycles are stamped at push time from the
+    phase-0 ``_now``, and the occupancy check counts queued plus
+    outboxed items.  The coordinator drains accepted batches into the
+    queue at the span barrier.
+    """
+
+    __slots__ = ("connector", "batch")
+
+    def __init__(self, connector: Connector) -> None:
+        self.connector = connector
+        self.batch: List[Tuple[int, object]] = []
+
+    def can_push(self) -> bool:
+        conn = self.connector
+        return (
+            conn._pushed_this_cycle < conn.input_throughput
+            and len(conn._queue) + len(self.batch) < conn.max_transactions
+        )
+
+    def push(self, item) -> bool:
+        conn = self.connector
+        if not self.can_push():
+            conn.bump("push_stalls")
+            return False
+        self.batch.append((conn._now + conn.min_latency, item))
+        conn._pushed_this_cycle += 1
+        conn.bump("pushes")
+        if conn._trace_log is not None and (
+            conn._trigger is None or conn._trigger(conn._now, item)
+        ):
+            if len(conn._trace_log) < conn._trace_limit:
+                conn._trace_log.append((conn._now, item))
+        return True
+
+    def drain(self) -> List[Tuple[int, object]]:
+        batch, self.batch = self.batch, []
+        return batch
+
+
+# Auto-plan cache: planning re-analyzes the whole tree (effect
+# extraction dominates engine compile time), but identical tree
+# structures always yield the identical plan and validation outcome,
+# so matrix tests that build hundreds of default cores pay once.  The
+# signature covers everything planning reads: module paths and classes
+# (footprints derive from class source), Connector parameters and
+# endpoint wiring, and the shard count.
+_PLAN_CACHE: Dict[tuple, dict] = {}
+_PLAN_CACHE_LIMIT = 64
+
+
+def _tree_signature(graph, shards: int) -> tuple:
+    modules = tuple(
+        (path, type(module).__module__ + "." + type(module).__qualname__)
+        for path, module in graph.modules
+    )
+    connectors = tuple(
+        (
+            path,
+            conn.min_latency,
+            conn.input_throughput,
+            conn.output_throughput,
+            conn.max_transactions,
+            graph.path_of(conn.producer) if conn.producer is not None
+            and graph.contains(conn.producer) else None,
+            graph.path_of(conn.consumer) if conn.consumer is not None
+            and graph.contains(conn.consumer) else None,
+        )
+        for path, conn in graph.connectors
+    )
+    return (modules, connectors, shards)
+
+
+class ShardedSchedule(CompiledSchedule):
+    """The bulk-synchronous parallel tick engine for one TimingModel.
+
+    Compiles the same static schedule as :class:`CompiledSchedule`
+    (which it falls back to cycle-by-cycle whenever parallelism is
+    unsafe or useless), then overlays a validated PartitionPlan as
+    per-shard step lists plus boundary outboxes at the cut edges.
+    """
+
+    def __init__(self, tm, plan: Optional[dict] = None, shards: int = 2,
+                 backend: str = "thread") -> None:
+        super().__init__(tm)
+        if backend not in ("thread", "process"):
+            raise ScheduleError(
+                "unknown shard backend %r (use 'thread' or 'process')"
+                % backend
+            )
+        if shards < 1:
+            raise ScheduleError("shards must be >= 1 (got %d)" % shards)
+        self._backend = backend
+        self.graph = extract_graph(tm)
+        self.plan = self._resolve_plan(tm, plan, shards)
+        self._compile_shards(tm)
+        # Worker machinery, created lazily by run() when more than one
+        # shard is populated.
+        self._release: Optional[threading.Barrier] = None
+        self._joined: Optional[threading.Barrier] = None
+        self._workers: List[threading.Thread] = []
+        self._worker_errors: List[BaseException] = []
+        self._shutdown = False
+        self._cycle = 0
+
+    # -- compile -----------------------------------------------------------
+
+    def _resolve_plan(self, tm, plan: Optional[dict], shards: int) -> dict:
+        from repro.analysis.effects import analyze_tree
+        from repro.analysis.partition import plan_partition, validate_plan
+
+        auto = plan is None
+        # The cache is sound only when the signature captures every
+        # validation input; registered listeners are analyzed too, so
+        # their presence disables it (they are empty at TimingModel
+        # construction, the canonical compile point).
+        cacheable = auto and not tm.cycle_listeners and not tm._commit_listeners
+        signature = _tree_signature(self.graph, shards) if cacheable else None
+        if signature is not None:
+            cached = _PLAN_CACHE.get(signature)
+            if cached is not None:
+                return cached
+        effects = analyze_tree(tm)
+        if auto:
+            plan, _planner_report = plan_partition(
+                tm, shards=shards, effects=effects
+            )
+        report = validate_plan(plan, effects)
+        if report.errors:
+            raise ScheduleError(
+                "partition plan rejected at engine compile time "
+                "(%d error(s)):\n%s"
+                % (len(report.errors), report.format())
+            )
+        if signature is not None:
+            if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+                _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+            _PLAN_CACHE[signature] = plan
+        return plan
+
+    def _compile_shards(self, tm) -> None:
+        plan = self.plan
+        self.shard_count: int = plan["shard_count"]
+        unit_shard: Dict[str, int] = {}
+        for row in plan["shards"]:
+            for path in row["units"]:
+                unit_shard[path] = row["index"]
+        # Indices into the unit portion of the compiled step tuple, in
+        # compiled (consumer-first) order within each shard.
+        self._unit_indices: List[List[int]] = [
+            [] for _ in range(self.shard_count)
+        ]
+        for i, (path, _module) in enumerate(self.unit_order):
+            home = unit_shard.get(path)
+            if home is None:
+                # validate_plan (SH007) already rejects this; defensive
+                # for plans injected after validation.
+                raise ScheduleError(
+                    "plan assigns no shard to scheduled unit %s" % path
+                )
+            self._unit_indices[home].append(i)
+        self._populated: List[int] = [
+            s for s in range(self.shard_count) if self._unit_indices[s]
+        ]
+        # The anchor shard runs on the coordinator thread.  Pipeline
+        # feed traffic (TB refills, commits, interrupt delivery) comes
+        # from the backend's shard, so anchoring there keeps every
+        # tracer-emitting unit on one thread.
+        backend_path = (
+            self.graph.path_of(tm.backend)
+            if self.graph.contains(tm.backend) else None
+        )
+        anchor = unit_shard.get(backend_path)
+        if anchor is None or anchor not in self._populated:
+            anchor = self._populated[0] if self._populated else 0
+        self._anchor: int = anchor
+        # Boundary Connectors, in the plan's deterministic cut-edge
+        # order (drain order = merge determinism).
+        order = {path: i for i, (path, _m) in enumerate(self.unit_order)}
+        modules_by_path = {path: m for path, m in self.graph.modules}
+        self._cut: List[Connector] = []
+        self._force_ordered = False
+        seen_cut = set()
+        for edge in plan["cut_edges"]:
+            conn = modules_by_path.get(edge["connector"])
+            if not isinstance(conn, Connector):
+                raise ScheduleError(
+                    "stale plan: cut edge %r is not a live Connector"
+                    % edge["connector"]
+                )
+            if conn.min_latency < 1:
+                raise ScheduleError(
+                    "cut edge %r has zero min_latency (SH001): the "
+                    "consumer would observe same-cycle pushes from "
+                    "another worker" % edge["connector"]
+                )
+            if id(conn) in seen_cut:
+                continue
+            seen_cut.add(id(conn))
+            self._cut.append(conn)
+            # Parallel cycles are exact only when the consumer of every
+            # cut edge evaluates before its producer in the compiled
+            # order (so its occupancy view matches the outboxed one); a
+            # broken dataflow cycle can order them the other way round.
+            if (
+                order.get(edge["consumer"], -1)
+                > order.get(edge["producer"], len(order))
+            ):
+                self._force_ordered = True
+        self._outboxes: List[BoundaryOutbox] = [
+            BoundaryOutbox(conn) for conn in self._cut
+        ]
+
+    # -- introspection -----------------------------------------------------
+
+    def describe_shards(self) -> List[List[str]]:
+        """Per-shard unit paths, in execution (compiled) order."""
+        return [
+            [self.unit_order[i][0] for i in indices]
+            for indices in self._unit_indices
+        ]
+
+    # -- workers -----------------------------------------------------------
+
+    def _start_workers(self, worker_shards: List[int],
+                       shard_steps: List[tuple]) -> None:
+        parties = len(worker_shards) + 1
+        self._release = threading.Barrier(parties)
+        self._joined = threading.Barrier(parties)
+        self._worker_errors = []
+        self._shutdown = False
+        self._workers = []
+        for shard in worker_shards:
+            worker = threading.Thread(
+                target=self._worker_loop,
+                args=(shard_steps[shard],),
+                name="fastshard-%d" % shard,
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    def _worker_loop(self, steps: tuple) -> None:
+        release = self._release
+        joined = self._joined
+        while True:
+            release.wait()
+            if self._shutdown:
+                return
+            cycle = self._cycle
+            try:
+                for step in steps:
+                    step(cycle)
+            except BaseException as exc:  # propagate via the coordinator
+                self._worker_errors.append(exc)
+            joined.wait()
+
+    def _stop_workers(self) -> None:
+        if not self._workers:
+            return
+        self._shutdown = True
+        try:
+            self._release.wait(_BARRIER_TIMEOUT)
+        except threading.BrokenBarrierError:  # a worker already died
+            pass
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._workers = []
+        self._release = None
+        self._joined = None
+
+    # -- the bulk-synchronous run loop -------------------------------------
+
+    def run(self, max_cycles: int):
+        """Run to completion with per-span barriers.
+
+        Degenerates to the compiled loop when at most one shard holds
+        units -- then there is nothing to synchronize and the compiled
+        engine *is* the single shard's execution.  The loop tail
+        (listeners, idle bookkeeping, watchdog, shutdown drain, idle
+        fast-forward) mirrors :meth:`CompiledSchedule.run` exactly;
+        only unit evaluation differs.
+        """
+        if len(self._populated) <= 1:
+            return super().run(max_cycles)
+        tm = self._tm
+        feed = tm.feed
+        frontend = tm.frontend
+        backend = tm.backend
+        steps = self._steps
+        n_conn = len(self.connector_order)
+        conn_steps = steps[:n_conn]
+        unit_steps = steps[n_conn:]
+        # Rebuilt from the live step tuple so instrument_steps wrapping
+        # (the tick profiler) is honored shard-by-shard.
+        shard_steps = [
+            tuple(unit_steps[i] for i in indices)
+            for indices in self._unit_indices
+        ]
+        anchor_steps = shard_steps[self._anchor]
+        worker_shards = [s for s in self._populated if s != self._anchor]
+        listeners = tm.cycle_listeners
+        hints = tm._cycle_idle_hints
+        watchdog = tm.config.watchdog_cycles
+        idle_span = self._idle_span
+        cut = self._cut
+        outboxes = self._outboxes
+        pickled = self._backend == "process"
+        parallel_ok = not self._force_ordered
+        cycle = tm.cycle
+        last_progress = tm._last_progress
+        self._start_workers(worker_shards, shard_steps)
+        release = self._release
+        joined = self._joined
+        try:
+            while cycle < max_cycles:
+                cycle += 1
+                tm.cycle = cycle
+                for step in conn_steps:
+                    step(cycle)
+                # Span negotiation: parallel only when every boundary
+                # FIFO can absorb a full producer budget this cycle.
+                safe = parallel_ok
+                if safe:
+                    for conn in cut:
+                        if (
+                            len(conn._queue) + conn.input_throughput
+                            > conn.max_transactions
+                        ):
+                            safe = False
+                            break
+                if safe:
+                    for box in outboxes:
+                        box.connector._outbox = box
+                    self._cycle = cycle
+                    release.wait(_BARRIER_TIMEOUT)
+                    try:
+                        for step in anchor_steps:
+                            step(cycle)
+                    finally:
+                        joined.wait(_BARRIER_TIMEOUT)
+                    for box in outboxes:
+                        box.connector._outbox = None
+                    if self._worker_errors:
+                        raise self._worker_errors.pop(0)
+                    for box in outboxes:
+                        batch = box.drain()
+                        if batch:
+                            if pickled:
+                                batch = self._transport(
+                                    box.connector, batch
+                                )
+                            box.connector._queue.extend(batch)
+                else:
+                    # Ordered fallback: the full compiled order, on the
+                    # coordinator -- exact sequential semantics.
+                    for step in unit_steps:
+                        step(cycle)
+                if listeners:
+                    if len(listeners) == 1:
+                        listeners[0](cycle)
+                    else:
+                        for listener in listeners:
+                            listener(cycle)
+                idle = frontend.idle_this_cycle and not backend.rob
+                if idle and not feed.finished:
+                    feed.idle_tick()
+                    tm.idle_cycles += 1
+                    last_progress = cycle
+                committed = backend.last_commit_cycle
+                if committed > last_progress:
+                    last_progress = committed
+                if cycle - last_progress > watchdog:
+                    tm._raise_deadlock(cycle)
+                if feed.finished:
+                    if (
+                        not backend.rob
+                        and len(frontend.fetch_q) == 0
+                        and len(frontend.decode_q) == 0
+                        and backend._dispatching is None
+                    ):
+                        break
+                    continue
+                if idle:
+                    span = idle_span(cycle, max_cycles, hints)
+                    if span > 0:
+                        feed.idle_ticks(span)
+                        cycle += span
+                        tm.cycle = cycle
+                        tm.idle_cycles += span
+                        last_progress = cycle
+                        if tm.tracer is not None:
+                            tm.tracer.emit("idle_span", cycles=span,
+                                           from_cycle=cycle - span)
+        finally:
+            tm.cycle = cycle
+            tm._last_progress = last_progress
+            for box in outboxes:
+                box.connector._outbox = None
+            self._stop_workers()
+        return tm.stats()
+
+    @staticmethod
+    def _transport(conn: Connector,
+                   batch: List[Tuple[int, object]]) -> List[Tuple[int, object]]:
+        """Round-trip one boundary batch through pickled bytes.
+
+        The process backend's transport contract: everything crossing a
+        cut edge must survive serialization, byte-for-byte.  (Shard
+        state itself stays thread-resident on this host -- the
+        functional model and observability fabric are process-wide --
+        so the batch transport is the part a real multi-process
+        deployment additionally needs proven.)
+        """
+        try:
+            payload = pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+            return pickle.loads(payload)
+        except Exception as exc:
+            raise BoundaryTransportError(
+                "boundary batch on %s is not picklable: %s"
+                % (conn.name, exc)
+            ) from exc
+
+
+def compile_sharded_schedule(tm, plan: Optional[dict] = None,
+                             shards: int = 2,
+                             backend: str = "thread") -> ShardedSchedule:
+    """Compile the sharded schedule for *tm* (a ``TimingModel``)."""
+    return ShardedSchedule(tm, plan=plan, shards=shards, backend=backend)
+
+
+__all__ = [
+    "BoundaryOutbox",
+    "BoundaryTransportError",
+    "ShardedSchedule",
+    "compile_sharded_schedule",
+]

@@ -2,7 +2,9 @@
 
 Every ``tests/corpus/repro-*.s`` file is a shrunk program that once
 exposed a divergence (under a real bug or an injected fault).  Each
-replay must now come back clean: all eight matrix cells agree and the
+replay must now come back clean: all ten matrix cells agree -- the
+eight canonical engine x feed x irq couplings, the superblocks-off
+ninth cell, and the FastShard sharded-engine tenth cell -- and the
 instruction-mode column matches the golden functional-only run.  A
 failure here means a previously-fixed (or deliberately injected)
 divergence has returned for real.
@@ -13,7 +15,7 @@ from pathlib import Path
 import pytest
 
 from repro.fuzz.corpus import iter_corpus
-from repro.fuzz.oracle import OracleConfig, run_matrix
+from repro.fuzz.oracle import ORACLE_CELLS, OracleConfig, run_matrix
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
 REPROS = list(iter_corpus(CORPUS_DIR))
@@ -24,13 +26,20 @@ REPLAY_CONFIG = OracleConfig(max_cycles=600_000, max_instructions=200_000)
 
 # The same matrix with the FastWatch invariant fabric armed in every
 # cell: any firing is a divergence, so replaying the corpus also pins
-# the fabric's false-positive rate at zero across all nine couplings.
+# the fabric's false-positive rate at zero across all ten couplings.
 WATCHED_CONFIG = OracleConfig(max_cycles=600_000, max_instructions=200_000,
                               invariants=True)
 
 
 def test_corpus_is_seeded():
     assert len(REPROS) >= 5, "the shipped corpus must stay non-trivial"
+
+
+def test_replay_covers_the_ten_cell_matrix():
+    # run_matrix defaults to ORACLE_CELLS, so every replay below runs
+    # the full matrix -- including the FastShard tenth cell.
+    assert len(ORACLE_CELLS) == 10
+    assert any(cell.engine == "sharded" for cell in ORACLE_CELLS)
 
 
 @pytest.mark.parametrize("repro", REPROS, ids=lambda r: r.name)

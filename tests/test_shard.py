@@ -1,0 +1,491 @@
+"""FastShard: the bulk-synchronous sharded tick engine.
+
+THE invariant under test: ``TimingConfig(engine="sharded")`` is
+bit-identical to the compiled engine -- TimingStats, module counters,
+EventTracer streams -- whether the parallel span path, the ordered
+fallback, or the single-populated-shard degenerate path executes.
+Plus the compile-time gate: SH-violating and stale plans are refused
+with :class:`ScheduleError` before a single cycle runs.
+"""
+
+import copy
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import (
+    FEEDS,
+    SHARD_COUNTS,
+    bare_image_factory,
+    engine_config,
+    run_coupled,
+)
+from repro.analysis.effects import analyze_tree
+from repro.analysis.partition import plan_partition, validate_plan
+from repro.baselines.lockstep import LockStepFeed
+from repro.fast.trace_buffer import TraceBufferFeed
+from repro.functional.model import FunctionalModel
+from repro.fuzz.generator import generate_program
+from repro.fuzz.oracle import ORACLE_CELLS
+from repro.isa.program import ProgramImage
+from repro.observability.events import EventTracer
+from repro.system.bus import build_standard_system
+from repro.timing.connector import Connector
+from repro.timing.core import TimingConfig, TimingModel, build_default_core
+from repro.timing.module import Module
+from repro.timing.schedule import CompiledSchedule, ScheduleError
+from repro.timing.shard import BoundaryTransportError, ShardedSchedule
+
+BRANCHY = """
+    MOVI R5, 40
+    MOVI R6, 12345
+top:
+    MOVI R1, 1103515245
+    MUL R6, R1
+    ADDI R6, 12345
+    MOV R1, R6
+    ANDI R1, 7
+    CMPI R1, 3
+    JL low
+    XORI R6, 0xFF
+    JMP next
+low:
+    ADDI R6, 13
+next:
+    DEC R5
+    JNZ top
+    MOVI R1, 0
+    OUT 0x40, R1
+    HALT
+"""
+
+# Halts without requesting power-off: the feed never finishes, so the
+# engine runs out the cycle budget through idle fast-forward.
+HALT_NO_POWEROFF = """
+    MOVI R5, 6
+top:
+    DEC R5
+    JNZ top
+    HALT
+"""
+
+
+# ---------------------------------------------------------------------------
+# The differential matrix: sharded vs compiled on the default core.
+# ---------------------------------------------------------------------------
+
+
+class TestShardedMatrix:
+    @pytest.mark.parametrize("feed", sorted(FEEDS))
+    @pytest.mark.parametrize("irq", [None, 900])
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_bit_identical_to_compiled(self, feed, irq, shards):
+        compiled = run_coupled(
+            bare_image_factory(BRANCHY), FEEDS[feed],
+            TimingConfig(), cycle_irq_interval=irq,
+        )
+        sharded = run_coupled(
+            bare_image_factory(BRANCHY), FEEDS[feed],
+            TimingConfig(), cycle_irq_interval=irq,
+            engine="sharded", shards=shards,
+        )
+        assert sharded.fingerprint() == compiled.fingerprint()
+        assert dataclasses.asdict(sharded.stats) == dataclasses.asdict(
+            compiled.stats
+        )
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backends_bit_identical(self, backend):
+        compiled = run_coupled(
+            bare_image_factory(BRANCHY), TraceBufferFeed, TimingConfig()
+        )
+        sharded = run_coupled(
+            bare_image_factory(BRANCHY), TraceBufferFeed,
+            engine_config(TimingConfig(), "sharded", shards=3,
+                          shard_backend=backend),
+        )
+        assert sharded.fingerprint() == compiled.fingerprint()
+
+    def test_tracer_stream_byte_identical(self):
+        streams = {}
+        for engine in ("compiled", "sharded"):
+            memory, bus, _i, _t, _console, _d = build_standard_system(
+                memory_size=1 << 22
+            )
+            fm = FunctionalModel(memory=memory, bus=bus)
+            fm.load(bare_image_factory(BRANCHY)())
+            feed = TraceBufferFeed(fm)
+            tm = TimingModel(feed, microcode=fm.microcode,
+                             config=TimingConfig(engine=engine, shards=2))
+            tracer = EventTracer(cycle_source=lambda tm=tm: tm.cycle)
+            feed.tracer = tracer
+            tm.tracer = tracer
+            tm.run(max_cycles=100_000)
+            streams[engine] = tracer.to_jsonl(footer=True)
+        assert streams["sharded"] == streams["compiled"]
+
+    def test_oracle_matrix_has_ten_cells(self):
+        assert len(ORACLE_CELLS) == 10
+        labels = [cell.label for cell in ORACLE_CELLS]
+        assert "sharded/tb/instr" in labels
+        (sharded_cell,) = [c for c in ORACLE_CELLS if c.engine == "sharded"]
+        assert sharded_cell.shards == 2
+
+
+# ---------------------------------------------------------------------------
+# Synthetic multi-shard trees: real workers, outboxes and barriers.
+# ---------------------------------------------------------------------------
+
+
+class Pump(Module):
+    """Satellite producer: pushes one item per cycle (when accepted)."""
+
+    def __init__(self, name, outq):
+        super().__init__(name)
+        self.outq = outq
+        self.payload = None  # when set, pushed instead of (name, cycle)
+        self.sent = 0
+
+    def bind_tick(self):
+        return self.tick
+
+    def tick(self, cycle):
+        item = (self.name, cycle) if self.payload is None else self.payload
+        if self.outq.push(item):
+            self.sent += 1
+
+
+class Sink(Module):
+    """Satellite consumer: drains its input every *stride* cycles,
+    squashing the whole FIFO every *flush_every* cycles (a rollback
+    crossing the cut edge)."""
+
+    def __init__(self, name, inq, stride=1, flush_every=0):
+        super().__init__(name)
+        self.inq = inq
+        self.stride = stride
+        self.flush_every = flush_every
+        self.got = []
+        self.flushed = 0
+
+    def bind_tick(self):
+        return self.tick
+
+    def tick(self, cycle):
+        if self.flush_every and cycle % self.flush_every == 0:
+            self.flushed += self.inq.flush()
+            return
+        if cycle % self.stride:
+            return
+        item = self.inq.pop()
+        if item is not None:
+            self.got.append((cycle, item))
+
+
+def _coupled_tm(source, feed_cls=LockStepFeed):
+    memory, bus, _i, _t, _console, _d = build_standard_system(
+        memory_size=1 << 22
+    )
+    fm = FunctionalModel(memory=memory, bus=bus)
+    fm.load(bare_image_factory(source)())
+    feed = feed_cls(fm)
+    return TimingModel(feed, microcode=fm.microcode,
+                       config=TimingConfig(engine="legacy"))
+
+
+def _with_satellites(source, schedule_cls, latency=2, capacity=8,
+                     stride=1, flush_every=0, **schedule_kwargs):
+    """A real coupled TM plus a pump -> q -> sink satellite chain whose
+    Connector becomes a cut edge under a multi-shard plan (the planner
+    gives pump, sink and the pipeline group their own shards)."""
+    tm = _coupled_tm(source)
+    q = Connector("xq", min_latency=latency, max_transactions=capacity)
+    pump = Pump("pump", q)
+    sink = Sink("sink", q, stride=stride, flush_every=flush_every)
+    q.bind_endpoints(pump, sink)
+    tm.add_child(pump)
+    tm.add_child(q)
+    tm.add_child(sink)
+    tm._schedule = schedule_cls(tm, **schedule_kwargs)
+    return tm, pump, q, sink
+
+
+def _satellite_run(schedule_cls, source=BRANCHY, max_cycles=10_000,
+                   **kwargs):
+    tm, pump, q, sink = _with_satellites(source, schedule_cls, **kwargs)
+    stats = tm.run(max_cycles=max_cycles)
+    return {
+        "stats": dataclasses.asdict(stats),
+        "sent": pump.sent,
+        "got": sink.got,
+        "flushed": sink.flushed,
+        "q_counters": q.counters(),
+        "q_left": len(q),
+    }, tm
+
+
+class TestMultiShardExecution:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_spans_bit_identical(self, backend):
+        compiled, _tm = _satellite_run(CompiledSchedule)
+        sharded, tm = _satellite_run(ShardedSchedule, shards=3,
+                                     backend=backend)
+        assert len(tm._schedule._populated) == 3
+        assert [c.name for c in tm._schedule._cut] == ["xq"]
+        assert compiled["sent"] > 0 and compiled["got"]
+        assert sharded == compiled
+
+    def test_boundary_highwater_forces_ordered_fallback(self):
+        # The producer outruns the consumer, so the boundary FIFO parks
+        # at max_transactions: span negotiation must refuse parallel
+        # cycles (no headroom for a full producer budget) and the
+        # ordered fallback must keep push_stalls/pops bit-identical.
+        kwargs = dict(stride=3, capacity=4, latency=1)
+        compiled, _tm = _satellite_run(CompiledSchedule, **kwargs)
+        sharded, _tm = _satellite_run(ShardedSchedule, shards=3, **kwargs)
+        assert compiled["q_counters"]["push_stalls"] > 0
+        assert sharded == compiled
+
+    def test_rollback_flush_across_cut_edge(self):
+        # The consumer squashes its boundary FIFO every 7 cycles (the
+        # pipeline-flush shape of a rollback) while the producer keeps
+        # pushing from another shard: drops, counters and surviving
+        # items must match the sequential engine exactly.
+        kwargs = dict(flush_every=7)
+        compiled, _tm = _satellite_run(CompiledSchedule, **kwargs)
+        sharded, _tm = _satellite_run(ShardedSchedule, shards=3, **kwargs)
+        assert compiled["flushed"] > 0
+        assert compiled["q_counters"]["flushes"] > 0
+        assert sharded == compiled
+
+    def test_idle_fast_forward_spans_the_barrier(self):
+        # A program that halts without powering off leaves the machine
+        # idle with the feed unfinished: the engine must batch idle
+        # spans (no per-cycle barriers, no unit ticks -- identical to
+        # the compiled engine) instead of spinning every worker once
+        # per idle cycle.
+        kwargs = dict(source=HALT_NO_POWEROFF, max_cycles=3_000)
+        compiled, tmc = _satellite_run(CompiledSchedule, **kwargs)
+        sharded, tms = _satellite_run(ShardedSchedule, shards=3, **kwargs)
+        assert compiled["stats"]["idle_cycles"] > 0
+        assert tms.idle_cycles == tmc.idle_cycles
+        assert sharded == compiled
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_irq_mid_span_stays_bit_identical(self, shards):
+        # Cycle-driven interrupts fire from a cycle listener between
+        # span barriers; delivery, drain and wake-up must replay
+        # through the same per-cycle path on both engines.
+        compiled = run_coupled(
+            bare_image_factory(BRANCHY), LockStepFeed,
+            TimingConfig(), cycle_irq_interval=97,
+        )
+        sharded = run_coupled(
+            bare_image_factory(BRANCHY), LockStepFeed,
+            TimingConfig(), cycle_irq_interval=97,
+            engine="sharded", shards=shards,
+        )
+        assert sharded.fingerprint() == compiled.fingerprint()
+
+    def test_process_backend_rejects_unpicklable_boundary_batch(self):
+        tm, pump, _q, _sink = _with_satellites(
+            BRANCHY, ShardedSchedule, shards=3, backend="process"
+        )
+        pump.payload = lambda: None  # lambdas cannot cross a pickle
+        with pytest.raises(BoundaryTransportError):
+            tm.run(max_cycles=1_000)
+
+    def test_thread_backend_accepts_unpicklable_items(self):
+        # Same poisoned payload, thread backend: no serialization
+        # boundary, so the run completes (the contract is per-backend).
+        tm, pump, _q, _sink = _with_satellites(
+            BRANCHY, ShardedSchedule, shards=3, backend="thread"
+        )
+        pump.payload = lambda: None
+        tm.run(max_cycles=1_000)
+        assert pump.sent > 0
+
+
+# ---------------------------------------------------------------------------
+# Compile-time plan validation: SH001 seeds, SH007 staleness.
+# ---------------------------------------------------------------------------
+
+
+def _swap_unit(plan, unit, to_shard):
+    """Hand-mutate *plan*: move one unit (and its module row) to
+    another shard -- the seeded-violation shape."""
+    plan = copy.deepcopy(plan)
+    for row in plan["shards"]:
+        if unit in row["units"]:
+            row["units"].remove(unit)
+        if unit in row["modules"]:
+            row["modules"].remove(unit)
+    for row in plan["shards"]:
+        if row["index"] == to_shard:
+            row["units"] = sorted(row["units"] + [unit])
+            row["modules"] = sorted(row["modules"] + [unit])
+    return plan
+
+
+class TestCompileTimeValidation:
+    def _zero_latency_tree(self):
+        tm = _coupled_tm(BRANCHY)
+        q = Connector("zq", min_latency=0, max_transactions=8)
+        pump = Pump("pump", q)
+        sink = Sink("sink", q)
+        q.bind_endpoints(pump, sink)
+        for module in (pump, q, sink):
+            tm.add_child(module)
+        return tm
+
+    def test_seeded_sh001_plan_rejected(self):
+        tm = self._zero_latency_tree()
+        plan, _report = plan_partition(tm, shards=3)
+        # The planner co-locates the zero-latency endpoints; force them
+        # apart to seed the SH001 violation.
+        shard_of = {
+            path: row["index"]
+            for row in plan["shards"] for path in row["units"]
+        }
+        home = shard_of["timing_model/sink"]
+        bad = _swap_unit(plan, "timing_model/sink",
+                         (home + 1) % plan["shard_count"])
+        with pytest.raises(ScheduleError) as excinfo:
+            ShardedSchedule(tm, plan=bad)
+        assert "SH001" in str(excinfo.value)
+        assert "rejected at engine compile time" in str(excinfo.value)
+
+    def test_auto_plan_colocates_zero_latency_endpoints(self):
+        tm = self._zero_latency_tree()
+        schedule = ShardedSchedule(tm, shards=3)
+        homes = {
+            path: index
+            for index, units in enumerate(schedule.describe_shards())
+            for path in units
+        }
+        assert homes["timing_model/pump"] == homes["timing_model/sink"]
+
+    def test_stale_plan_rejected_at_compile_time(self):
+        # SH007 regression: a plan built before a topology change --
+        # here, satellite units added after planning -- must be refused
+        # at engine compile time, not silently mis-sharded.
+        stale_plan, _report = plan_partition(_coupled_tm(BRANCHY), shards=2)
+        tm, _pump, _q, _sink = _with_satellites(BRANCHY, CompiledSchedule)
+        with pytest.raises(ScheduleError) as excinfo:
+            ShardedSchedule(tm, plan=stale_plan)
+        assert "SH007" in str(excinfo.value)
+        assert "stale plan" in str(excinfo.value)
+
+    def test_validate_plan_reports_both_staleness_directions(self):
+        live_effects = analyze_tree(_coupled_tm(BRANCHY))
+        rich_tm, _p, _q, _s = _with_satellites(BRANCHY, CompiledSchedule)
+        rich_plan, _report = plan_partition(rich_tm, shards=2)
+        report = validate_plan(rich_plan, live_effects)
+        assert {d.rule for d in report.errors} == {"SH007"}
+        locations = " ".join(d.location for d in report.errors)
+        assert "pump" in locations and "sink" in locations
+
+    def test_fresh_plan_validates_clean(self):
+        tm, _p, _q, _s = _with_satellites(BRANCHY, CompiledSchedule)
+        effects = analyze_tree(tm)
+        plan, _report = plan_partition(tm, shards=3, effects=effects)
+        assert not validate_plan(plan, effects).errors
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ScheduleError):
+            ShardedSchedule(_coupled_tm(BRANCHY), backend="mpi")
+
+    def test_unknown_engine_rejected(self):
+        memory, bus, _i, _t, _console, _d = build_standard_system(
+            memory_size=1 << 20
+        )
+        fm = FunctionalModel(memory=memory, bus=bus)
+        feed = LockStepFeed(fm)
+        with pytest.raises(ValueError):
+            TimingModel(feed, microcode=fm.microcode,
+                        config=TimingConfig(engine="shraded"))
+
+    def test_plan_cache_reuses_auto_plan(self):
+        s1 = ShardedSchedule(_coupled_tm(BRANCHY), shards=2)
+        s2 = ShardedSchedule(_coupled_tm(BRANCHY), shards=2)
+        assert s2.plan is s1.plan  # identical tree signature -> cached
+
+
+# ---------------------------------------------------------------------------
+# Property: ANY valid plan over the default core is bit-identical.
+# ---------------------------------------------------------------------------
+
+
+_FUZZ_PROGRAM = generate_program(20070601)
+_MEMO = {}
+
+
+def _run_fuzz_program(engine_cfg):
+    memory, bus, _i, _t, console, _d = build_standard_system(
+        memory_size=1 << 20
+    )
+    fm = FunctionalModel(memory=memory, bus=bus)
+    fm.load(ProgramImage.from_assembly(
+        "fuzz", _FUZZ_PROGRAM.source(), base=_FUZZ_PROGRAM.base,
+        entry="main",
+    ))
+    feed = TraceBufferFeed(fm)
+    tm = TimingModel(feed, microcode=fm.microcode, config=engine_cfg)
+    stats = tm.run(max_cycles=600_000)
+    return dataclasses.asdict(stats), console.text(), list(fm.state.regs)
+
+
+def _probe_effects():
+    if "probe" not in _MEMO:
+        probe = build_default_core(2)
+        _MEMO["probe"] = (probe, analyze_tree(probe))
+    return _MEMO["probe"]
+
+
+def _reassign(plan, placement):
+    """Rebuild *plan*'s shard unit rows from a group -> shard placement
+    (the hand-shuffled-assignment shape the property sweeps)."""
+    plan = copy.deepcopy(plan)
+    unit_group = {}
+    for index, group in enumerate(plan["atomic_groups"]):
+        for unit in group["units"]:
+            unit_group[unit] = index
+    for row in plan["shards"]:
+        row["modules"] = [m for m in row["modules"] if m not in unit_group]
+        row["units"] = []
+        row["groups"] = []
+    for index, target in enumerate(placement):
+        row = plan["shards"][target]
+        row["groups"].append(index)
+        row["units"].extend(plan["atomic_groups"][index]["units"])
+        row["modules"].extend(plan["atomic_groups"][index]["units"])
+    for row in plan["shards"]:
+        row["units"].sort()
+        row["modules"].sort()
+        row["groups"].sort()
+    return plan
+
+
+class TestPlanProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_any_valid_plan_matches_compiled(self, data):
+        if "compiled" not in _MEMO:
+            _MEMO["compiled"] = _run_fuzz_program(TimingConfig())
+        _probe, effects = _probe_effects()
+        shards = data.draw(st.integers(1, 4), label="shards")
+        plan, _report = plan_partition(_probe, shards=shards,
+                                       effects=effects)
+        placement = [
+            data.draw(st.integers(0, shards - 1), label="group%d" % index)
+            for index in range(len(plan["atomic_groups"]))
+        ]
+        shuffled = _reassign(plan, placement)
+        report = validate_plan(shuffled, effects)
+        assert not report.errors, report.format()
+        result = _run_fuzz_program(TimingConfig(
+            engine="sharded", shards=shards, shard_plan=shuffled,
+        ))
+        assert result == _MEMO["compiled"]
